@@ -1,0 +1,49 @@
+// Ablation: lossy-threshold sweep (the paper fixes 16 B; Sec. IV-C leaves
+// the threshold to the programmer). Sweeps 4..32 B at MAG 32 B with TSLC-OPT
+// and reports the speedup/error trade-off per benchmark.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace slc;
+using namespace slc::bench;
+
+int main() {
+  print_banner("Ablation — lossy threshold sweep",
+               "extension of Sec. IV-C / Sec. V-A (paper threshold: 16 B)");
+
+  const size_t mag = 32;
+  const size_t thresholds[] = {4, 8, 16, 24, 32};
+  const auto names = workload_names();
+
+  TextTable sp({"Bench", "T=4B", "T=8B", "T=16B", "T=24B", "T=32B"});
+  TextTable er({"Bench", "T=4B", "T=8B", "T=16B", "T=24B", "T=32B"});
+  std::vector<double> gm_speedup[5];
+
+  for (const std::string& name : names) {
+    const FullRunResult base = full_run(name, CodecKind::kE2mc, mag, 16);
+    std::vector<std::string> sp_cells = {name};
+    std::vector<std::string> er_cells = {name};
+    for (int t = 0; t < 5; ++t) {
+      const FullRunResult r = full_run(name, CodecKind::kTslcOpt, mag, thresholds[t]);
+      const double speedup =
+          static_cast<double>(base.sim.cycles) / static_cast<double>(r.sim.cycles);
+      gm_speedup[t].push_back(speedup);
+      sp_cells.push_back(TextTable::fmt(speedup, 3));
+      er_cells.push_back(TextTable::fmt(r.error_pct, 3) + "%");
+    }
+    sp.add_row(sp_cells);
+    er.add_row(er_cells);
+    std::printf("  [%s done]\n", name.c_str());
+  }
+
+  std::vector<std::string> gm_row = {"GM"};
+  for (auto& v : gm_speedup) gm_row.push_back(TextTable::fmt(geometric_mean(v), 3));
+  sp.add_row(gm_row);
+
+  std::printf("\nSpeedup vs E2MC across thresholds:\n\n%s\n", sp.to_string().c_str());
+  std::printf("Application error across thresholds:\n\n%s\n", er.to_string().c_str());
+  std::printf("Larger thresholds approximate more blocks: more speedup, more error.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace slc::bench {
+
+namespace {
+std::map<std::string, std::shared_ptr<const E2mcCompressor>> g_e2mc_cache;
+std::mutex g_mutex;
+
+std::string cache_key(const std::string& benchmark, WorkloadScale scale) {
+  return benchmark + (scale == WorkloadScale::kDefault ? "/default" : "/tiny");
+}
+}  // namespace
+
+std::shared_ptr<const E2mcCompressor> trained_e2mc(const std::string& benchmark,
+                                                   WorkloadScale scale) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const std::string key = cache_key(benchmark, scale);
+  auto it = g_e2mc_cache.find(key);
+  if (it != g_e2mc_cache.end()) return it->second;
+  const std::vector<uint8_t> image = workload_memory_image(benchmark, scale);
+  auto comp = E2mcCompressor::train(image, E2mcConfig{});
+  g_e2mc_cache[key] = comp;
+  return comp;
+}
+
+const char* to_string(CodecKind k) {
+  switch (k) {
+    case CodecKind::kRaw: return "RAW";
+    case CodecKind::kE2mc: return "E2MC";
+    case CodecKind::kTslcSimp: return "TSLC-SIMP";
+    case CodecKind::kTslcPred: return "TSLC-PRED";
+    case CodecKind::kTslcOpt: return "TSLC-OPT";
+  }
+  return "?";
+}
+
+GpuSimConfig sim_config_for(CodecKind kind, size_t mag_bytes) {
+  GpuSimConfig cfg;
+  cfg.mag_bytes = mag_bytes;
+  switch (kind) {
+    case CodecKind::kRaw:
+      cfg.compress_latency = 0;
+      cfg.decompress_latency = 0;
+      break;
+    case CodecKind::kE2mc:
+      cfg.compress_latency = E2mcCompressor::kCompressLatency;     // 46
+      cfg.decompress_latency = E2mcCompressor::kDecompressLatency; // 20
+      break;
+    default:
+      cfg.compress_latency = SlcCodec::kCompressLatency;           // 60
+      cfg.decompress_latency = SlcCodec::kDecompressLatency;       // 20
+      break;
+  }
+  return cfg;
+}
+
+std::shared_ptr<const BlockCodec> make_codec(CodecKind kind, const std::string& benchmark,
+                                             size_t mag_bytes, size_t threshold_bytes,
+                                             WorkloadScale scale) {
+  switch (kind) {
+    case CodecKind::kRaw:
+      return std::make_shared<RawBlockCodec>(mag_bytes);
+    case CodecKind::kE2mc:
+      return std::make_shared<LosslessBlockCodec>(trained_e2mc(benchmark, scale), mag_bytes);
+    case CodecKind::kTslcSimp:
+    case CodecKind::kTslcPred:
+    case CodecKind::kTslcOpt: {
+      SlcConfig cfg;
+      cfg.mag_bytes = mag_bytes;
+      cfg.threshold_bytes = threshold_bytes;
+      cfg.variant = kind == CodecKind::kTslcSimp   ? SlcVariant::kSimp
+                    : kind == CodecKind::kTslcPred ? SlcVariant::kPred
+                                                   : SlcVariant::kOpt;
+      return std::make_shared<SlcBlockCodec>(trained_e2mc(benchmark, scale), cfg);
+    }
+  }
+  return nullptr;
+}
+
+FullRunResult full_run(const std::string& benchmark, CodecKind kind, size_t mag_bytes,
+                       size_t threshold_bytes, WorkloadScale scale) {
+  FullRunResult out;
+  auto codec = make_codec(kind, benchmark, mag_bytes, threshold_bytes, scale);
+  const WorkloadRunResult wr = run_workload(benchmark, codec, scale);
+  out.error_pct = wr.error_pct;
+  out.metric = wr.metric;
+  out.commit = wr.stats;
+
+  const GpuSimConfig cfg = sim_config_for(kind, mag_bytes);
+  GpuSim sim(cfg);
+  out.sim = sim.run(wr.trace);
+  out.energy = compute_energy(out.sim, cfg);
+  out.seconds = out.sim.exec_seconds(cfg);
+  out.edp = out.energy.edp(out.seconds);
+  return out;
+}
+
+void print_banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Paper: Lal, Lucas, Juurlink. \"SLC: Memory Access Granularity\n");
+  std::printf("       Aware Selective Lossy Compression for GPUs\", DATE 2019\n");
+  std::printf("================================================================\n\n");
+}
+
+void print_table2(const GpuSimConfig& cfg) {
+  std::printf("Table II: baseline simulator configuration\n");
+  TextTable t({"Parameter", "Value", "Parameter", "Value"});
+  t.add_row({"#SMs", std::to_string(cfg.num_sms), "L1 $/SM",
+             std::to_string(cfg.l1_bytes / 1024) + " KB"});
+  t.add_row({"SM freq", TextTable::fmt(cfg.sm_clock_ghz * 1000, 0) + " MHz", "L2 $",
+             std::to_string(cfg.l2_bytes / 1024) + " KB"});
+  t.add_row({"Memory type", "GDDR5", "#Memory controllers", std::to_string(cfg.num_mcs)});
+  t.add_row({"Memory clock", TextTable::fmt(cfg.mem_clock_ghz * 1000, 0) + " MHz",
+             "Memory bandwidth", TextTable::fmt(cfg.bandwidth_gbps(), 1) + " GB/s"});
+  t.add_row({"Bus width", "32-bit", "Burst length", "8"});
+  t.add_row({"MAG", std::to_string(cfg.mag_bytes) + " B", "Max outstanding/SM",
+             std::to_string(cfg.max_outstanding_per_sm)});
+  std::printf("%s\n", t.to_string().c_str());
+}
+
+void print_table3() {
+  std::printf("Table III: benchmarks\n");
+  TextTable t({"Name", "Description", "Metric", "#AR"});
+  for (const std::string& name : workload_names()) {
+    auto wl = make_workload(name);
+    ApproxMemory mem;
+    wl->init(mem);
+    t.add_row({name, wl->description(), std::string(to_string(wl->metric())),
+               std::to_string(mem.safe_region_count())});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+}
+
+}  // namespace slc::bench

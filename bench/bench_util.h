@@ -1,0 +1,61 @@
+// Shared harness for the per-figure/table bench binaries: per-benchmark E2MC
+// training, codec construction, full functional+timing runs, and table
+// formatting.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "compress/e2mc.h"
+#include "sim/energy.h"
+#include "sim/gpu_sim.h"
+#include "workloads/workload.h"
+
+namespace slc::bench {
+
+/// Trains the per-benchmark E2MC compressor the way the paper's online
+/// sampling does: evenly spaced blocks covering the benchmark's resident
+/// data (inputs and outputs). Results are memoized per (name, scale).
+std::shared_ptr<const E2mcCompressor> trained_e2mc(const std::string& benchmark,
+                                                   WorkloadScale scale = WorkloadScale::kDefault);
+
+/// Codec selection for a full-system run.
+enum class CodecKind : uint8_t { kRaw, kE2mc, kTslcSimp, kTslcPred, kTslcOpt };
+
+const char* to_string(CodecKind k);
+
+/// One full run: functional (error) + timing (cycles) + energy.
+struct FullRunResult {
+  double error_pct = 0.0;
+  ErrorMetric metric = ErrorMetric::kMre;
+  SimStats sim;
+  EnergyBreakdown energy;
+  CommitStats commit;
+  double seconds = 0.0;
+  double edp = 0.0;
+};
+
+/// Simulator configuration for a codec at a MAG (sets pipeline latencies:
+/// E2MC 46/20, TSLC 60/20, RAW 0/0 — Sec. IV-A).
+GpuSimConfig sim_config_for(CodecKind kind, size_t mag_bytes);
+
+/// Builds the BlockCodec for a kind/MAG/threshold triple.
+std::shared_ptr<const BlockCodec> make_codec(CodecKind kind, const std::string& benchmark,
+                                             size_t mag_bytes, size_t threshold_bytes,
+                                             WorkloadScale scale = WorkloadScale::kDefault);
+
+/// Runs benchmark functionally + through the timing simulator.
+FullRunResult full_run(const std::string& benchmark, CodecKind kind, size_t mag_bytes,
+                       size_t threshold_bytes, WorkloadScale scale = WorkloadScale::kDefault);
+
+/// Prints the standard bench banner (paper reference + configuration).
+void print_banner(const std::string& title, const std::string& paper_ref);
+
+/// Prints Table II / Table III summaries (used by fig7's header).
+void print_table2(const GpuSimConfig& cfg);
+void print_table3();
+
+}  // namespace slc::bench

@@ -1,0 +1,103 @@
+// Microbenchmark (google-benchmark): software throughput of every codec on
+// benchmark data. Not a paper figure — the paper's codecs are hardware — but
+// useful to size the simulator's own costs and catch regressions.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "compress/bdi.h"
+#include "compress/cpack.h"
+#include "compress/fpc.h"
+
+using namespace slc;
+using namespace slc::bench;
+
+namespace {
+
+std::vector<Block> sample_blocks() {
+  static const std::vector<Block> blocks = [] {
+    auto image = workload_memory_image("SRAD2", WorkloadScale::kTiny);
+    return to_blocks(image);
+  }();
+  return blocks;
+}
+
+template <typename C>
+void compress_loop(benchmark::State& state, const C& comp) {
+  const auto blocks = sample_blocks();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto cb = comp.compress(blocks[i % blocks.size()].view());
+    benchmark::DoNotOptimize(cb.bit_size);
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBlockBytes));
+}
+
+void BM_BdiCompress(benchmark::State& state) { compress_loop(state, BdiCompressor{}); }
+void BM_FpcCompress(benchmark::State& state) { compress_loop(state, FpcCompressor{}); }
+void BM_CpackCompress(benchmark::State& state) { compress_loop(state, CpackCompressor{}); }
+
+void BM_E2mcCompress(benchmark::State& state) {
+  auto e2mc = trained_e2mc("SRAD2", WorkloadScale::kTiny);
+  compress_loop(state, *e2mc);
+}
+
+void BM_E2mcDecompress(benchmark::State& state) {
+  auto e2mc = trained_e2mc("SRAD2", WorkloadScale::kTiny);
+  const auto blocks = sample_blocks();
+  std::vector<CompressedBlock> cbs;
+  for (const auto& b : blocks) cbs.push_back(e2mc->compress(b.view()));
+  size_t i = 0;
+  for (auto _ : state) {
+    const Block b = e2mc->decompress(cbs[i % cbs.size()], kBlockBytes);
+    benchmark::DoNotOptimize(b.bytes().data());
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBlockBytes));
+}
+
+void BM_SlcCompress(benchmark::State& state) {
+  auto e2mc = trained_e2mc("SRAD2", WorkloadScale::kTiny);
+  SlcConfig cfg;
+  cfg.variant = static_cast<SlcVariant>(state.range(0));
+  const SlcCodec codec(e2mc, cfg);
+  const auto blocks = sample_blocks();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto cb = codec.compress(blocks[i % blocks.size()].view());
+    benchmark::DoNotOptimize(cb.info.final_bits);
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBlockBytes));
+}
+
+void BM_SlcRoundtrip(benchmark::State& state) {
+  auto e2mc = trained_e2mc("SRAD2", WorkloadScale::kTiny);
+  SlcConfig cfg;
+  cfg.variant = SlcVariant::kOpt;
+  const SlcCodec codec(e2mc, cfg);
+  const auto blocks = sample_blocks();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Block b = codec.roundtrip(blocks[i % blocks.size()].view());
+    benchmark::DoNotOptimize(b.bytes().data());
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBlockBytes));
+}
+
+BENCHMARK(BM_BdiCompress);
+BENCHMARK(BM_FpcCompress);
+BENCHMARK(BM_CpackCompress);
+BENCHMARK(BM_E2mcCompress);
+BENCHMARK(BM_E2mcDecompress);
+BENCHMARK(BM_SlcCompress)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_SlcRoundtrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

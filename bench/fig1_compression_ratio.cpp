@@ -1,0 +1,75 @@
+// Fig. 1: raw vs effective compression ratio of BDI, FPC, C-PACK and E2MC
+// (MAG 32 B, 128 B blocks) on the nine benchmarks plus geometric mean.
+//
+// Paper result: GM effective ratio is 22% (BDI), 19% (FPC), 18% (C-PACK) and
+// 23% (E2MC) below the GM raw ratio — the motivation for SLC.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "compress/bdi.h"
+#include "compress/cpack.h"
+#include "compress/fpc.h"
+
+using namespace slc;
+using namespace slc::bench;
+
+int main() {
+  print_banner("Fig. 1 — raw vs effective compression ratio",
+               "Figure 1 (Sec. I) and the Sec. II-A motivation");
+
+  const auto names = workload_names();
+  const BdiCompressor bdi;
+  const FpcCompressor fpc;
+  const CpackCompressor cpack;
+
+  struct SchemeRow {
+    std::string scheme;
+    std::vector<double> raw, eff;
+  };
+  std::vector<SchemeRow> rows = {{"BDI", {}, {}}, {"FPC", {}, {}}, {"C-PACK", {}, {}},
+                                 {"E2MC", {}, {}}};
+
+  TextTable table({"Bench", "BDI-Raw", "BDI-Eff", "FPC-Raw", "FPC-Eff", "CPACK-Raw",
+                   "CPACK-Eff", "E2MC-Raw", "E2MC-Eff"});
+
+  for (const std::string& name : names) {
+    const std::vector<uint8_t> image = workload_memory_image(name);
+    const auto e2mc = trained_e2mc(name);
+    const Compressor* schemes[] = {&bdi, &fpc, &cpack, e2mc.get()};
+
+    std::vector<std::string> cells = {name};
+    const auto blocks = to_blocks(image);
+    for (size_t s = 0; s < 4; ++s) {
+      RatioAccumulator acc(kDefaultMagBytes);
+      for (const Block& b : blocks) {
+        acc.add(b.size() * 8, schemes[s]->compressed_bits(b.view()));
+      }
+      rows[s].raw.push_back(acc.raw_ratio());
+      rows[s].eff.push_back(acc.effective_ratio());
+      cells.push_back(TextTable::fmt(acc.raw_ratio(), 2));
+      cells.push_back(TextTable::fmt(acc.effective_ratio(), 2));
+    }
+    table.add_row(cells);
+  }
+
+  // Geometric means (the paper's GM bars).
+  std::vector<std::string> gm = {"GM"};
+  std::printf("Compression ratios (raw = exact bits, eff = rounded to 32 B bursts):\n\n");
+  for (auto& r : rows) {
+    gm.push_back(TextTable::fmt(geometric_mean(r.raw), 2));
+    gm.push_back(TextTable::fmt(geometric_mean(r.eff), 2));
+  }
+  table.add_row(gm);
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("Effective-vs-raw GM loss per scheme (paper: BDI 22%%, FPC 19%%, "
+              "C-PACK 18%%, E2MC 23%%):\n");
+  for (auto& r : rows) {
+    const double raw = geometric_mean(r.raw);
+    const double eff = geometric_mean(r.eff);
+    std::printf("  %-7s raw GM %.2f  eff GM %.2f  loss %.1f%%\n", r.scheme.c_str(), raw, eff,
+                (1.0 - eff / raw) * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 2: heat map of the distribution of E2MC-compressed blocks at MAG —
+// percentage of blocks landing N bytes above a multiple of the 32 B MAG.
+//
+// x-axis 0 B = exact multiple (sizes < 32 B also fold into 0); 32 B column =
+// uncompressed blocks. The mass between 1 and ~16 B above a multiple is the
+// opportunity SLC harvests.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace slc;
+using namespace slc::bench;
+
+int main() {
+  print_banner("Fig. 2 — distribution of compressed blocks at MAG",
+               "Figure 2 (Sec. II-B), E2MC, MAG 32 B, 128 B blocks");
+
+  const size_t mag = kDefaultMagBytes;
+  const auto names = workload_names();
+
+  // Columns: 0..31 bytes above a multiple of MAG, plus "32" = uncompressed.
+  std::vector<std::string> header = {"Bench"};
+  for (size_t b = 0; b <= mag; b += 2) header.push_back(std::to_string(b));
+  TextTable table(header);
+
+  Histogram samples;  // the paper's right axis: how often each bucket occurs
+
+  for (const std::string& name : names) {
+    const auto e2mc = trained_e2mc(name);
+    const std::vector<uint8_t> image = workload_memory_image(name);
+    const auto blocks = to_blocks(image);
+
+    Histogram h;
+    for (const Block& blk : blocks) {
+      const size_t bits = e2mc->compressed_bits(blk.view());
+      const size_t bytes = (bits + 7) / 8;
+      size_t bucket;
+      if (bytes >= blk.size()) {
+        bucket = mag;  // stored uncompressed
+      } else if (bytes <= mag) {
+        bucket = 0;  // below one burst folds into the origin (Sec. II-B)
+      } else {
+        bucket = bytes_above_mag(bytes, mag);
+      }
+      h.add(static_cast<int64_t>(bucket));
+    }
+
+    std::vector<std::string> cells = {name};
+    for (size_t b = 0; b <= mag; b += 2) {
+      // Pair odd buckets with the preceding even one for a compact table.
+      const double pct =
+          (h.fraction(static_cast<int64_t>(b)) +
+           (b + 1 < mag ? h.fraction(static_cast<int64_t>(b + 1)) : 0.0)) * 100.0;
+      cells.push_back(TextTable::fmt(pct, 1));
+      samples.add(static_cast<int64_t>(pct / 5.0));  // 5%-quantized sample counts
+    }
+    table.add_row(cells);
+  }
+
+  std::printf("%% of blocks vs bytes above a multiple of MAG (columns pair 2 B):\n\n%s\n",
+              table.to_string().c_str());
+  std::printf("Interpretation: column 0 = already a burst multiple; small nonzero\n");
+  std::printf("columns (<= threshold 16) are candidates for SLC truncation; column 32\n");
+  std::printf("is the uncompressed share. The paper's heat map shows significant mass\n");
+  std::printf("in the 1..16 B range — verify the same here.\n");
+  return 0;
+}

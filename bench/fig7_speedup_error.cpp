@@ -1,0 +1,64 @@
+// Fig. 7: speedup (a) and application error (b) of TSLC-SIMP / TSLC-PRED /
+// TSLC-OPT normalized to the E2MC lossless baseline. Lossy threshold 16 B,
+// MAG 32 B.
+//
+// Paper results: GM speedup 9% / 9.8% / 9.7%; max ~17% (DCT), min ~5%
+// (FWT, BP). Error: SIMP highest, PRED/OPT < 3% except JM 7.3% and BS 4.4%;
+// GM of per-benchmark MRE ~0.99% for TSLC-OPT.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace slc;
+using namespace slc::bench;
+
+int main() {
+  const size_t mag = 32;
+  const size_t threshold = 16;
+
+  print_banner("Fig. 7 — speedup and error of SLC vs E2MC",
+               "Figure 7a/7b (Sec. V-A), threshold 16 B, MAG 32 B");
+  print_table2(sim_config_for(CodecKind::kE2mc, mag));
+  print_table3();
+
+  const auto names = workload_names();
+  const CodecKind variants[] = {CodecKind::kTslcSimp, CodecKind::kTslcPred,
+                                CodecKind::kTslcOpt};
+
+  TextTable sp({"Bench", "E2MC", "TSLC-SIMP", "TSLC-PRED", "TSLC-OPT"});
+  TextTable er({"Bench", "Metric", "TSLC-SIMP", "TSLC-PRED", "TSLC-OPT"});
+  std::vector<double> gm_speedup[3], gm_error[3];
+
+  for (const std::string& name : names) {
+    const FullRunResult base = full_run(name, CodecKind::kE2mc, mag, threshold);
+    std::vector<std::string> sp_cells = {name, "1.000"};
+    std::vector<std::string> er_cells = {name, to_string(base.metric)};
+    for (int v = 0; v < 3; ++v) {
+      const FullRunResult r = full_run(name, variants[v], mag, threshold);
+      const double speedup =
+          static_cast<double>(base.sim.cycles) / static_cast<double>(r.sim.cycles);
+      gm_speedup[v].push_back(speedup);
+      gm_error[v].push_back(std::max(r.error_pct, 1e-5));
+      sp_cells.push_back(TextTable::fmt(speedup, 3));
+      er_cells.push_back(TextTable::fmt(r.error_pct, 4) + "%");
+    }
+    sp.add_row(sp_cells);
+    er.add_row(er_cells);
+    std::printf("  [%s done]\n", name.c_str());
+  }
+
+  std::vector<std::string> gm_row = {"GM", "1.000"};
+  for (auto& v : gm_speedup) gm_row.push_back(TextTable::fmt(geometric_mean(v), 3));
+  sp.add_row(gm_row);
+
+  std::printf("\n(a) Speedup normalized to E2MC (paper GM: 1.090 / 1.098 / 1.097):\n\n%s\n",
+              sp.to_string().c_str());
+  std::printf("(b) Application error (paper: <3%% for OPT except JM 7.3%%, BS 4.4%%):\n\n%s\n",
+              er.to_string().c_str());
+  std::printf("GM of per-benchmark error (paper: ~0.99%% for TSLC-OPT): "
+              "SIMP %.3f%%  PRED %.3f%%  OPT %.3f%%\n",
+              geometric_mean(gm_error[0]), geometric_mean(gm_error[1]),
+              geometric_mean(gm_error[2]));
+  return 0;
+}

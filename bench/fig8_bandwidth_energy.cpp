@@ -1,0 +1,68 @@
+// Fig. 8: off-chip memory bandwidth (a) and energy / energy-delay product (b)
+// of the TSLC variants, normalized to E2MC. Threshold 16 B, MAG 32 B.
+//
+// Paper results: ~14% GM bandwidth reduction for all three variants;
+// 8.3% GM energy reduction and 17.5% GM EDP reduction.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace slc;
+using namespace slc::bench;
+
+int main() {
+  const size_t mag = 32;
+  const size_t threshold = 16;
+
+  print_banner("Fig. 8 — bandwidth, energy and EDP of SLC vs E2MC",
+               "Figure 8a/8b (Sec. V-B), threshold 16 B, MAG 32 B");
+
+  const auto names = workload_names();
+  const CodecKind variants[] = {CodecKind::kTslcSimp, CodecKind::kTslcPred,
+                                CodecKind::kTslcOpt};
+
+  TextTable bw({"Bench", "E2MC", "BW-SIMP", "BW-PRED", "BW-OPT"});
+  TextTable en({"Bench", "E-SIMP", "EDP-SIMP", "E-PRED", "EDP-PRED", "E-OPT", "EDP-OPT"});
+  std::vector<double> gm_bw[3], gm_e[3], gm_edp[3];
+
+  for (const std::string& name : names) {
+    const FullRunResult base = full_run(name, CodecKind::kE2mc, mag, threshold);
+    std::vector<std::string> bw_cells = {name, "1.000"};
+    std::vector<std::string> en_cells = {name};
+    for (int v = 0; v < 3; ++v) {
+      const FullRunResult r = full_run(name, variants[v], mag, threshold);
+      // Off-chip traffic: DRAM bursts (data + metadata) — the reciprocal of
+      // the effective compression ratio, Sec. V-B.
+      const double bw_ratio = static_cast<double>(r.sim.dram_bursts_total()) /
+                              static_cast<double>(base.sim.dram_bursts_total());
+      const double e_ratio = r.energy.total_j() / base.energy.total_j();
+      const double edp_ratio = r.edp / base.edp;
+      gm_bw[v].push_back(bw_ratio);
+      gm_e[v].push_back(e_ratio);
+      gm_edp[v].push_back(edp_ratio);
+      bw_cells.push_back(TextTable::fmt(bw_ratio, 3));
+      en_cells.push_back(TextTable::fmt(e_ratio, 3));
+      en_cells.push_back(TextTable::fmt(edp_ratio, 3));
+    }
+    bw.add_row(bw_cells);
+    en.add_row(en_cells);
+    std::printf("  [%s done]\n", name.c_str());
+  }
+
+  std::vector<std::string> bw_gm = {"GM", "1.000"};
+  for (auto& v : gm_bw) bw_gm.push_back(TextTable::fmt(geometric_mean(v), 3));
+  bw.add_row(bw_gm);
+  std::vector<std::string> en_gm = {"GM"};
+  for (int v = 0; v < 3; ++v) {
+    en_gm.push_back(TextTable::fmt(geometric_mean(gm_e[v]), 3));
+    en_gm.push_back(TextTable::fmt(geometric_mean(gm_edp[v]), 3));
+  }
+  en.add_row(en_gm);
+
+  std::printf("\n(a) Normalized off-chip bandwidth (paper GM ~0.86):\n\n%s\n",
+              bw.to_string().c_str());
+  std::printf("(b) Normalized energy and EDP (paper GM: E ~0.917, EDP ~0.825):\n\n%s\n",
+              en.to_string().c_str());
+  return 0;
+}

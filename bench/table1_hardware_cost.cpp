@@ -1,0 +1,46 @@
+// Table I: frequency, area and power of the TSLC add-on hardware, from the
+// analytic gate-count model (substituting the paper's Synopsys DC flow).
+//
+// Paper (32 nm): compressor 1.43 GHz / 0.0083 mm^2 / 1.62 mW;
+// decompressor 0.80 GHz / 0.0003 mm^2 / 0.21 mW; overhead 0.0015% area and
+// 0.0008% power of a GTX580; TSLC adds 5.6% of E2MC's area.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "hw/hw_model.h"
+
+using namespace slc;
+using namespace slc::bench;
+
+int main() {
+  print_banner("Table I — frequency, area and power of SLC",
+               "Table I (Sec. III-H), analytic model vs paper's RTL synthesis");
+
+  const HwModel model;
+  const HwCost comp = model.compressor();
+  const HwCost decomp = model.decompressor();
+
+  TextTable t({"Unit", "Freq (GHz)", "Area (mm^2)", "Power (mW)", "Paper freq",
+               "Paper area", "Paper power"});
+  t.add_row({"Compressor", TextTable::fmt(comp.freq_ghz, 2), TextTable::fmt(comp.area_mm2, 5),
+             TextTable::fmt(comp.power_mw, 3), "1.43", "0.00830", "1.620"});
+  t.add_row({"Decompressor", TextTable::fmt(decomp.freq_ghz, 2),
+             TextTable::fmt(decomp.area_mm2, 5), TextTable::fmt(decomp.power_mw, 3), "0.80",
+             "0.00030", "0.210"});
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("Tree geometry: %zu adder nodes, %zu comparators, %zu priority encoders\n",
+              model.tree_adder_nodes(), model.comparator_count(),
+              model.priority_encoder_count());
+  std::printf("GTX580 overhead: area %.5f%% (paper 0.0015%%), power %.5f%% (paper 0.0008%%)\n",
+              model.area_overhead_pct(), model.power_overhead_pct());
+
+  // Sec. III-F scaling: the OPT extra nodes cost a few more adders.
+  HwModelConfig base_cfg;
+  base_cfg.extra_nodes = false;
+  const HwModel base(base_cfg);
+  const double delta =
+      (model.compressor().area_mm2 / base.compressor().area_mm2 - 1.0) * 100.0;
+  std::printf("TSLC-OPT extra nodes add %.1f%% compressor area over plain TSLC\n", delta);
+  return 0;
+}

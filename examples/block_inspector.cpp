@@ -1,0 +1,87 @@
+// block_inspector: per-benchmark compression forensics from the command
+// line — where do compressed sizes land relative to burst boundaries, what
+// does SLC do about it, and which schemes would have compressed the data.
+//
+// Usage: block_inspector [benchmark] [mag_bytes] [threshold_bytes]
+//   defaults: NN 32 16
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/stats.h"
+#include "compress/bdi.h"
+#include "compress/cpack.h"
+#include "compress/fpc.h"
+#include "core/slc_codec.h"
+#include "workloads/workload.h"
+
+using namespace slc;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "NN";
+  const size_t mag = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 32;
+  const size_t threshold = argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 16;
+
+  std::printf("Inspecting %s (MAG %zu B, threshold %zu B)\n", name.c_str(), mag, threshold);
+  const auto image = workload_memory_image(name);
+  const auto blocks = to_blocks(image);
+  std::printf("memory image: %zu blocks (%.1f MB)\n\n", blocks.size(),
+              static_cast<double>(image.size()) / 1e6);
+
+  E2mcConfig ecfg;
+  auto e2mc = E2mcCompressor::train(image, ecfg);
+  SlcConfig cfg;
+  cfg.mag_bytes = mag;
+  cfg.threshold_bytes = threshold;
+  cfg.variant = SlcVariant::kOpt;
+  const SlcCodec codec(e2mc, cfg);
+
+  // Scheme comparison (the Fig. 1 view of this one benchmark).
+  {
+    const BdiCompressor bdi;
+    const FpcCompressor fpc;
+    const CpackCompressor cpack;
+    const Compressor* schemes[] = {&bdi, &fpc, &cpack, e2mc.get()};
+    std::printf("%-8s %10s %10s\n", "scheme", "raw", "effective");
+    for (const Compressor* c : schemes) {
+      RatioAccumulator acc(mag);
+      for (const Block& b : blocks) acc.add(b.size() * 8, c->compressed_bits(b.view()));
+      std::printf("%-8s %10.3f %10.3f\n", c->name().c_str(), acc.raw_ratio(),
+                  acc.effective_ratio());
+    }
+  }
+
+  // Size histogram at 8 B resolution plus SLC outcomes (the Fig. 2 view).
+  Histogram size_hist;
+  uint64_t lossy = 0, raw = 0, bursts_e2mc = 0, bursts_slc = 0, truncated = 0;
+  for (const Block& b : blocks) {
+    const auto info = codec.analyze(b.view());
+    size_hist.add(static_cast<int64_t>((info.lossless_bits / 8) / 8 * 8));
+    lossy += info.lossy ? 1 : 0;
+    raw += info.stored_uncompressed ? 1 : 0;
+    bursts_e2mc += bursts_for_bits(info.lossless_bits, mag, b.size());
+    bursts_slc += info.bursts;
+    truncated += info.truncated_symbols;
+  }
+
+  std::printf("\nlossless-size histogram (8 B buckets, %% of blocks):\n");
+  for (const auto& [bucket, count] : size_hist.buckets()) {
+    const double pct = 100.0 * static_cast<double>(count) / static_cast<double>(blocks.size());
+    if (pct < 0.05) continue;
+    std::printf("  %4lld B %6.1f%% ", static_cast<long long>(bucket), pct);
+    for (int i = 0; i < static_cast<int>(pct); ++i) std::printf("#");
+    std::printf("\n");
+  }
+
+  std::printf("\nSLC outcome: %.1f%% lossy, %.1f%% stored raw\n",
+              100.0 * static_cast<double>(lossy) / static_cast<double>(blocks.size()),
+              100.0 * static_cast<double>(raw) / static_cast<double>(blocks.size()));
+  std::printf("bursts: E2MC %.3f/block -> SLC %.3f/block (%.1f%% traffic saved)\n",
+              static_cast<double>(bursts_e2mc) / static_cast<double>(blocks.size()),
+              static_cast<double>(bursts_slc) / static_cast<double>(blocks.size()),
+              100.0 * (1.0 - static_cast<double>(bursts_slc) /
+                                 static_cast<double>(bursts_e2mc)));
+  std::printf("approximated symbols per lossy block: %.2f\n",
+              lossy ? static_cast<double>(truncated) / static_cast<double>(lossy) : 0.0);
+  return 0;
+}

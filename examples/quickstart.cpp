@@ -1,0 +1,81 @@
+// Quickstart: compress one 128 B block with E2MC and with SLC, inspect the
+// mode decision, and decompress.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "common/block.h"
+#include "compress/e2mc.h"
+#include "core/slc_codec.h"
+
+using namespace slc;
+
+int main() {
+  // A block of 32 floats with high value similarity — adjacent GPU threads
+  // produce data like this (Sec. III-E).
+  std::vector<float> values(32);
+  for (size_t i = 0; i < values.size(); ++i)
+    values[i] = 1.5f + 0.001f * static_cast<float>(i);
+  Block block;
+  for (size_t i = 0; i < values.size(); ++i) {
+    uint32_t bits;
+    static_assert(sizeof bits == sizeof(float));
+    __builtin_memcpy(&bits, &values[i], sizeof bits);
+    block.set_word32(i, bits);
+  }
+
+  // 1. Train the lossless baseline (E2MC) on a sample of the data the
+  //    application will move. Here: the block itself, repeated.
+  std::vector<uint8_t> sample;
+  for (int rep = 0; rep < 64; ++rep)
+    sample.insert(sample.end(), block.bytes().begin(), block.bytes().end());
+  E2mcConfig e2mc_cfg;
+  e2mc_cfg.sample_fraction = 1.0;
+  auto e2mc = E2mcCompressor::train(sample, e2mc_cfg);
+
+  const CompressedBlock lossless = e2mc->compress(block.view());
+  std::printf("E2MC lossless: %zu bits (%.1f B) for a %zu B block\n", lossless.bit_size,
+              static_cast<double>(lossless.bit_size) / 8.0, block.size());
+  std::printf("  -> bursts at MAG 32 B: %zu (effective cost %zu B)\n",
+              bursts_for_bits(lossless.bit_size, 32),
+              bursts_for_bits(lossless.bit_size, 32) * 32);
+
+  // 2. The same block through SLC: if the compressed size is a few bytes
+  //    above a burst multiple, SLC truncates symbols to fit the budget.
+  SlcConfig cfg;
+  cfg.mag_bytes = 32;
+  cfg.threshold_bytes = 16;
+  cfg.variant = SlcVariant::kOpt;
+  const SlcCodec codec(e2mc, cfg);
+  const SlcCompressedBlock sc = codec.compress(block.view());
+
+  std::printf("\nSLC (%s, threshold %zu B):\n", to_string(cfg.variant), cfg.threshold_bytes);
+  std::printf("  lossless size : %zu bits\n", sc.info.lossless_bits);
+  std::printf("  bit budget gap: %zu extra bits above the burst multiple\n",
+              sc.info.extra_bits);
+  std::printf("  mode          : %s\n", sc.info.lossy ? "LOSSY (truncated)" : "lossless");
+  if (sc.info.lossy) {
+    std::printf("  truncated     : %zu symbols (%zu bits of codes)\n",
+                sc.info.truncated_symbols, sc.info.truncated_bits);
+  }
+  std::printf("  stored size   : %zu bits -> %zu burst(s)\n", sc.info.final_bits,
+              sc.info.bursts);
+
+  // 3. Decompress and compare.
+  const Block out = codec.decompress(sc, block.size());
+  size_t diff_symbols = 0;
+  for (size_t s = 0; s < kSymbolsPerBlock; ++s)
+    if (out.symbol(s) != block.symbol(s)) ++diff_symbols;
+  std::printf("\nRound trip: %zu of %zu symbols differ from the original\n", diff_symbols,
+              kSymbolsPerBlock);
+  float first_in, first_out;
+  const uint32_t w_in = block.view().word32(0);
+  const uint32_t w_out = out.view().word32(0);
+  __builtin_memcpy(&first_in, &w_in, sizeof first_in);
+  __builtin_memcpy(&first_out, &w_out, sizeof first_out);
+  std::printf("Element 0: %.6f -> %.6f\n", static_cast<double>(first_in),
+              static_cast<double>(first_out));
+  return 0;
+}

@@ -1,0 +1,57 @@
+// threshold_explorer: pick a benchmark and sweep the lossy threshold to find
+// the spot that meets a target output quality (Sec. IV-C: "a programmer
+// needs to specify a lossy threshold that satisfies the target output
+// quality and maximizes the benefits").
+//
+// Usage: threshold_explorer [benchmark] [target_error_pct]
+//   benchmark        one of JM BS DCT FWT TP BP NN SRAD1 SRAD2 (default NN)
+//   target_error_pct quality bound in percent (default 1.0)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "workloads/workload.h"
+
+using namespace slc;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "NN";
+  const double target = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  const std::vector<uint8_t> image = workload_memory_image(name);
+  auto e2mc = E2mcCompressor::train(image, E2mcConfig{});
+
+  std::printf("Threshold exploration for %s (target error <= %.3f%%)\n", name.c_str(), target);
+  std::printf("%-10s %-12s %-12s %-12s\n", "threshold", "lossy blk %", "traffic", "error %");
+
+  size_t best = 0;
+  double best_traffic = 1.0;
+
+  // Baseline traffic: lossless E2MC bursts.
+  auto base_codec = std::make_shared<LosslessBlockCodec>(e2mc, 32);
+  const WorkloadRunResult base = run_workload(name, base_codec);
+  const double base_bursts = static_cast<double>(base.stats.bursts);
+
+  for (size_t threshold : {2, 4, 8, 12, 16, 20, 24, 28, 32}) {
+    SlcConfig cfg;
+    cfg.mag_bytes = 32;
+    cfg.threshold_bytes = threshold;
+    cfg.variant = SlcVariant::kOpt;
+    auto codec = std::make_shared<SlcBlockCodec>(e2mc, cfg);
+    const WorkloadRunResult r = run_workload(name, codec);
+    const double traffic = static_cast<double>(r.stats.bursts) / base_bursts;
+    std::printf("%-10zu %-12.2f %-12.3f %-12.4f\n", threshold,
+                r.stats.lossy_fraction() * 100.0, traffic, r.error_pct);
+    if (r.error_pct <= target && traffic < best_traffic) {
+      best = threshold;
+      best_traffic = traffic;
+    }
+  }
+
+  if (best)
+    std::printf("\nRecommended threshold: %zu B (%.1f%% traffic saved at <= %.3f%% error)\n",
+                best, (1.0 - best_traffic) * 100.0, target);
+  else
+    std::printf("\nNo threshold meets the %.3f%% target; keep this region lossless.\n", target);
+  return 0;
+}

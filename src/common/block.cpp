@@ -1,0 +1,44 @@
+#include "common/block.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace slc {
+
+size_t round_up_to_mag_bits(size_t bits, size_t mag_bytes) {
+  const size_t mag_bits = mag_bytes * 8;
+  if (mag_bits == 0) return bits;
+  return (bits + mag_bits - 1) / mag_bits * mag_bits;
+}
+
+size_t bursts_for_bits(size_t bits, size_t mag_bytes, size_t block_bytes) {
+  const size_t mag_bits = mag_bytes * 8;
+  assert(mag_bits > 0);
+  size_t bursts = (bits + mag_bits - 1) / mag_bits;
+  bursts = std::max<size_t>(bursts, 1);
+  const size_t max_bursts = block_bytes / mag_bytes;
+  return std::min(bursts, max_bursts);
+}
+
+size_t bytes_above_mag(size_t size_bytes, size_t mag_bytes) {
+  assert(mag_bytes > 0);
+  return size_bytes % mag_bytes;
+}
+
+std::vector<Block> to_blocks(std::span<const uint8_t> data, size_t block_bytes, bool pad_tail) {
+  std::vector<Block> blocks;
+  const size_t n_full = data.size() / block_bytes;
+  blocks.reserve(n_full + 1);
+  for (size_t i = 0; i < n_full; ++i) {
+    blocks.emplace_back(data.subspan(i * block_bytes, block_bytes));
+  }
+  const size_t rem = data.size() % block_bytes;
+  if (rem != 0 && pad_tail) {
+    std::vector<uint8_t> tail(block_bytes, 0);
+    std::copy(data.end() - static_cast<long>(rem), data.end(), tail.begin());
+    blocks.emplace_back(std::move(tail));
+  }
+  return blocks;
+}
+
+}  // namespace slc

@@ -1,0 +1,72 @@
+// Small statistics helpers used by benches and the simulator: running
+// accumulators, geometric means (the paper reports GM everywhere), and
+// histogram utilities for the Fig. 2 block-size distribution.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace slc {
+
+/// Running mean/min/max/sum accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator) via Welford's algorithm.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_w_ = 0.0;  // Welford running mean
+  double m2_ = 0.0;      // Welford running M2
+};
+
+/// Geometric mean of a sequence of positive values. Values <= 0 are clamped
+/// to `floor` first (the paper's error plots are log-scale, so zero errors
+/// need a floor to be averageable).
+double geometric_mean(std::span<const double> xs, double floor = 1e-300);
+
+/// Integer histogram keyed by bucket value.
+class Histogram {
+ public:
+  void add(int64_t bucket, uint64_t weight = 1);
+  uint64_t total() const { return total_; }
+  uint64_t at(int64_t bucket) const;
+  double fraction(int64_t bucket) const;
+  const std::map<int64_t, uint64_t>& buckets() const { return counts_; }
+
+ private:
+  std::map<int64_t, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Fixed-width text table printer for bench output (keeps every bench's
+/// stdout aligned and diff-able).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+  /// Formats a double with `prec` digits after the decimal point.
+  static std::string fmt(double v, int prec = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace slc

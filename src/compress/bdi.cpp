@@ -1,0 +1,221 @@
+#include "compress/bdi.h"
+
+#include <array>
+#include <cassert>
+#include <cstring>
+
+#include "common/bitstream.h"
+
+namespace slc {
+
+namespace {
+
+constexpr unsigned kTagBits = 4;
+
+struct Geometry {
+  size_t base_bytes;
+  size_t delta_bytes;
+};
+
+Geometry geometry(BdiEncoding enc) {
+  switch (enc) {
+    case BdiEncoding::kBase8Delta1: return {8, 1};
+    case BdiEncoding::kBase8Delta2: return {8, 2};
+    case BdiEncoding::kBase8Delta4: return {8, 4};
+    case BdiEncoding::kBase4Delta1: return {4, 1};
+    case BdiEncoding::kBase4Delta2: return {4, 2};
+    case BdiEncoding::kBase2Delta1: return {2, 1};
+    default: return {0, 0};
+  }
+}
+
+// Sign-extends the low `bytes*8` bits of v.
+int64_t sext(uint64_t v, size_t bytes) {
+  const unsigned bits = static_cast<unsigned>(bytes * 8);
+  if (bits >= 64) return static_cast<int64_t>(v);
+  const uint64_t mask = (uint64_t{1} << bits) - 1;
+  uint64_t x = v & mask;
+  const uint64_t sign = uint64_t{1} << (bits - 1);
+  if (x & sign) x |= ~mask;
+  return static_cast<int64_t>(x);
+}
+
+bool fits_signed(int64_t v, size_t bytes) {
+  if (bytes >= 8) return true;
+  const int64_t lim = int64_t{1} << (bytes * 8 - 1);
+  return v >= -lim && v < lim;
+}
+
+uint64_t load_word(BlockView b, size_t i, size_t base_bytes) {
+  switch (base_bytes) {
+    case 2: return b.symbol(i);
+    case 4: return b.word32(i);
+    case 8: return b.word64(i);
+    default: assert(false); return 0;
+  }
+}
+
+// Checks whether `block` is encodable with `enc`; fills base if so.
+bool encodable(BlockView block, BdiEncoding enc, uint64_t* base_out) {
+  const Geometry g = geometry(enc);
+  const size_t n = block.size() / g.base_bytes;
+  // Base = first word that does not fit as a zero-based delta (original BDI
+  // uses the first non-immediate-representable value as the explicit base).
+  bool have_base = false;
+  uint64_t base = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t w = load_word(block, i, g.base_bytes);
+    const int64_t as_imm = sext(w, g.base_bytes);
+    if (fits_signed(as_imm, g.delta_bytes)) continue;  // zero-base delta ok
+    if (!have_base) {
+      have_base = true;
+      base = w;
+      continue;
+    }
+    const int64_t delta = sext(w - base, g.base_bytes);
+    if (!fits_signed(delta, g.delta_bytes)) return false;
+  }
+  if (base_out) *base_out = have_base ? base : 0;
+  return true;
+}
+
+}  // namespace
+
+size_t BdiCompressor::encoding_bits(BdiEncoding enc, size_t block_bytes) {
+  const size_t block_bits = block_bytes * 8;
+  switch (enc) {
+    case BdiEncoding::kUncompressed: return block_bits;
+    case BdiEncoding::kZeros: return kTagBits;
+    case BdiEncoding::kRepeat64: return kTagBits + 64;
+    default: break;
+  }
+  const Geometry g = geometry(enc);
+  const size_t n = block_bytes / g.base_bytes;
+  // tag + explicit base + per-word base-select mask + per-word delta
+  return kTagBits + g.base_bytes * 8 + n + n * g.delta_bytes * 8;
+}
+
+BdiEncoding BdiCompressor::best_encoding(BlockView block) {
+  // All-zero?
+  bool all_zero = true;
+  for (uint8_t b : block.bytes())
+    if (b != 0) { all_zero = false; break; }
+  if (all_zero) return BdiEncoding::kZeros;
+
+  // Repeated 64-bit value?
+  bool repeated = true;
+  const uint64_t first = block.word64(0);
+  for (size_t i = 1; i < block.size() / 8; ++i)
+    if (block.word64(i) != first) { repeated = false; break; }
+  if (repeated) return BdiEncoding::kRepeat64;
+
+  // Candidate base-delta encodings ordered by compressed size (ascending for
+  // a 128 B block): B8D1 (212b) < B4D1 (324b) < B8D2 (340b) < B4D2 (580b)
+  // < B8D4 = B2D1 (596b).
+  static constexpr std::array<BdiEncoding, 6> kOrder = {
+      BdiEncoding::kBase8Delta1, BdiEncoding::kBase4Delta1, BdiEncoding::kBase8Delta2,
+      BdiEncoding::kBase4Delta2, BdiEncoding::kBase8Delta4, BdiEncoding::kBase2Delta1,
+  };
+  BdiEncoding best = BdiEncoding::kUncompressed;
+  size_t best_bits = block.size() * 8;
+  for (BdiEncoding enc : kOrder) {
+    const size_t bits = encoding_bits(enc, block.size());
+    if (bits >= best_bits) continue;
+    if (encodable(block, enc, nullptr)) {
+      best = enc;
+      best_bits = bits;
+    }
+  }
+  return best;
+}
+
+CompressedBlock BdiCompressor::compress(BlockView block) const {
+  const BdiEncoding enc = best_encoding(block);
+  CompressedBlock out;
+  BitWriter w;
+  w.put(static_cast<uint64_t>(enc), kTagBits);
+
+  switch (enc) {
+    case BdiEncoding::kUncompressed: {
+      out.is_compressed = false;
+      out.bit_size = block.size() * 8;
+      out.payload.assign(block.bytes().begin(), block.bytes().end());
+      return out;
+    }
+    case BdiEncoding::kZeros:
+      break;  // tag only
+    case BdiEncoding::kRepeat64:
+      w.put(block.word64(0), 64);
+      break;
+    default: {
+      const Geometry g = geometry(enc);
+      uint64_t base = 0;
+      const bool ok = encodable(block, enc, &base);
+      assert(ok);
+      (void)ok;
+      const size_t n = block.size() / g.base_bytes;
+      w.put(base, static_cast<unsigned>(g.base_bytes * 8));
+      // Mask: bit i set => word i uses the explicit base; clear => zero base.
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t v = load_word(block, i, g.base_bytes);
+        const bool use_zero = fits_signed(sext(v, g.base_bytes), g.delta_bytes);
+        w.put_bit(!use_zero);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t v = load_word(block, i, g.base_bytes);
+        const bool use_zero = fits_signed(sext(v, g.base_bytes), g.delta_bytes);
+        const uint64_t delta = use_zero ? v : v - base;
+        w.put(delta, static_cast<unsigned>(g.delta_bytes * 8));
+      }
+      break;
+    }
+  }
+  out.is_compressed = true;
+  out.bit_size = w.bit_size();
+  out.payload = w.bytes();
+  assert(out.bit_size == encoding_bits(enc, block.size()));
+  return out;
+}
+
+Block BdiCompressor::decompress(const CompressedBlock& cb, size_t block_bytes) const {
+  if (!cb.is_compressed) {
+    return Block(std::span<const uint8_t>(cb.payload.data(), block_bytes));
+  }
+  BitReader r(cb.payload);
+  const auto enc = static_cast<BdiEncoding>(r.get(kTagBits));
+  Block out(block_bytes);
+  switch (enc) {
+    case BdiEncoding::kZeros:
+      return out;
+    case BdiEncoding::kRepeat64: {
+      const uint64_t v = r.get(64);
+      for (size_t i = 0; i < block_bytes / 8; ++i) out.set_word64(i, v);
+      return out;
+    }
+    case BdiEncoding::kUncompressed:
+      assert(false && "uncompressed blocks must have is_compressed=false");
+      return out;
+    default: {
+      const Geometry g = geometry(enc);
+      const size_t n = block_bytes / g.base_bytes;
+      const uint64_t base = r.get(static_cast<unsigned>(g.base_bytes * 8));
+      std::vector<bool> use_base(n);
+      for (size_t i = 0; i < n; ++i) use_base[i] = r.get_bit();
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t raw = r.get(static_cast<unsigned>(g.delta_bytes * 8));
+        const int64_t delta = sext(raw, g.delta_bytes);
+        const uint64_t v = use_base[i] ? base + static_cast<uint64_t>(delta)
+                                       : static_cast<uint64_t>(delta);
+        switch (g.base_bytes) {
+          case 2: out.set_symbol(i, static_cast<uint16_t>(v)); break;
+          case 4: out.set_word32(i, static_cast<uint32_t>(v)); break;
+          case 8: out.set_word64(i, v); break;
+          default: assert(false);
+        }
+      }
+      return out;
+    }
+  }
+}
+
+}  // namespace slc

@@ -1,0 +1,30 @@
+#include "compress/compressor.h"
+
+#include <algorithm>
+
+namespace slc {
+
+void RatioAccumulator::add(size_t original_bits, size_t compressed_bits) {
+  ++blocks_;
+  original_bits_ += original_bits;
+  // A scheme never stores more than the raw block (falls back to
+  // uncompressed), so clamp for accounting.
+  const size_t raw = std::min(compressed_bits, original_bits);
+  raw_bits_ += raw;
+  // Effective size: whole bursts, at least one, at most the raw block.
+  size_t eff = round_up_to_mag_bits(raw, mag_bytes_);
+  eff = std::max(eff, mag_bytes_ * 8);
+  eff = std::min(eff, original_bits);
+  effective_bits_ += eff;
+}
+
+double RatioAccumulator::raw_ratio() const {
+  return raw_bits_ ? static_cast<double>(original_bits_) / static_cast<double>(raw_bits_) : 0.0;
+}
+
+double RatioAccumulator::effective_ratio() const {
+  return effective_bits_ ? static_cast<double>(original_bits_) / static_cast<double>(effective_bits_)
+                         : 0.0;
+}
+
+}  // namespace slc

@@ -1,0 +1,75 @@
+// Common interface for block compressors (BDI, FPC, C-PACK, E2MC) plus the
+// raw/effective compression-ratio bookkeeping from the paper.
+//
+// All schemes operate on one 128 B memory block at a time and report an exact
+// compressed size in bits. The *raw* ratio divides original bits by these
+// exact bits; the *effective* ratio first rounds the compressed size up to a
+// multiple of the memory access granularity (MAG), because DRAM can only
+// transfer whole bursts (Section I of the paper).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/block.h"
+
+namespace slc {
+
+/// One compressed memory block. `payload` holds the bit-packed stream
+/// (only meaningful when `is_compressed`); `bit_size` is the exact size the
+/// scheme reports, including any per-block header the scheme requires.
+struct CompressedBlock {
+  std::vector<uint8_t> payload;
+  size_t bit_size = 0;
+  bool is_compressed = false;
+
+  size_t byte_size() const { return (bit_size + 7) / 8; }
+};
+
+/// Abstract block compressor.
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  /// Short identifier used in bench tables ("BDI", "FPC", ...).
+  virtual std::string name() const = 0;
+
+  /// Compresses one block. If the scheme cannot beat the uncompressed size it
+  /// must return an uncompressed result (is_compressed = false,
+  /// bit_size = block bits).
+  virtual CompressedBlock compress(BlockView block) const = 0;
+
+  /// Exact inverse of compress(). `block_bytes` is the original block size.
+  virtual Block decompress(const CompressedBlock& cb, size_t block_bytes) const = 0;
+
+  /// Size-only fast path used by the ratio studies (Fig. 1 / Fig. 2).
+  virtual size_t compressed_bits(BlockView block) const { return compress(block).bit_size; }
+};
+
+/// Accumulates raw and effective compression ratios over a stream of blocks
+/// (per benchmark in Fig. 1). Effective size is the compressed size rounded
+/// up to a whole number of MAG bursts, floored at one burst and capped at the
+/// uncompressed block size.
+class RatioAccumulator {
+ public:
+  explicit RatioAccumulator(size_t mag_bytes = kDefaultMagBytes) : mag_bytes_(mag_bytes) {}
+
+  void add(size_t original_bits, size_t compressed_bits);
+
+  double raw_ratio() const;
+  double effective_ratio() const;
+  size_t blocks() const { return blocks_; }
+  size_t mag_bytes() const { return mag_bytes_; }
+
+ private:
+  size_t mag_bytes_;
+  size_t blocks_ = 0;
+  uint64_t original_bits_ = 0;
+  uint64_t raw_bits_ = 0;
+  uint64_t effective_bits_ = 0;
+};
+
+}  // namespace slc

@@ -1,0 +1,188 @@
+#include "compress/cpack.h"
+
+#include <cassert>
+#include <deque>
+
+#include "common/bitstream.h"
+
+namespace slc {
+
+namespace {
+
+// FIFO dictionary with fixed capacity; index 0 is the oldest entry, matching
+// the hardware's shift-register organisation.
+class FifoDict {
+ public:
+  explicit FifoDict(size_t cap) : cap_(cap) {}
+
+  // Returns index of a full match or -1.
+  int find_full(uint32_t w) const {
+    for (size_t i = 0; i < entries_.size(); ++i)
+      if (entries_[i] == w) return static_cast<int>(i);
+    return -1;
+  }
+  // Returns index whose upper `bytes` bytes match, or -1.
+  int find_partial(uint32_t w, unsigned bytes) const {
+    const uint32_t mask = bytes == 3 ? 0xFFFFFF00u : 0xFFFF0000u;
+    for (size_t i = 0; i < entries_.size(); ++i)
+      if ((entries_[i] & mask) == (w & mask)) return static_cast<int>(i);
+    return -1;
+  }
+  uint32_t at(size_t i) const { return entries_[i]; }
+  void push(uint32_t w) {
+    if (entries_.size() == cap_) entries_.pop_front();
+    entries_.push_back(w);
+  }
+
+ private:
+  size_t cap_;
+  std::deque<uint32_t> entries_;
+};
+
+constexpr unsigned prefix_bits(CpackCode c) {
+  switch (c) {
+    case CpackCode::kZZZZ:
+    case CpackCode::kXXXX:
+    case CpackCode::kMMMM: return 2;
+    default: return 4;
+  }
+}
+
+constexpr uint64_t prefix_value(CpackCode c) {
+  switch (c) {
+    case CpackCode::kZZZZ: return 0b00;
+    case CpackCode::kXXXX: return 0b01;
+    case CpackCode::kMMMM: return 0b10;
+    case CpackCode::kMMXX: return 0b1100;
+    case CpackCode::kZZZX: return 0b1101;
+    case CpackCode::kMMMX: return 0b1110;
+  }
+  return 0;
+}
+
+}  // namespace
+
+CpackCompressor::CpackCompressor(size_t dict_entries) : dict_entries_(dict_entries) {
+  assert(dict_entries >= 2 && (dict_entries & (dict_entries - 1)) == 0);
+  index_bits_ = 0;
+  for (size_t v = dict_entries; v > 1; v >>= 1) ++index_bits_;
+}
+
+unsigned CpackCompressor::code_bits(CpackCode c) const {
+  switch (c) {
+    case CpackCode::kZZZZ: return 2;
+    case CpackCode::kXXXX: return 2 + 32;
+    case CpackCode::kMMMM: return 2 + index_bits_;
+    case CpackCode::kMMXX: return 4 + index_bits_ + 16;
+    case CpackCode::kZZZX: return 4 + 8;
+    case CpackCode::kMMMX: return 4 + index_bits_ + 8;
+  }
+  return 34;
+}
+
+CompressedBlock CpackCompressor::compress(BlockView block) const {
+  const size_t n_words = block.size() / 4;
+  FifoDict dict(dict_entries_);
+  BitWriter w;
+  for (size_t i = 0; i < n_words; ++i) {
+    const uint32_t word = block.word32(i);
+    if (word == 0) {
+      w.put(prefix_value(CpackCode::kZZZZ), prefix_bits(CpackCode::kZZZZ));
+      continue;
+    }
+    if ((word & 0xFFFFFF00u) == 0) {
+      w.put(prefix_value(CpackCode::kZZZX), prefix_bits(CpackCode::kZZZX));
+      w.put(word & 0xFF, 8);
+      continue;
+    }
+    int idx = dict.find_full(word);
+    if (idx >= 0) {
+      w.put(prefix_value(CpackCode::kMMMM), prefix_bits(CpackCode::kMMMM));
+      w.put(static_cast<uint64_t>(idx), index_bits_);
+      continue;
+    }
+    idx = dict.find_partial(word, 3);
+    if (idx >= 0) {
+      w.put(prefix_value(CpackCode::kMMMX), prefix_bits(CpackCode::kMMMX));
+      w.put(static_cast<uint64_t>(idx), index_bits_);
+      w.put(word & 0xFF, 8);
+      dict.push(word);
+      continue;
+    }
+    idx = dict.find_partial(word, 2);
+    if (idx >= 0) {
+      w.put(prefix_value(CpackCode::kMMXX), prefix_bits(CpackCode::kMMXX));
+      w.put(static_cast<uint64_t>(idx), index_bits_);
+      w.put(word & 0xFFFF, 16);
+      dict.push(word);
+      continue;
+    }
+    w.put(prefix_value(CpackCode::kXXXX), prefix_bits(CpackCode::kXXXX));
+    w.put(word, 32);
+    dict.push(word);
+  }
+
+  CompressedBlock out;
+  if (w.bit_size() >= block.size() * 8) {
+    out.is_compressed = false;
+    out.bit_size = block.size() * 8;
+    out.payload.assign(block.bytes().begin(), block.bytes().end());
+  } else {
+    out.is_compressed = true;
+    out.bit_size = w.bit_size();
+    out.payload = w.bytes();
+  }
+  return out;
+}
+
+Block CpackCompressor::decompress(const CompressedBlock& cb, size_t block_bytes) const {
+  if (!cb.is_compressed) {
+    return Block(std::span<const uint8_t>(cb.payload.data(), block_bytes));
+  }
+  Block out(block_bytes);
+  BitReader r(cb.payload);
+  FifoDict dict(dict_entries_);
+  const size_t n_words = block_bytes / 4;
+  for (size_t i = 0; i < n_words; ++i) {
+    uint32_t word = 0;
+    if (r.get_bit() == 0) {
+      if (r.get_bit() == 0) {
+        word = 0;  // zzzz
+      } else {
+        word = static_cast<uint32_t>(r.get(32));  // xxxx
+        dict.push(word);
+      }
+    } else {
+      if (r.get_bit() == 0) {
+        const auto idx = static_cast<size_t>(r.get(index_bits_));  // mmmm
+        word = dict.at(idx);
+      } else {
+        // 4-bit prefixes: 1100 mmxx, 1101 zzzx, 1110 mmmx
+        const bool b3 = r.get_bit();
+        if (!b3) {
+          // 110x
+          if (!r.get_bit()) {
+            const auto idx = static_cast<size_t>(r.get(index_bits_));  // mmxx
+            const auto lo = static_cast<uint32_t>(r.get(16));
+            word = (dict.at(idx) & 0xFFFF0000u) | lo;
+            dict.push(word);
+          } else {
+            word = static_cast<uint32_t>(r.get(8));  // zzzx
+          }
+        } else {
+          const bool b4 = r.get_bit();
+          assert(!b4 && "1111 prefix is unused in C-PACK");
+          (void)b4;
+          const auto idx = static_cast<size_t>(r.get(index_bits_));  // mmmx
+          const auto lo = static_cast<uint32_t>(r.get(8));
+          word = (dict.at(idx) & 0xFFFFFF00u) | lo;
+          dict.push(word);
+        }
+      }
+    }
+    out.set_word32(i, word);
+  }
+  return out;
+}
+
+}  // namespace slc

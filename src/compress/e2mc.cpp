@@ -1,0 +1,144 @@
+#include "compress/e2mc.h"
+
+#include <cassert>
+
+#include "common/bitstream.h"
+
+namespace slc {
+
+E2mcCompressor::E2mcCompressor(HuffmanCode code, E2mcConfig cfg)
+    : code_(std::move(code)), cfg_(cfg) {
+  assert(cfg_.num_ways >= 1 && cfg_.num_ways <= 8);
+}
+
+std::shared_ptr<E2mcCompressor> E2mcCompressor::train(std::span<const uint8_t> sample,
+                                                      E2mcConfig cfg) {
+  SymbolFrequencies freqs;
+  freqs.add_sample(sample, cfg.sample_fraction);
+  return std::make_shared<E2mcCompressor>(
+      HuffmanCode::build(freqs, cfg.table_entries, cfg.max_code_len), cfg);
+}
+
+unsigned E2mcCompressor::pdp_bits(size_t block_bytes) {
+  unsigned n = 0;
+  while ((size_t{1} << n) < block_bytes) ++n;
+  return n;
+}
+
+std::vector<uint16_t> E2mcCompressor::code_lengths(BlockView block) const {
+  const size_t n = block.num_symbols();
+  std::vector<uint16_t> lens(n);
+  for (size_t i = 0; i < n; ++i)
+    lens[i] = static_cast<uint16_t>(code_.encoded_bits(block.symbol(i)));
+  return lens;
+}
+
+WayLayout E2mcCompressor::layout(std::span<const uint16_t> code_lens, size_t header_bits,
+                                 size_t skip_start, size_t skip_count) const {
+  WayLayout lo;
+  lo.header_bits = header_bits;
+  const size_t n = code_lens.size();
+  const size_t per_way = n / cfg_.num_ways;
+  for (size_t i = 0; i < n; ++i) {
+    if (i >= skip_start && i < skip_start + skip_count) continue;
+    lo.way_bits[i / per_way] += code_lens[i];
+  }
+  size_t total = (header_bits + 7) / 8;  // header byte-padded
+  for (unsigned w = 0; w < cfg_.num_ways; ++w) {
+    lo.way_bytes[w] = (lo.way_bits[w] + 7) / 8;
+    total += lo.way_bytes[w];
+  }
+  lo.total_bits = total * 8;
+  return lo;
+}
+
+size_t E2mcCompressor::compressed_bits(BlockView block) const {
+  const auto lens = code_lengths(block);
+  const WayLayout lo = layout(lens, header_bits(block.size()));
+  const size_t raw_bits = block.size() * 8;
+  return lo.total_bits >= raw_bits ? raw_bits : lo.total_bits;
+}
+
+CompressedBlock E2mcCompressor::compress(BlockView block) const {
+  const auto lens = code_lengths(block);
+  const WayLayout lo = layout(lens, header_bits(block.size()));
+  const size_t raw_bits = block.size() * 8;
+
+  CompressedBlock out;
+  if (lo.total_bits >= raw_bits) {
+    out.is_compressed = false;
+    out.bit_size = raw_bits;
+    out.payload.assign(block.bytes().begin(), block.bytes().end());
+    return out;
+  }
+
+  const unsigned pdp = pdp_bits(block.size());
+  const size_t per_way = block.num_symbols() / cfg_.num_ways;
+  BitWriter w;
+  // Header: pdp_i = byte offset of way i (i = 1..num_ways-1) within payload.
+  const size_t header_bytes = (header_bits(block.size()) + 7) / 8;
+  size_t off = header_bytes;
+  for (unsigned i = 1; i < cfg_.num_ways; ++i) {
+    off += lo.way_bytes[i - 1];
+    w.put(off, pdp);
+  }
+  // Pad header to a byte boundary.
+  const size_t pad = header_bytes * 8 - w.bit_size();
+  if (pad) w.put(0, static_cast<unsigned>(pad));
+
+  for (unsigned way = 0; way < cfg_.num_ways; ++way) {
+    const size_t start_bit = w.bit_size();
+    for (size_t s = way * per_way; s < (way + 1) * per_way; ++s) {
+      const uint16_t sym = block.symbol(s);
+      if (code_.in_table(sym)) {
+        w.put(code_.codeword(sym), code_.codeword_len(sym));
+      } else {
+        w.put(code_.esc_code(), code_.esc_len());
+        w.put(sym, kSymbolBits);
+      }
+    }
+    // Byte-align the way.
+    const size_t used = w.bit_size() - start_bit;
+    assert(used == lo.way_bits[way]);
+    const size_t aligned = lo.way_bytes[way] * 8;
+    if (aligned > used) w.put(0, static_cast<unsigned>(aligned - used));
+  }
+
+  out.is_compressed = true;
+  out.bit_size = w.bit_size();
+  assert(out.bit_size == lo.total_bits);
+  out.payload = w.bytes();
+  return out;
+}
+
+Block E2mcCompressor::decompress(const CompressedBlock& cb, size_t block_bytes) const {
+  if (!cb.is_compressed) {
+    return Block(std::span<const uint8_t>(cb.payload.data(), block_bytes));
+  }
+  const unsigned pdp = pdp_bits(block_bytes);
+  const size_t n_sym = block_bytes * 8 / kSymbolBits;
+  const size_t per_way = n_sym / cfg_.num_ways;
+  const size_t header_bytes = (header_bits(block_bytes) + 7) / 8;
+
+  BitReader hdr(cb.payload);
+  std::array<size_t, 8> way_off{};
+  way_off[0] = header_bytes;
+  for (unsigned i = 1; i < cfg_.num_ways; ++i) way_off[i] = hdr.get(pdp);
+
+  Block out(block_bytes);
+  for (unsigned way = 0; way < cfg_.num_ways; ++way) {
+    BitReader r(cb.payload);
+    r.seek(way_off[way] * 8);
+    for (size_t s = way * per_way; s < (way + 1) * per_way; ++s) {
+      const auto step = code_.decode(static_cast<uint16_t>(r.peek(16)));
+      assert(step.bits > 0 && "invalid codeword");
+      r.skip(step.bits);
+      uint16_t sym = step.symbol;
+      if (step.is_escape) sym = static_cast<uint16_t>(r.get(kSymbolBits));
+      out.set_symbol(s, sym);
+    }
+  }
+  return out;
+}
+
+}  // namespace slc

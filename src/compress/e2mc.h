@@ -1,0 +1,82 @@
+// E2MC: entropy-encoding based memory compression for GPUs
+// (Lal et al., IPDPS 2017) — the lossless baseline that SLC extends.
+//
+// Geometry follows the paper's best configuration: 16-bit symbols, 4 parallel
+// decoding ways (PDWs) of 16 symbols each, and a per-block header of three
+// parallel-decoding pointers (pdp). Each pdp is N bits with 2^N = block size
+// in bytes (7 bits for 128 B), i.e. a byte offset, so each way's bitstream is
+// byte-aligned. Compressed size is the header plus the byte-aligned ways —
+// exactly the value the hardware obtains by summing code lengths (Sec. III-C).
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "compress/compressor.h"
+#include "compress/huffman.h"
+
+namespace slc {
+
+/// E2MC configuration knobs (defaults = paper's best configuration).
+struct E2mcConfig {
+  size_t table_entries = 1024;  ///< symbols with dedicated codewords
+  unsigned max_code_len = 16;   ///< length limit (hardware table width)
+  unsigned num_ways = 4;        ///< parallel decoding ways
+  double sample_fraction = 0.10;///< online-sampling share of training data
+};
+
+/// Per-way layout of one encoded block: bit counts before byte alignment and
+/// byte offsets of each way within the compressed payload.
+struct WayLayout {
+  std::array<size_t, 8> way_bits{};   // raw code bits per way
+  std::array<size_t, 8> way_bytes{};  // byte-aligned sizes
+  size_t header_bits = 0;
+  size_t total_bits = 0;  // header (byte-padded) + sum(way_bytes)*8
+};
+
+class E2mcCompressor : public Compressor {
+ public:
+  E2mcCompressor(HuffmanCode code, E2mcConfig cfg = {});
+
+  /// Trains the frequency table on `sample` (prefix `cfg.sample_fraction` of
+  /// it, modelling E2MC's online sampling window) and builds the code.
+  static std::shared_ptr<E2mcCompressor> train(std::span<const uint8_t> sample,
+                                               E2mcConfig cfg = {});
+
+  std::string name() const override { return "E2MC"; }
+  CompressedBlock compress(BlockView block) const override;
+  Block decompress(const CompressedBlock& cb, size_t block_bytes) const override;
+  size_t compressed_bits(BlockView block) const override;
+
+  /// Per-symbol encoded lengths for a block — the values the TSLC tree adder
+  /// reads from the compressor's code-length table.
+  std::vector<uint16_t> code_lengths(BlockView block) const;
+
+  /// Layout (way bit/byte sizes, header, total) for a block, optionally with
+  /// symbols [skip_start, skip_start+skip_count) removed from their way —
+  /// used by the SLC codec to size a truncated block.
+  WayLayout layout(std::span<const uint16_t> code_lens, size_t header_bits,
+                   size_t skip_start = 0, size_t skip_count = 0) const;
+
+  const HuffmanCode& code() const { return code_; }
+  const E2mcConfig& config() const { return cfg_; }
+
+  /// pdp width: N bits with 2^N = block size in bytes.
+  static unsigned pdp_bits(size_t block_bytes);
+
+  /// Baseline E2MC header: 3 pdps (no mode/ss/len fields).
+  size_t header_bits(size_t block_bytes) const {
+    return (cfg_.num_ways - 1) * pdp_bits(block_bytes);
+  }
+
+  /// Decompression / compression pipeline latencies in core cycles (paper
+  /// Sec. IV-A: 46 cycles compress, 20 cycles decompress).
+  static constexpr unsigned kCompressLatency = 46;
+  static constexpr unsigned kDecompressLatency = 20;
+
+ private:
+  HuffmanCode code_;
+  E2mcConfig cfg_;
+};
+
+}  // namespace slc

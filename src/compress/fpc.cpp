@@ -1,0 +1,157 @@
+#include "compress/fpc.h"
+
+#include <cassert>
+
+#include "common/bitstream.h"
+
+namespace slc {
+
+namespace {
+constexpr unsigned kPrefixBits = 3;
+constexpr size_t kMaxZeroRun = 8;
+
+bool fits_se(uint32_t w, unsigned bits) {
+  const int32_t v = static_cast<int32_t>(w);
+  const int32_t lim = int32_t{1} << (bits - 1);
+  return v >= -lim && v < lim;
+}
+}  // namespace
+
+FpcPattern FpcCompressor::classify(uint32_t w) {
+  if (fits_se(w, 4)) return FpcPattern::kSignExt4;
+  if (fits_se(w, 8)) return FpcPattern::kSignExt8;
+  if (fits_se(w, 16)) return FpcPattern::kSignExt16;
+  if ((w & 0xFFFFu) == 0) return FpcPattern::kHalfwordPadded;
+  {
+    const uint32_t lo = w & 0xFFFFu;
+    const uint32_t hi = w >> 16;
+    const auto se8 = [](uint32_t h) {
+      const int16_t v = static_cast<int16_t>(h);
+      return v >= -128 && v < 128;
+    };
+    if (se8(lo) && se8(hi)) return FpcPattern::kTwoHalfwordsSE;
+  }
+  {
+    const uint32_t b = w & 0xFFu;
+    if (w == (b | (b << 8) | (b << 16) | (b << 24))) return FpcPattern::kRepeatedBytes;
+  }
+  return FpcPattern::kUncompressed;
+}
+
+unsigned FpcCompressor::payload_bits(FpcPattern p) {
+  switch (p) {
+    case FpcPattern::kZeroRun: return 3;
+    case FpcPattern::kSignExt4: return 4;
+    case FpcPattern::kSignExt8: return 8;
+    case FpcPattern::kSignExt16: return 16;
+    case FpcPattern::kHalfwordPadded: return 16;
+    case FpcPattern::kTwoHalfwordsSE: return 16;
+    case FpcPattern::kRepeatedBytes: return 8;
+    case FpcPattern::kUncompressed: return 32;
+  }
+  return 32;
+}
+
+CompressedBlock FpcCompressor::compress(BlockView block) const {
+  const size_t n_words = block.size() / 4;
+  BitWriter w;
+  size_t i = 0;
+  while (i < n_words) {
+    const uint32_t word = block.word32(i);
+    if (word == 0) {
+      size_t run = 1;
+      while (i + run < n_words && run < kMaxZeroRun && block.word32(i + run) == 0) ++run;
+      w.put(static_cast<uint64_t>(FpcPattern::kZeroRun), kPrefixBits);
+      w.put(run - 1, 3);
+      i += run;
+      continue;
+    }
+    const FpcPattern p = classify(word);
+    w.put(static_cast<uint64_t>(p), kPrefixBits);
+    switch (p) {
+      case FpcPattern::kSignExt4: w.put(word & 0xF, 4); break;
+      case FpcPattern::kSignExt8: w.put(word & 0xFF, 8); break;
+      case FpcPattern::kSignExt16: w.put(word & 0xFFFF, 16); break;
+      case FpcPattern::kHalfwordPadded: w.put(word >> 16, 16); break;
+      case FpcPattern::kTwoHalfwordsSE:
+        w.put((word >> 16) & 0xFF, 8);
+        w.put(word & 0xFF, 8);
+        break;
+      case FpcPattern::kRepeatedBytes: w.put(word & 0xFF, 8); break;
+      case FpcPattern::kUncompressed: w.put(word, 32); break;
+      case FpcPattern::kZeroRun: assert(false); break;
+    }
+    ++i;
+  }
+
+  CompressedBlock out;
+  if (w.bit_size() >= block.size() * 8) {
+    out.is_compressed = false;
+    out.bit_size = block.size() * 8;
+    out.payload.assign(block.bytes().begin(), block.bytes().end());
+  } else {
+    out.is_compressed = true;
+    out.bit_size = w.bit_size();
+    out.payload = w.bytes();
+  }
+  return out;
+}
+
+Block FpcCompressor::decompress(const CompressedBlock& cb, size_t block_bytes) const {
+  if (!cb.is_compressed) {
+    return Block(std::span<const uint8_t>(cb.payload.data(), block_bytes));
+  }
+  Block out(block_bytes);
+  BitReader r(cb.payload);
+  const size_t n_words = block_bytes / 4;
+  size_t i = 0;
+  while (i < n_words) {
+    const auto p = static_cast<FpcPattern>(r.get(kPrefixBits));
+    switch (p) {
+      case FpcPattern::kZeroRun: {
+        const size_t run = r.get(3) + 1;
+        i += run;  // words already zero-initialized
+        break;
+      }
+      case FpcPattern::kSignExt4: {
+        const auto v = static_cast<uint32_t>(r.get(4));
+        out.set_word32(i++, (v & 0x8) ? (v | 0xFFFFFFF0u) : v);
+        break;
+      }
+      case FpcPattern::kSignExt8: {
+        const auto v = static_cast<uint32_t>(r.get(8));
+        out.set_word32(i++, (v & 0x80) ? (v | 0xFFFFFF00u) : v);
+        break;
+      }
+      case FpcPattern::kSignExt16: {
+        const auto v = static_cast<uint32_t>(r.get(16));
+        out.set_word32(i++, (v & 0x8000) ? (v | 0xFFFF0000u) : v);
+        break;
+      }
+      case FpcPattern::kHalfwordPadded: {
+        const auto v = static_cast<uint32_t>(r.get(16));
+        out.set_word32(i++, v << 16);
+        break;
+      }
+      case FpcPattern::kTwoHalfwordsSE: {
+        const auto hi = static_cast<uint32_t>(r.get(8));
+        const auto lo = static_cast<uint32_t>(r.get(8));
+        const uint32_t hi_se = (hi & 0x80) ? (hi | 0xFF00u) : hi;
+        const uint32_t lo_se = (lo & 0x80) ? (lo | 0xFF00u) : lo;
+        out.set_word32(i++, (hi_se << 16) | (lo_se & 0xFFFFu));
+        break;
+      }
+      case FpcPattern::kRepeatedBytes: {
+        const auto b = static_cast<uint32_t>(r.get(8));
+        out.set_word32(i++, b | (b << 8) | (b << 16) | (b << 24));
+        break;
+      }
+      case FpcPattern::kUncompressed:
+        out.set_word32(i++, static_cast<uint32_t>(r.get(32)));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace slc

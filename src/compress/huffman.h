@@ -1,0 +1,102 @@
+// Length-limited canonical Huffman coding over 16-bit symbols, the entropy
+// coder underlying E2MC (Lal et al., IPDPS 2017).
+//
+// E2MC samples symbol frequencies online, codes the most frequent symbols
+// with Huffman codewords of bounded length (so the hardware code-length table
+// stays small and the TSLC tree adder inputs are <= 16 bits each), and
+// escape-codes everything else (ESC codeword + the 16 raw symbol bits).
+// Length limiting uses the package-merge algorithm, which yields optimal
+// codes under a maximum-length constraint.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/block.h"
+
+namespace slc {
+
+/// Symbol frequency table over the full 16-bit alphabet.
+class SymbolFrequencies {
+ public:
+  SymbolFrequencies() : counts_(1u << kSymbolBits, 0) {}
+
+  /// Counts every 16-bit (little-endian) symbol in `data`.
+  void add_data(std::span<const uint8_t> data);
+
+  /// Counts symbols from a prefix fraction of `data` — stands in for E2MC's
+  /// online sampling window (first ~20M instructions).
+  void add_sample(std::span<const uint8_t> data, double fraction);
+
+  void add_symbol(uint16_t sym, uint64_t n = 1) {
+    counts_[sym] += n;
+    total_ += n;
+  }
+
+  uint64_t count(uint16_t sym) const { return counts_[sym]; }
+  uint64_t total() const { return total_; }
+  size_t distinct() const;
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// A built canonical code: per-symbol lengths/codewords plus the escape code.
+/// Symbols with length()==0 are not in the table and must be escape-coded.
+class HuffmanCode {
+ public:
+  /// Builds a code from `freqs`, keeping at most `max_entries` real symbols
+  /// (most frequent first) and limiting codeword lengths to `max_len` bits.
+  /// The ESC pseudo-symbol always gets a codeword; its weight is the total
+  /// frequency of all uncovered symbols (at least 1 so unseen symbols remain
+  /// encodable).
+  static HuffmanCode build(const SymbolFrequencies& freqs, size_t max_entries = 1024,
+                           unsigned max_len = 16);
+
+  /// Code length in bits for encoding `sym` (ESC length + 16 if escaped).
+  unsigned encoded_bits(uint16_t sym) const {
+    const uint8_t l = len_[sym];
+    return l != 0 ? l : esc_len_ + kSymbolBits;
+  }
+
+  /// True if the symbol has its own codeword.
+  bool in_table(uint16_t sym) const { return len_[sym] != 0; }
+
+  unsigned codeword_len(uint16_t sym) const { return len_[sym]; }
+  uint32_t codeword(uint16_t sym) const { return code_[sym]; }
+  unsigned esc_len() const { return esc_len_; }
+  uint32_t esc_code() const { return esc_code_; }
+  unsigned max_len() const { return max_len_; }
+  size_t table_entries() const { return entries_; }
+
+  /// Decodes one symbol from the MSB-first 16-bit window `peek16`
+  /// (zero-padded past end of stream). Returns {symbol, bits_consumed,
+  /// is_escape}; when is_escape, the caller must read 16 raw bits next.
+  struct DecodeStep {
+    uint16_t symbol;
+    unsigned bits;
+    bool is_escape;
+  };
+  DecodeStep decode(uint16_t peek16) const { return lut_[peek16]; }
+
+ private:
+  std::vector<uint8_t> len_;   // 65536 entries; 0 = escaped
+  std::vector<uint32_t> code_; // canonical codewords (left-aligned to len)
+  unsigned esc_len_ = 0;
+  uint32_t esc_code_ = 0;
+  unsigned max_len_ = 16;
+  size_t entries_ = 0;
+  std::vector<DecodeStep> lut_; // 65536-entry peek-decoder
+
+  void build_lut();
+};
+
+/// Package-merge: returns optimal code lengths (<= max_len) for the given
+/// positive weights. Exposed for direct testing against the Kraft bound and
+/// unconstrained-Huffman optimality.
+std::vector<unsigned> package_merge_lengths(std::span<const uint64_t> weights, unsigned max_len);
+
+}  // namespace slc

@@ -1,0 +1,259 @@
+#include "core/slc_codec.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitstream.h"
+
+namespace slc {
+
+const char* to_string(SlcVariant v) {
+  switch (v) {
+    case SlcVariant::kSimp: return "TSLC-SIMP";
+    case SlcVariant::kPred: return "TSLC-PRED";
+    case SlcVariant::kOpt: return "TSLC-OPT";
+  }
+  return "?";
+}
+
+SlcCodec::SlcCodec(std::shared_ptr<const E2mcCompressor> lossless, SlcConfig cfg)
+    : lossless_(std::move(lossless)),
+      cfg_(cfg),
+      selector_(cfg.variant == SlcVariant::kOpt) {
+  assert(lossless_ != nullptr);
+  assert(cfg_.mag_bytes > 0 && kBlockBytes % cfg_.mag_bytes == 0);
+}
+
+size_t SlcCodec::header_bits(size_t block_bytes) const {
+  const size_t n_sym = block_bytes * 8 / kSymbolBits;
+  return SlcHeader::bits(block_bytes, lossless_->config().num_ways, n_sym);
+}
+
+CompressedBlock SlcCodec::encode(BlockView block, const SlcHeader& hdr,
+                                 std::span<const uint16_t> lens, size_t skip_start,
+                                 size_t skip_count) const {
+  const unsigned num_ways = lossless_->config().num_ways;
+  const size_t n_sym = block.num_symbols();
+  const size_t per_way = n_sym / num_ways;
+  const WayLayout lo =
+      lossless_->layout(lens, header_bits(block.size()), skip_start, skip_count);
+
+  // Fill pdp way offsets into a copy of the header.
+  SlcHeader h = hdr;
+  size_t off = SlcHeader::padded_bytes(block.size(), num_ways, n_sym);
+  for (unsigned i = 1; i < num_ways; ++i) {
+    off += lo.way_bytes[i - 1];
+    h.way_offsets[i] = static_cast<uint8_t>(off);
+  }
+
+  const HuffmanCode& code = lossless_->code();
+  BitWriter w;
+  h.write(w, block.size(), num_ways, n_sym);
+  for (unsigned way = 0; way < num_ways; ++way) {
+    const size_t start_bit = w.bit_size();
+    for (size_t s = way * per_way; s < (way + 1) * per_way; ++s) {
+      if (s >= skip_start && s < skip_start + skip_count) continue;
+      const uint16_t sym = block.symbol(s);
+      if (code.in_table(sym)) {
+        w.put(code.codeword(sym), code.codeword_len(sym));
+      } else {
+        w.put(code.esc_code(), code.esc_len());
+        w.put(sym, kSymbolBits);
+      }
+    }
+    const size_t used = w.bit_size() - start_bit;
+    assert(used == lo.way_bits[way]);
+    const size_t aligned = lo.way_bytes[way] * 8;
+    if (aligned > used) w.put(0, static_cast<unsigned>(aligned - used));
+  }
+
+  CompressedBlock out;
+  out.is_compressed = true;
+  out.bit_size = w.bit_size();
+  assert(out.bit_size == lo.total_bits);
+  out.payload = w.bytes();
+  return out;
+}
+
+SlcCodec::Decision SlcCodec::decide(std::span<const uint16_t> lens,
+                                    size_t block_bytes) const {
+  const size_t raw_bits = block_bytes * 8;
+  const size_t mag_bits = cfg_.mag_bytes * 8;
+  const size_t max_bursts = block_bytes / cfg_.mag_bytes;
+
+  const WayLayout lossless_layout = lossless_->layout(lens, header_bits(block_bytes));
+  const size_t comp_bits = lossless_layout.total_bits;
+
+  Decision d;
+  d.info.lossless_bits = comp_bits;
+
+  auto raw_decision = [&] {
+    d.info.stored_uncompressed = true;
+    d.info.final_bits = raw_bits;
+    d.info.bursts = max_bursts;
+    return d;
+  };
+
+  // Fig. 4, top branch: when the compressed size reaches the uncompressed
+  // size, the block is always stored raw with the full bit budget (128 B).
+  if (comp_bits >= raw_bits) return raw_decision();
+
+  // Bit budget: closest multiple of MAG <= comp size, floored at one MAG
+  // (it is impossible to fetch less than one burst). Note a block slightly
+  // above the last burst boundary (e.g. 108 B at MAG 32) is still a lossy
+  // candidate: truncating to 96 B saves the fourth burst.
+  const size_t budget_bits = std::max(comp_bits / mag_bits * mag_bits, mag_bits);
+  const size_t extra_bits = comp_bits > budget_bits ? comp_bits - budget_bits : 0;
+  d.info.extra_bits = extra_bits;
+
+  if (extra_bits != 0 && extra_bits <= cfg_.threshold_bytes * 8) {
+    // Lossy path: find the sub-block to truncate. The tree works on raw code
+    // bits while way byte-alignment can re-add up to (ways-1)*7 padding bits,
+    // so verify the truncated layout and escalate to the next larger window
+    // if padding pushed the block back over budget.
+    std::optional<TreeCandidate> cand = selector_.select(lens, extra_bits);
+    size_t cut_bits = 0;
+    while (cand) {
+      const WayLayout cut =
+          lossless_->layout(lens, header_bits(block_bytes), cand->start, cand->count);
+      if (cut.total_bits <= budget_bits) {
+        cut_bits = cut.total_bits;
+        break;
+      }
+      const size_t need = cand->sum_bits + (cut.total_bits - budget_bits);
+      cand = selector_.select(lens, need);
+      // A repeated selection with a larger target always returns a strictly
+      // larger sum or nullopt, so this loop terminates.
+    }
+    if (cand) {
+      d.info.lossy = true;
+      d.info.truncated_symbols = cand->count;
+      d.info.truncated_bits = cand->sum_bits;
+      d.info.final_bits = cut_bits;
+      // Usually the budget's burst count; one fewer when the selected window
+      // overshoots past another burst boundary.
+      d.info.bursts = bursts_for_bits(cut_bits, cfg_.mag_bytes, block_bytes);
+      d.skip_start = cand->start;
+      d.skip_count = cand->count;
+      return d;
+    }
+    // No window covers the overshoot -> fall through to lossless.
+  }
+
+  // Lossless path (comp size == budget, below one MAG, or above threshold).
+  // A lossless block needing as many bursts as the raw block is stored raw:
+  // same traffic, no decompression latency, and the MDC's max burst count
+  // marks it (no header needed, Sec. III-G).
+  if (bursts_for_bits(comp_bits, cfg_.mag_bytes, block_bytes) >= max_bursts) {
+    return raw_decision();
+  }
+  d.info.final_bits = comp_bits;
+  d.info.bursts = bursts_for_bits(comp_bits, cfg_.mag_bytes, block_bytes);
+  return d;
+}
+
+SlcEncodeInfo SlcCodec::analyze(BlockView block) const {
+  const auto lens = lossless_->code_lengths(block);
+  return decide(lens, block.size()).info;
+}
+
+SlcCompressedBlock SlcCodec::compress(BlockView block) const {
+  const auto lens = lossless_->code_lengths(block);
+  const Decision d = decide(lens, block.size());
+
+  SlcCompressedBlock out;
+  out.info = d.info;
+  if (d.info.stored_uncompressed) {
+    out.data.is_compressed = false;
+    out.data.bit_size = block.size() * 8;
+    out.data.payload.assign(block.bytes().begin(), block.bytes().end());
+    return out;
+  }
+  SlcHeader hdr;
+  hdr.lossy = d.info.lossy;
+  hdr.start_symbol = static_cast<uint8_t>(d.skip_start);
+  hdr.approx_count = static_cast<uint8_t>(d.info.lossy ? d.skip_count : 0);
+  out.data = encode(block, hdr, lens, d.skip_start, d.skip_count);
+  assert(out.data.bit_size == d.info.final_bits);
+  assert(!d.info.lossy ||
+         out.data.bit_size <= d.info.bursts * cfg_.mag_bytes * 8);
+  return out;
+}
+
+Block SlcCodec::decompress(const SlcCompressedBlock& cb, size_t block_bytes) const {
+  if (!cb.data.is_compressed) {
+    return Block(std::span<const uint8_t>(cb.data.payload.data(), block_bytes));
+  }
+  const unsigned num_ways = lossless_->config().num_ways;
+  const size_t n_sym = block_bytes * 8 / kSymbolBits;
+  const size_t per_way = n_sym / num_ways;
+  const HuffmanCode& code = lossless_->code();
+
+  BitReader hdr_reader(cb.data.payload);
+  const SlcHeader h = SlcHeader::read(hdr_reader, block_bytes, num_ways, n_sym);
+  const size_t skip_start = h.lossy ? h.start_symbol : 0;
+  const size_t skip_count = h.lossy ? h.approx_count : 0;
+
+  Block out(block_bytes);
+  std::array<size_t, 8> way_off{};
+  way_off[0] = SlcHeader::padded_bytes(block_bytes, num_ways, n_sym);
+  for (unsigned i = 1; i < num_ways; ++i) way_off[i] = h.way_offsets[i];
+
+  std::vector<bool> approximated(n_sym, false);
+  for (unsigned way = 0; way < num_ways; ++way) {
+    BitReader r(cb.data.payload);
+    r.seek(way_off[way] * 8);
+    for (size_t s = way * per_way; s < (way + 1) * per_way; ++s) {
+      if (s >= skip_start && s < skip_start + skip_count) {
+        approximated[s] = true;  // not in the stream; filled below
+        continue;
+      }
+      const auto step = code.decode(static_cast<uint16_t>(r.peek(16)));
+      assert(step.bits > 0 && "invalid codeword");
+      r.skip(step.bits);
+      uint16_t sym = step.symbol;
+      if (step.is_escape) sym = static_cast<uint16_t>(r.get(kSymbolBits));
+      out.set_symbol(s, sym);
+    }
+  }
+
+  if (h.lossy && skip_count > 0) {
+    if (cfg_.variant == SlcVariant::kSimp) {
+      for (size_t s = 0; s < n_sym; ++s)
+        if (approximated[s]) out.set_symbol(s, 0);
+    } else {
+      // Value-similarity prediction (Sec. III-E): the nearest non-truncated
+      // symbol predicts the truncated ones. Adjacent threads hold similar
+      // 32-bit values, so a 16-bit symbol is only predictive for symbols at
+      // the same position within a word — the fill is parity-matched (one
+      // predictor register per halfword lane; the decompressor only
+      // generates the predictor indices, keeping the hardware delta tiny).
+      uint16_t fill[2] = {0, 0};
+      for (size_t parity = 0; parity < 2; ++parity) {
+        size_t idx = n_sym;  // sentinel: none found
+        // Last intact symbol before the window...
+        for (size_t s = skip_start; s-- > 0;) {
+          if (s % 2 == parity) {
+            idx = s;
+            break;
+          }
+        }
+        // ...or the first intact one after it.
+        if (idx == n_sym) {
+          for (size_t s = skip_start + skip_count; s < n_sym; ++s) {
+            if (s % 2 == parity) {
+              idx = s;
+              break;
+            }
+          }
+        }
+        if (idx < n_sym) fill[parity] = out.symbol(idx);
+      }
+      for (size_t s = 0; s < n_sym; ++s)
+        if (approximated[s]) out.set_symbol(s, fill[s % 2]);
+    }
+  }
+  return out;
+}
+
+}  // namespace slc

@@ -1,0 +1,110 @@
+// SLC codec: MAG-aware selective lossy compression on top of E2MC
+// (paper Sec. III). This is the paper's primary contribution.
+//
+// Mode decision (Fig. 4): compute the lossless compressed size (sum of code
+// lengths + header), derive the bit budget (closest multiple of MAG <= comp
+// size, floored at one MAG) and the overshoot (`extra_bits`). If the
+// overshoot is zero the block is stored lossless; if it is at most the
+// user threshold, the TSLC tree picks a sub-block of symbols to truncate so
+// the block fits the budget; otherwise the block stays lossless at the next
+// burst boundary. Blocks whose lossless size needs as many bursts as the raw
+// block are stored uncompressed.
+//
+// Variants (Sec. V): TSLC-SIMP truncates and decodes zeros; TSLC-PRED decodes
+// the value of the first non-truncated symbol of the block (value-similarity
+// prediction, Sec. III-E); TSLC-OPT additionally enables the extra tree nodes
+// (Sec. III-F).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "compress/e2mc.h"
+#include "core/slc_header.h"
+#include "core/tree_selector.h"
+
+namespace slc {
+
+enum class SlcVariant : uint8_t { kSimp, kPred, kOpt };
+
+const char* to_string(SlcVariant v);
+
+struct SlcConfig {
+  size_t mag_bytes = kDefaultMagBytes;  ///< memory access granularity
+  size_t threshold_bytes = 16;          ///< lossy threshold (paper default 16 B)
+  SlcVariant variant = SlcVariant::kOpt;
+};
+
+/// Outcome bookkeeping for one block (drives both timing and error studies).
+struct SlcEncodeInfo {
+  bool lossy = false;
+  bool stored_uncompressed = false;
+  size_t lossless_bits = 0;   ///< E2MC+SLC-header size before any truncation
+  size_t final_bits = 0;      ///< size actually stored
+  size_t bursts = 0;          ///< MAG bursts fetched for this block
+  size_t truncated_symbols = 0;
+  size_t truncated_bits = 0;  ///< code bits removed (>= extra bits when lossy)
+  size_t extra_bits = 0;      ///< overshoot above the bit budget
+};
+
+struct SlcCompressedBlock {
+  CompressedBlock data;
+  SlcEncodeInfo info;
+};
+
+class SlcCodec {
+ public:
+  SlcCodec(std::shared_ptr<const E2mcCompressor> lossless, SlcConfig cfg);
+
+  /// Compresses one block per the Fig. 4 decision flow.
+  SlcCompressedBlock compress(BlockView block) const;
+
+  /// Size-only fast path: the full Fig. 4 decision (budget, threshold, tree
+  /// selection) without building the bit stream. Exactly the sizes/bursts
+  /// compress() would report — the simulator's common case, since only lossy
+  /// blocks need their payload materialized.
+  SlcEncodeInfo analyze(BlockView block) const;
+
+  /// Decompresses (exact for lossless blocks; approximated symbols filled
+  /// per the configured variant for lossy blocks).
+  Block decompress(const SlcCompressedBlock& cb, size_t block_bytes = kBlockBytes) const;
+
+  /// Convenience: compress + decompress. For lossless blocks this is the
+  /// identity; for lossy blocks it returns the approximated block the GPU
+  /// would observe.
+  Block roundtrip(BlockView block) const { return decompress(compress(block), block.size()); }
+
+  const SlcConfig& config() const { return cfg_; }
+  const E2mcCompressor& lossless() const { return *lossless_; }
+  const TreeSlcSelector& selector() const { return selector_; }
+
+  /// SLC header size in bits for this geometry (Fig. 6: 32 bits for the
+  /// default 128 B / 4-way configuration).
+  size_t header_bits(size_t block_bytes) const;
+
+  /// Compression latency in memory-controller cycles: E2MC's 46 plus 12 to
+  /// stream the code lengths and 2 to add/select (paper Sec. IV-A: 60).
+  static constexpr unsigned kCompressLatency = 60;
+  /// Decompression latency equals E2MC's (Sec. IV-A).
+  static constexpr unsigned kDecompressLatency = E2mcCompressor::kDecompressLatency;
+
+ private:
+  std::shared_ptr<const E2mcCompressor> lossless_;
+  SlcConfig cfg_;
+  TreeSlcSelector selector_;
+
+  /// Outcome of the Fig. 4 mode decision, shared by compress()/analyze().
+  struct Decision {
+    SlcEncodeInfo info;
+    size_t skip_start = 0;
+    size_t skip_count = 0;
+  };
+  Decision decide(std::span<const uint16_t> lens, size_t block_bytes) const;
+
+  /// Encodes the block with symbols [start, start+count) removed.
+  CompressedBlock encode(BlockView block, const SlcHeader& hdr,
+                         std::span<const uint16_t> lens, size_t skip_start,
+                         size_t skip_count) const;
+};
+
+}  // namespace slc

@@ -1,0 +1,74 @@
+#include "core/tree_selector.h"
+
+#include <array>
+#include <cassert>
+#include <numeric>
+
+namespace slc {
+
+namespace {
+
+// Window sizes in selection order. 6 and 12 are the TSLC-OPT extra nodes:
+// a 6-symbol window is a level-3 node (4 symbols) plus the adjacent level-2
+// node; a 12-symbol window is a level-4 node (8) plus the adjacent level-3
+// node. They start at the alignment of the larger parent so each window stays
+// inside one 16-symbol decoding way.
+struct WindowClass {
+  size_t size;
+  size_t stride;  // start alignment
+  bool opt_only;
+};
+
+constexpr std::array<WindowClass, 7> kClasses = {{
+    {1, 1, false},
+    {2, 2, false},
+    {4, 4, false},
+    {6, 8, true},
+    {8, 8, false},
+    {12, 16, true},
+    {16, 16, false},
+}};
+
+size_t window_sum(std::span<const uint16_t> lens, size_t start, size_t count) {
+  size_t s = 0;
+  for (size_t i = start; i < start + count; ++i) s += lens[i];
+  return s;
+}
+
+}  // namespace
+
+size_t TreeSlcSelector::comp_size_bits(std::span<const uint16_t> code_lens) {
+  return std::accumulate(code_lens.begin(), code_lens.end(), size_t{0});
+}
+
+std::optional<TreeCandidate> TreeSlcSelector::select(std::span<const uint16_t> code_lens,
+                                                     size_t extra_bits) const {
+  const size_t n = code_lens.size();
+  if (extra_bits == 0) return std::nullopt;
+  for (const WindowClass& wc : kClasses) {
+    if (wc.opt_only && !extra_nodes_) continue;
+    if (wc.size > kMaxApproxSymbols) break;
+    for (size_t start = 0; start + wc.size <= n; start += wc.stride) {
+      const size_t sum = window_sum(code_lens, start, wc.size);
+      if (sum >= extra_bits) {
+        return TreeCandidate{start, wc.size, sum};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<TreeCandidate> TreeSlcSelector::windows(std::span<const uint16_t> code_lens) const {
+  std::vector<TreeCandidate> out;
+  const size_t n = code_lens.size();
+  for (const WindowClass& wc : kClasses) {
+    if (wc.opt_only && !extra_nodes_) continue;
+    if (wc.size > kMaxApproxSymbols) break;
+    for (size_t start = 0; start + wc.size <= n; start += wc.stride) {
+      out.push_back(TreeCandidate{start, wc.size, window_sum(code_lens, start, wc.size)});
+    }
+  }
+  return out;
+}
+
+}  // namespace slc

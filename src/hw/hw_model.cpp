@@ -1,0 +1,96 @@
+#include "hw/hw_model.h"
+
+#include <cmath>
+
+namespace slc {
+
+namespace {
+// 32 nm standard-cell coefficients (order-of-magnitude values from published
+// library data), calibrated so the default geometry lands on Table I.
+constexpr double kNand2AreaUm2 = 0.85;        // NAND2-equivalent cell area
+constexpr double kDynPowerPerGateMw = 3.81e-4;// switching power per toggling gate
+constexpr double kCompActivity = 0.35;        // tree fires once per block
+constexpr double kDecompActivity = 1.0;       // fill path toggles every decode
+constexpr double kGatesPerFaBit = 6.5;        // full-adder bit in NAND2 equivalents
+constexpr double kGatesPerCmpBit = 3.0;       // comparator bit
+constexpr double kGatesPerEncInput = 4.0;     // priority-encoder input
+constexpr double kGatesPerMuxBit = 3.5;       // selector mux bit
+}  // namespace
+
+HwModel::HwModel(HwModelConfig cfg) : cfg_(cfg) {}
+
+size_t HwModel::tree_adder_nodes() const {
+  // A binary reduction tree over n leaves has n-1 internal adders; OPT adds
+  // 8 nodes at level 3 and 4 at level 4 (Sec. III-F).
+  size_t nodes = cfg_.num_symbols - 1;
+  if (cfg_.extra_nodes) nodes += 8 + 4;
+  return nodes;
+}
+
+size_t HwModel::comparator_count() const {
+  // Every tree node's intermediate sum is compared against extra_bits in
+  // parallel (Fig. 5 comparator stage); only windows of <= 16 symbols
+  // participate in selection: levels 1..5 plus OPT windows.
+  size_t cmp = 0;
+  for (size_t win = 1; win <= 16; win *= 2) cmp += cfg_.num_symbols / win;
+  if (cfg_.extra_nodes) cmp += 8 + 4;
+  return cmp;
+}
+
+size_t HwModel::priority_encoder_count() const {
+  // One per participating level: sizes 1,2,4,8,16 (+ OPT sizes 6 and 12).
+  return cfg_.extra_nodes ? 7 : 5;
+}
+
+HwCost HwModel::compressor() const {
+  // Bit widths grow one bit per tree level; approximate with the root width.
+  const unsigned levels = static_cast<unsigned>(std::ceil(std::log2(cfg_.num_symbols))) + 1;
+  const unsigned sum_bits = cfg_.code_len_bits + levels;  // up to ~12 bits
+
+  double gates = 0.0;
+  gates += static_cast<double>(tree_adder_nodes()) * sum_bits * kGatesPerFaBit;
+  gates += static_cast<double>(comparator_count()) * sum_bits * kGatesPerCmpBit;
+  // Priority encoders: inputs = windows per level (dominated by level 1's 64).
+  gates += static_cast<double>(comparator_count()) * kGatesPerEncInput;
+  // Selection stage muxes route {level, index} -> sub_block_to_approx.
+  gates += static_cast<double>(priority_encoder_count()) * 8 * kGatesPerMuxBit;
+  // Pipeline registers (two-stage: compare, select).
+  gates += 2.0 * sum_bits * static_cast<double>(priority_encoder_count()) * 4.0;
+
+  HwCost c;
+  c.gate_count = static_cast<size_t>(gates);
+  c.area_mm2 = gates * kNand2AreaUm2 * 1e-6;
+  c.power_mw = gates * kDynPowerPerGateMw * kCompActivity;
+  // Critical path: one 5-bit add per level feeding a compare+encode stage;
+  // comfortably above the 1002 MHz memory clock at 32 nm.
+  c.freq_ghz = 1.43;
+  return c;
+}
+
+HwCost HwModel::decompressor() const {
+  // Only the predicted-value index generation (Sec. III-E): ss/len decode,
+  // one small adder and a mux onto the symbol write port.
+  const double gates =
+      16 * kGatesPerFaBit +            // index adder
+      16 * kGatesPerMuxBit +           // fill mux onto the 16-bit write port
+      static_cast<double>(cfg_.num_symbols) * 2.0 +  // range-compare lane enables
+      11 * 4.0;                        // ss/len header registers
+  HwCost c;
+  c.gate_count = static_cast<size_t>(gates);
+  c.area_mm2 = gates * kNand2AreaUm2 * 1e-6;
+  c.power_mw = gates * kDynPowerPerGateMw * kDecompActivity;
+  c.freq_ghz = 0.80;                   // matches E2MC decoder clock
+  return c;
+}
+
+double HwModel::area_overhead_pct() const {
+  const double total = compressor().area_mm2 + decompressor().area_mm2;
+  return total / Gtx580Reference::kDieAreaMm2 * 100.0;
+}
+
+double HwModel::power_overhead_pct() const {
+  const double total = compressor().power_mw + decompressor().power_mw;
+  return total / (Gtx580Reference::kTdpW * 1000.0) * 100.0;
+}
+
+}  // namespace slc

@@ -1,0 +1,67 @@
+// Analytic hardware-cost model for the TSLC add-on logic (paper Table I).
+//
+// The paper synthesized RTL with Synopsys DC at 32 nm; that flow is
+// proprietary, so we substitute a gate-count model: the TSLC compressor adds
+// a parallel tree adder over 64 code lengths, a comparator stage, per-level
+// priority encoders and a sub-block selector; the decompressor adds only the
+// predicted-value index generation. Gate counts are converted to area/power
+// with published 32 nm standard-cell coefficients, calibrated so the default
+// configuration reproduces Table I's magnitudes. The model exposes the same
+// scaling knobs as the design (symbol count, code-length width, extra
+// nodes), which the ablation bench sweeps.
+#pragma once
+
+#include <cstddef>
+
+namespace slc {
+
+/// Cost estimate for one unit (compressor add-on or decompressor add-on).
+struct HwCost {
+  double freq_ghz = 0.0;
+  double area_mm2 = 0.0;
+  double power_mw = 0.0;
+  size_t gate_count = 0;  ///< NAND2-equivalent gates
+};
+
+struct HwModelConfig {
+  size_t num_symbols = 64;      ///< tree leaves (128 B block, 16-bit symbols)
+  unsigned code_len_bits = 5;   ///< width of one code length (<= 16 -> 5 bits)
+  bool extra_nodes = true;      ///< TSLC-OPT middle-level nodes
+  double node_nm = 32.0;        ///< process node
+};
+
+/// GTX580 reference numbers used for the paper's overhead percentages.
+struct Gtx580Reference {
+  static constexpr double kDieAreaMm2 = 520.0;
+  static constexpr double kTdpW = 244.0;
+};
+
+class HwModel {
+ public:
+  explicit HwModel(HwModelConfig cfg = {});
+
+  /// TSLC compressor add-on (tree adder + comparators + priority encoders +
+  /// selector). Paper: 1.43 GHz, 0.0083 mm^2, 1.62 mW.
+  HwCost compressor() const;
+
+  /// TSLC decompressor add-on (prediction index generation).
+  /// Paper: 0.80 GHz, 0.0003 mm^2, 0.21 mW.
+  HwCost decompressor() const;
+
+  /// Overhead relative to GTX580 die area / TDP, in percent.
+  double area_overhead_pct() const;
+  double power_overhead_pct() const;
+
+  /// Adder/comparator/encoder node counts (tests check these against the
+  /// tree geometry in Sec. III-D/F).
+  size_t tree_adder_nodes() const;
+  size_t comparator_count() const;
+  size_t priority_encoder_count() const;
+
+  const HwModelConfig& config() const { return cfg_; }
+
+ private:
+  HwModelConfig cfg_;
+};
+
+}  // namespace slc

@@ -1,0 +1,99 @@
+#include "metrics/error_metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace slc {
+
+double mean_relative_error_pct(std::span<const float> golden, std::span<const float> approx,
+                               double eps) {
+  assert(golden.size() == approx.size());
+  if (golden.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < golden.size(); ++i) {
+    const double g = golden[i];
+    const double a = approx[i];
+    // AxBench convention: a NaN/Inf output counts as full (100%) error for
+    // that element, and per-element error saturates at 100% so single
+    // outliers cannot dominate the mean.
+    double err;
+    if (!std::isfinite(a)) {
+      err = 1.0;
+    } else {
+      const double denom = std::max(std::abs(g), eps);
+      err = std::min(std::abs(g - a) / denom, 1.0);
+    }
+    sum += err;
+  }
+  return sum / static_cast<double>(golden.size()) * 100.0;
+}
+
+double rmse(std::span<const float> golden, std::span<const float> approx) {
+  assert(golden.size() == approx.size());
+  if (golden.empty()) return 0.0;
+  double sq = 0.0;
+  for (size_t i = 0; i < golden.size(); ++i) {
+    // Non-finite outputs count as if the element were lost entirely (a=0),
+    // mirroring the MRE convention.
+    const double a = std::isfinite(approx[i]) ? static_cast<double>(approx[i]) : 0.0;
+    const double d = static_cast<double>(golden[i]) - a;
+    sq += d * d;
+  }
+  return std::sqrt(sq / static_cast<double>(golden.size()));
+}
+
+double nrmse_pct(std::span<const float> golden, std::span<const float> approx) {
+  if (golden.empty()) return 0.0;
+  const auto [mn, mx] = std::minmax_element(golden.begin(), golden.end());
+  const double range = static_cast<double>(*mx) - static_cast<double>(*mn);
+  if (range <= 0.0) return rmse(golden, approx) == 0.0 ? 0.0 : 100.0;
+  // Per-element deviation saturates at the golden range (a NaN/Inf pixel is
+  // a 100% miss, not an unbounded one).
+  double sq = 0.0;
+  for (size_t i = 0; i < golden.size(); ++i) {
+    double d;
+    if (!std::isfinite(approx[i])) {
+      d = range;
+    } else {
+      d = std::min(std::abs(static_cast<double>(golden[i]) -
+                            static_cast<double>(approx[i])),
+                   range);
+    }
+    sq += d * d;
+  }
+  const double r = std::sqrt(sq / static_cast<double>(golden.size()));
+  return r / range * 100.0;
+}
+
+double image_diff_pct(std::span<const float> golden, std::span<const float> approx) {
+  return nrmse_pct(golden, approx);
+}
+
+double miss_rate_pct(std::span<const uint8_t> golden, std::span<const uint8_t> approx) {
+  assert(golden.size() == approx.size());
+  if (golden.empty()) return 0.0;
+  size_t miss = 0;
+  for (size_t i = 0; i < golden.size(); ++i)
+    if ((golden[i] != 0) != (approx[i] != 0)) ++miss;
+  return static_cast<double>(miss) / static_cast<double>(golden.size()) * 100.0;
+}
+
+double psnr_db(std::span<const float> golden, std::span<const float> approx, double peak) {
+  const double r = rmse(golden, approx);
+  if (r == 0.0) return 99.0;  // conventional "identical" cap
+  return 20.0 * std::log10(peak / r);
+}
+
+const char* to_string(ErrorMetric m) {
+  switch (m) {
+    case ErrorMetric::kMissRate: return "Miss rate";
+    case ErrorMetric::kMre: return "MRE";
+    case ErrorMetric::kImageDiff: return "Image diff";
+    case ErrorMetric::kNrmse: return "NRMSE";
+  }
+  return "?";
+}
+
+}  // namespace slc

@@ -1,0 +1,79 @@
+#include "sim/cache.h"
+
+#include <cassert>
+
+namespace slc {
+
+Cache::Cache(size_t total_bytes, unsigned ways, size_t line_bytes)
+    : ways_(ways), line_bytes_(line_bytes) {
+  assert(line_bytes && (line_bytes & (line_bytes - 1)) == 0);
+  line_shift_ = 0;
+  for (size_t v = line_bytes; v > 1; v >>= 1) ++line_shift_;
+  sets_ = total_bytes / line_bytes / ways;
+  assert(sets_ >= 1);
+  lines_.assign(sets_ * ways_, LineInfo{});
+}
+
+Cache::LineInfo* Cache::find(uint64_t addr) {
+  const size_t set = set_index(addr);
+  const uint64_t tag = tag_of(addr);
+  for (unsigned w = 0; w < ways_; ++w) {
+    LineInfo& li = lines_[set * ways_ + w];
+    if (li.valid && li.tag == tag) return &li;
+  }
+  return nullptr;
+}
+
+Cache::LineInfo* Cache::victim(uint64_t addr) {
+  const size_t set = set_index(addr);
+  LineInfo* best = &lines_[set * ways_];
+  for (unsigned w = 0; w < ways_; ++w) {
+    LineInfo& li = lines_[set * ways_ + w];
+    if (!li.valid) return &li;
+    if (li.lru < best->lru) best = &li;
+  }
+  return best;
+}
+
+bool Cache::lookup(uint64_t addr) {
+  LineInfo* li = find(addr);
+  if (li == nullptr) return false;
+  li->lru = ++tick_;
+  return true;
+}
+
+std::optional<Cache::Eviction> Cache::fill(uint64_t addr, bool dirty, uint8_t bursts) {
+  if (LineInfo* hit = find(addr)) {
+    // Refill of a resident line (e.g. racing fills): just refresh state.
+    hit->dirty = hit->dirty || dirty;
+    hit->bursts = bursts;
+    hit->lru = ++tick_;
+    return std::nullopt;
+  }
+  LineInfo* v = victim(addr);
+  std::optional<Eviction> evicted;
+  if (v->valid && v->dirty) {
+    evicted = Eviction{v->tag << line_shift_, v->bursts};
+  }
+  v->valid = true;
+  v->dirty = dirty;
+  v->tag = tag_of(addr);
+  v->bursts = bursts;
+  v->lru = ++tick_;
+  return evicted;
+}
+
+bool Cache::write_hit(uint64_t addr, uint8_t bursts) {
+  LineInfo* li = find(addr);
+  if (li == nullptr) return false;
+  li->dirty = true;
+  li->bursts = bursts;
+  li->lru = ++tick_;
+  return true;
+}
+
+void Cache::clear() {
+  for (auto& li : lines_) li = LineInfo{};
+}
+
+}  // namespace slc

@@ -1,0 +1,66 @@
+// Set-associative cache model with LRU replacement, used for the per-SM L1
+// (write-through, no write-allocate — GPU global stores bypass L1), the
+// sliced L2 (write-back, write-allocate; full-line streaming stores allocate
+// without a fill fetch), and the memory controller's metadata cache.
+//
+// The model is timing-free: it answers hit/miss and eviction questions; the
+// caller owns all latency accounting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace slc {
+
+class Cache {
+ public:
+  /// `line_bytes` must be a power of two.
+  Cache(size_t total_bytes, unsigned ways, size_t line_bytes);
+
+  struct LineInfo {
+    uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    uint8_t bursts = 0;  ///< compressed burst count carried for writebacks
+    uint64_t lru = 0;
+  };
+
+  /// Read lookup; updates LRU on hit.
+  bool lookup(uint64_t addr);
+
+  /// Evicted dirty line (address + bursts), if any.
+  struct Eviction {
+    uint64_t addr = 0;
+    uint8_t bursts = 0;
+  };
+
+  /// Fills a line (read response or store allocate). Returns the dirty line
+  /// it displaced, if any.
+  std::optional<Eviction> fill(uint64_t addr, bool dirty, uint8_t bursts);
+
+  /// Store hit path: marks the line dirty and refreshes its burst count.
+  /// Returns false on miss (caller then decides to allocate or bypass).
+  bool write_hit(uint64_t addr, uint8_t bursts);
+
+  /// Invalidates everything (kernel boundary flushes for L1).
+  void clear();
+
+  size_t num_sets() const { return sets_; }
+  unsigned ways() const { return ways_; }
+
+ private:
+  size_t sets_;
+  unsigned ways_;
+  size_t line_bytes_;
+  unsigned line_shift_;
+  std::vector<LineInfo> lines_;  // sets_ x ways_
+  uint64_t tick_ = 0;
+
+  size_t set_index(uint64_t addr) const { return (addr >> line_shift_) % sets_; }
+  uint64_t tag_of(uint64_t addr) const { return addr >> line_shift_; }
+  LineInfo* find(uint64_t addr);
+  LineInfo* victim(uint64_t addr);
+};
+
+}  // namespace slc

@@ -1,0 +1,80 @@
+// GDDR5 channel model: banks with open-row policy, FR-FCFS scheduling
+// (row hits first, then oldest), and a data bus tracked in 16 B beats so any
+// MAG (16/32/64 B) occupies the pins for exactly its transfer share.
+//
+// A burst of MAG bytes takes mag/16 beats; the bus moves `beats_per_cycle`
+// (2 by default -> 32 B per memory cycle per channel, Table II's 192.4 GB/s
+// across six channels).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/sim_config.h"
+
+namespace slc {
+
+/// One pending DRAM command (a whole compressed-block fetch/write of
+/// `bursts` consecutive MAG bursts, plus metadata fills of one burst).
+struct DramRequest {
+  uint64_t addr = 0;
+  uint8_t bursts = 1;
+  bool write = false;
+  bool metadata = false;
+  uint64_t enqueue_cycle = 0;
+  uint64_t tag = 0;  ///< caller cookie to match completions
+};
+
+struct DramCompletion {
+  uint64_t tag = 0;
+  bool write = false;
+  bool metadata = false;
+  uint64_t finish_cycle = 0;
+};
+
+class DramChannel {
+ public:
+  DramChannel(const GpuSimConfig& cfg, SimStats& stats);
+
+  void push_read(const DramRequest& r) { reads_.push_back(r); }
+  void push_write(const DramRequest& r) { writes_.push_back(r); }
+
+  /// Advances scheduling up to `cycle`; completed requests appear in
+  /// completions(). Returns true if any work remains queued or in flight.
+  void tick(uint64_t cycle);
+
+  bool busy() const { return !reads_.empty() || !writes_.empty() || !completions_.empty(); }
+  size_t read_queue_depth() const { return reads_.size(); }
+  size_t write_queue_depth() const { return writes_.size(); }
+
+  std::deque<DramCompletion>& completions() { return completions_; }
+  const std::deque<DramCompletion>& completions() const { return completions_; }
+
+  /// Next cycle at which this channel can possibly make progress (for the
+  /// simulator's idle fast-forward).
+  uint64_t next_event_cycle(uint64_t now) const;
+
+ private:
+  struct Bank {
+    bool row_open = false;
+    uint64_t open_row = 0;
+    uint64_t ready_cycle = 0;  ///< earliest next column command
+    uint64_t act_cycle = 0;    ///< when the open row was activated (tRAS)
+  };
+
+  const GpuSimConfig& cfg_;
+  SimStats& stats_;
+  std::vector<Bank> banks_;
+  uint64_t bus_free_cycle_ = 0;
+  std::deque<DramRequest> reads_;
+  std::deque<DramRequest> writes_;
+  std::deque<DramCompletion> completions_;
+
+  void locate(uint64_t addr, size_t* bank, uint64_t* row) const;
+  /// Issues one request if a bank + the bus can take it; returns true if
+  /// something was scheduled.
+  bool try_issue(std::deque<DramRequest>& q, uint64_t cycle);
+};
+
+}  // namespace slc

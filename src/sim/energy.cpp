@@ -1,0 +1,25 @@
+#include "sim/energy.h"
+
+namespace slc {
+
+EnergyBreakdown compute_energy(const SimStats& stats, const GpuSimConfig& cfg,
+                               const EnergyParams& p) {
+  EnergyBreakdown e;
+  const double t = stats.exec_seconds(cfg);
+  const double burst_scale = static_cast<double>(cfg.mag_bytes) / 32.0;
+
+  e.dram_j = static_cast<double>(stats.dram_bursts_total()) * p.dram_burst32_j * burst_scale +
+             static_cast<double>(stats.row_misses) * p.dram_activate_j +
+             p.dram_static_w * t;
+  e.cache_j = static_cast<double>(stats.l2_hits + stats.l2_misses + stats.l2_writebacks) *
+                  p.l2_access_j +
+              static_cast<double>(stats.l1_hits + stats.l1_misses) * p.l1_access_j;
+  e.icnt_j = static_cast<double>(stats.l1_misses + stats.writes) * p.icnt_block_j;
+  e.codec_j = static_cast<double>(stats.compressions) * p.compression_j +
+              static_cast<double>(stats.decompressions) * p.decompression_j;
+  e.static_j = p.chip_static_w * t;
+  e.sm_j = p.sm_dynamic_w * t;
+  return e;
+}
+
+}  // namespace slc

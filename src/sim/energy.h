@@ -1,0 +1,48 @@
+// GPUSimPow-style component energy model (paper Sec. IV-A: GPUSimPow
+// extended with RTL-based power models of E2MC and TSLC).
+//
+// Energy = static power x execution time + per-event dynamic energies.
+// The paper's energy savings come from two terms this model captures:
+// fewer DRAM bursts (dynamic) and shorter runtime (static + SM activity).
+// Codec energies derive from Table I: 1.62 mW x 60 cycles @1 GHz per
+// compression, 0.21 mW x 20 cycles per decompression.
+#pragma once
+
+#include "sim/sim_config.h"
+
+namespace slc {
+
+struct EnergyParams {
+  // Dynamic energy per event (joules). DRAM figures are per 32 B burst
+  // (GDDR5-class ~65 pJ/bit incl. I/O); other MAGs scale linearly.
+  double dram_burst32_j = 16.6e-9;
+  double dram_activate_j = 2.5e-9;
+  double l2_access_j = 1.1e-9;
+  double l1_access_j = 0.45e-9;
+  double icnt_block_j = 0.30e-9;
+  double compression_j = 0.097e-9;    // 1.62 mW x 60 ns (Table I)
+  double decompression_j = 0.0042e-9; // 0.21 mW x 20 ns (Table I)
+
+  // Static / activity power (watts), GTX580-class (244 W TDP).
+  double chip_static_w = 92.0;   ///< leakage + clocks
+  double sm_dynamic_w = 118.0;   ///< SM compute activity while executing
+  double dram_static_w = 14.0;   ///< DRAM background
+};
+
+struct EnergyBreakdown {
+  double dram_j = 0.0;
+  double cache_j = 0.0;
+  double icnt_j = 0.0;
+  double codec_j = 0.0;
+  double static_j = 0.0;
+  double sm_j = 0.0;
+
+  double total_j() const { return dram_j + cache_j + icnt_j + codec_j + static_j + sm_j; }
+  /// Energy-delay product in joule-seconds.
+  double edp(double seconds) const { return total_j() * seconds; }
+};
+
+EnergyBreakdown compute_energy(const SimStats& stats, const GpuSimConfig& cfg,
+                               const EnergyParams& params = {});
+
+}  // namespace slc

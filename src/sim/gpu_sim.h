@@ -1,0 +1,84 @@
+// Top-level cycle-level GPU memory-subsystem simulator (Fig. 3's system):
+// SMs replay per-kernel block traces; misses traverse interconnect -> sliced
+// L2 -> memory controller (metadata cache + compressor/decompressor) ->
+// GDDR5 channel. Kernels execute back-to-back with a full drain barrier
+// between launches, as GPGPU-Sim does for dependent kernels.
+//
+// The trace carries each block's compressed burst count (produced by the
+// same codec decisions that generated the functional approximation), so
+// timing and error derive from identical compression outcomes.
+#pragma once
+
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "sim/cache.h"
+#include "sim/dram.h"
+#include "sim/sim_config.h"
+#include "workloads/approx_memory.h"
+
+namespace slc {
+
+class GpuSim {
+ public:
+  explicit GpuSim(GpuSimConfig cfg);
+
+  /// Runs all kernels of a trace; returns the accumulated counters.
+  SimStats run(const std::vector<KernelTrace>& trace);
+
+  const GpuSimConfig& config() const { return cfg_; }
+
+ private:
+  struct SmState {
+    std::vector<TraceAccess> queue;
+    size_t next = 0;
+    double credit = 0.0;     ///< compute cycles owed before the next issue
+    unsigned outstanding = 0;///< in-flight read misses
+  };
+
+  /// A request travelling between components, keyed by arrival cycle.
+  struct InFlight {
+    TraceAccess access;
+    uint16_t sm = 0;
+    uint64_t ready = 0;  ///< cycle it becomes visible to the next stage
+  };
+  struct ReadyOrder {
+    bool operator()(const InFlight& a, const InFlight& b) const { return a.ready > b.ready; }
+  };
+  using InFlightQueue = std::priority_queue<InFlight, std::vector<InFlight>, ReadyOrder>;
+
+  struct McState {
+    Cache l2;
+    Cache mdc;
+    DramChannel dram;
+    InFlightQueue arrivals;   ///< requests crossing the interconnect
+    InFlightQueue staged;     ///< writebacks waiting out the compress latency
+    McState(const GpuSimConfig& cfg, SimStats& stats);
+  };
+
+  GpuSimConfig cfg_;
+  SimStats stats_;
+  std::vector<SmState> sms_;
+  std::vector<Cache> l1_;
+  std::vector<McState> mcs_;
+  InFlightQueue responses_;  ///< read data returning to SMs
+  std::vector<InFlight> inflight_reads_;  ///< indexed by DRAM tag
+  std::vector<bool> tag_free_;
+  uint64_t cycle_ = 0;
+
+  size_t mc_index(uint64_t addr) const;
+  /// Channel-local address: strips the channel-interleave bits so row/bank
+  /// decoding sees the contiguous space this channel actually owns (16
+  /// consecutive line accesses per 2 KB row instead of 4).
+  uint64_t channel_local(uint64_t addr) const;
+  uint64_t alloc_tag(const InFlight& f);
+  void sm_issue(uint16_t sm_id, double compute_scale);
+  void mc_process(size_t mc_id);
+  void deliver_responses();
+  bool drained() const;
+  uint64_t next_event_cycle() const;
+  void run_kernel(const KernelTrace& kernel);
+};
+
+}  // namespace slc

@@ -1,0 +1,107 @@
+// Simulator configuration (paper Table II: a GTX580-class GPU) and the
+// counter set every run reports.
+//
+// The simulator is a cycle-level model of the paper's memory system: SMs
+// replay kernel block traces through per-SM L1s, a crossbar, sliced L2, and
+// six memory controllers with GDDR5 bank timing, metadata cache, and
+// (de)compression pipelines. One global clock runs at the memory-controller
+// frequency (1002 MHz); SM compute delays are scaled by the 822/1002 clock
+// ratio.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/block.h"
+
+namespace slc {
+
+struct GpuSimConfig {
+  // Compute subsystem (Table II).
+  unsigned num_sms = 16;
+  double sm_clock_ghz = 0.822;
+  double mem_clock_ghz = 1.002;
+  unsigned max_outstanding_per_sm = 64;  ///< MSHR entries / concurrent misses
+
+  // Caches.
+  size_t l1_bytes = 16 * 1024;   ///< per SM
+  unsigned l1_ways = 4;
+  size_t l2_bytes = 768 * 1024;  ///< total, sliced across MCs
+  unsigned l2_ways = 16;
+  size_t line_bytes = kBlockBytes;
+
+  // Interconnect (one-way latency, memory cycles).
+  unsigned icnt_latency = 16;
+
+  // Memory system.
+  unsigned num_mcs = 6;
+  size_t mag_bytes = kDefaultMagBytes;  ///< 32-bit bus x burst 8 (GDDR5)
+  unsigned banks_per_mc = 16;
+  size_t row_bytes = 2048;
+  unsigned t_rcd = 12, t_rp = 12, t_cl = 12, t_ras = 28;  ///< memory cycles
+  /// Data bus beats per cycle; one beat = 16 B, so 32 B/cycle/MC
+  /// = 6 x 32 B x 1.002 GHz = 192.4 GB/s aggregate (Table II).
+  unsigned beats_per_cycle = 2;
+
+  // L2 latency (lookup + queueing, memory cycles).
+  unsigned l2_latency = 30;
+  unsigned l1_latency = 24;  ///< hit latency, for stats only
+
+  // Metadata cache (per MC): 2-bit burst counts, 64 B lines.
+  size_t mdc_lines = 256;
+  size_t mdc_line_coverage_blocks = 256;  ///< 64 B of 2-bit entries
+
+  // Codec pipeline latencies (memory cycles; Sec. IV-A). Zero for RAW.
+  unsigned compress_latency = 0;
+  unsigned decompress_latency = 0;
+
+  /// Write-queue watermark: writes drain when reads are idle or the queue
+  /// exceeds this depth.
+  size_t write_drain_watermark = 32;
+  /// FR-FCFS scheduler window: only the oldest N queued requests are
+  /// candidates each cycle (real controllers use a bounded CAM).
+  size_t scheduler_window = 64;
+
+  double bandwidth_gbps() const {
+    return static_cast<double>(num_mcs) * 32.0 * mem_clock_ghz;
+  }
+  size_t max_bursts() const { return line_bytes / mag_bytes; }
+  double sm_cycle_scale() const { return mem_clock_ghz / sm_clock_ghz; }
+};
+
+/// Counters accumulated over one simulation.
+struct SimStats {
+  uint64_t cycles = 0;           ///< memory-clock cycles to drain all kernels
+  uint64_t accesses = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t l1_hits = 0;
+  uint64_t l1_misses = 0;
+  uint64_t l2_hits = 0;
+  uint64_t l2_misses = 0;
+  uint64_t l2_writebacks = 0;
+  uint64_t dram_read_bursts = 0;
+  uint64_t dram_write_bursts = 0;
+  uint64_t metadata_bursts = 0;  ///< MDC-miss fills
+  uint64_t mdc_hits = 0;
+  uint64_t mdc_misses = 0;
+  uint64_t row_hits = 0;
+  uint64_t row_misses = 0;       ///< activates (incl. conflicts)
+  uint64_t decompressions = 0;
+  uint64_t compressions = 0;
+
+  uint64_t dram_bursts_total() const {
+    return dram_read_bursts + dram_write_bursts + metadata_bursts;
+  }
+  double exec_seconds(const GpuSimConfig& cfg) const {
+    return static_cast<double>(cycles) / (cfg.mem_clock_ghz * 1e9);
+  }
+  /// Achieved DRAM data bandwidth in GB/s (excluding metadata).
+  double achieved_bandwidth_gbps(const GpuSimConfig& cfg) const {
+    const double bytes = static_cast<double>(dram_read_bursts + dram_write_bursts) *
+                         static_cast<double>(cfg.mag_bytes);
+    return bytes / exec_seconds(cfg) / 1e9;
+  }
+};
+
+}  // namespace slc

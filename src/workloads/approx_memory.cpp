@@ -1,0 +1,116 @@
+#include "workloads/approx_memory.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace slc {
+
+RegionId ApproxMemory::alloc(std::string name, size_t bytes, bool safe_to_approx,
+                             size_t threshold_bytes) {
+  // Pad to whole blocks (cudaMalloc returns 256 B-aligned sizes anyway).
+  const size_t padded = (bytes + kBlockBytes - 1) / kBlockBytes * kBlockBytes;
+  Region reg;
+  reg.name = std::move(name);
+  reg.data.assign(padded, 0);
+  reg.safe = safe_to_approx;
+  reg.threshold_bytes = threshold_bytes;
+  reg.base_addr = next_addr_;
+  reg.bursts.assign(padded / kBlockBytes, 0);
+  next_addr_ += padded;
+  regions_.push_back(std::move(reg));
+  return static_cast<RegionId>(regions_.size() - 1);
+}
+
+size_t ApproxMemory::safe_region_count() const {
+  return static_cast<size_t>(
+      std::count_if(regions_.begin(), regions_.end(), [](const Region& r) { return r.safe; }));
+}
+
+uint8_t ApproxMemory::current_bursts(const Region& reg, size_t block) const {
+  if (reg.bursts[block] != 0) return reg.bursts[block];
+  // Never committed (exact/golden run): full cost.
+  const size_t mag = codec_ ? codec_->mag_bytes() : kDefaultMagBytes;
+  return static_cast<uint8_t>(kBlockBytes / mag);
+}
+
+void ApproxMemory::commit(RegionId r) {
+  Region& reg = regions_[r];
+  const size_t n_blocks = reg.data.size() / kBlockBytes;
+  if (!codec_) {
+    // Exact memory: all blocks cost max bursts, contents untouched.
+    const auto maxb = static_cast<uint8_t>(kBlockBytes / kDefaultMagBytes);
+    std::fill(reg.bursts.begin(), reg.bursts.end(), maxb);
+    return;
+  }
+  for (size_t b = 0; b < n_blocks; ++b) {
+    const BlockView view(std::span<const uint8_t>(reg.data).subspan(b * kBlockBytes, kBlockBytes));
+    const BlockCodecResult res = codec_->process(view, reg.safe, reg.threshold_bytes);
+    reg.bursts[b] = static_cast<uint8_t>(res.bursts);
+    auto bump = [&](CommitStats& s) {
+      ++s.blocks;
+      s.lossy_blocks += res.lossy ? 1 : 0;
+      s.uncompressed_blocks += res.stored_uncompressed ? 1 : 0;
+      s.bursts += res.bursts;
+      s.truncated_symbols += res.truncated_symbols;
+      s.original_bits += kBlockBytes * 8;
+      s.lossless_bits += res.lossless_bits;
+      s.final_bits += res.final_bits;
+    };
+    bump(stats_);
+    bump(reg.stats);
+    if (res.lossy) {
+      auto dst = std::span<uint8_t>(reg.data).subspan(b * kBlockBytes, kBlockBytes);
+      const auto src = res.decoded.bytes();
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+}
+
+void ApproxMemory::commit_all() {
+  for (RegionId r = 0; r < regions_.size(); ++r) commit(r);
+}
+
+void ApproxMemory::begin_kernel(std::string name, double compute_per_access,
+                                uint32_t accesses_per_cta) {
+  KernelTrace k;
+  k.name = std::move(name);
+  k.compute_per_access = compute_per_access;
+  k.accesses_per_cta = accesses_per_cta;
+  trace_.push_back(std::move(k));
+}
+
+void ApproxMemory::trace_block(RegionId r, size_t block, bool write) {
+  assert(!trace_.empty() && "begin_kernel() must precede trace calls");
+  const Region& reg = regions_[r];
+  TraceAccess a;
+  a.addr = reg.base_addr + block * kBlockBytes;
+  a.bursts = current_bursts(reg, block);
+  a.write = write;
+  trace_.back().accesses.push_back(a);
+}
+
+void ApproxMemory::trace_read(RegionId r) {
+  const size_t n = region_blocks(r);
+  for (size_t b = 0; b < n; ++b) trace_block(r, b, false);
+}
+
+void ApproxMemory::trace_write(RegionId r) {
+  const size_t n = region_blocks(r);
+  for (size_t b = 0; b < n; ++b) trace_block(r, b, true);
+}
+
+void ApproxMemory::trace_zip(std::span<const RegionId> reads, std::span<const RegionId> writes) {
+  size_t max_blocks = 0;
+  for (RegionId r : reads) max_blocks = std::max(max_blocks, region_blocks(r));
+  for (RegionId r : writes) max_blocks = std::max(max_blocks, region_blocks(r));
+  for (size_t b = 0; b < max_blocks; ++b) {
+    for (RegionId r : reads)
+      if (b < region_blocks(r)) trace_block(r, b, false);
+    for (RegionId r : writes)
+      if (b < region_blocks(r)) trace_block(r, b, true);
+  }
+}
+
+CommitStats ApproxMemory::region_stats(RegionId r) const { return regions_[r].stats; }
+
+}  // namespace slc

@@ -1,0 +1,151 @@
+// ApproxMemory: the device-memory model with the paper's extended
+// cudaMalloc() annotation (Sec. IV-C) plus block-level trace capture.
+//
+//   cudaMalloc(void** p, size_t size, bool safeToApprox, size_t threshold)
+//
+// maps to alloc(name, bytes, safe, threshold). Regions live at contiguous
+// 128 B-aligned device addresses. Whenever a region's contents cross the DRAM
+// boundary (host upload at init, kernel writeback), the harness calls
+// commit(): every block is pushed through the installed BlockCodec, which
+// yields the burst count for the timing trace and — for SLC lossy blocks in
+// safe regions — the approximated contents later reads observe.
+//
+// Kernel-level tracing: begin_kernel() opens a kernel record; trace_read()/
+// trace_write() append block-granular accesses carrying the burst count in
+// effect (from the region's latest commit). The timing simulator replays the
+// trace; the functional run uses the mutated arrays. Both derive from the
+// same codec decisions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/block.h"
+#include "workloads/block_codec.h"
+
+namespace slc {
+
+using RegionId = uint32_t;
+
+/// One block-level memory access in the timing trace.
+struct TraceAccess {
+  uint64_t addr = 0;       ///< device address (128 B aligned)
+  uint8_t bursts = 0;      ///< DRAM bursts if this access misses all caches
+  bool write = false;
+};
+
+/// One kernel launch in the trace.
+struct KernelTrace {
+  std::string name;
+  /// SM compute cycles consumed per block access — the workload's
+  /// compute-to-memory calibration knob (higher = less memory-bound).
+  double compute_per_access = 1.0;
+  /// Accesses issued by consecutive CTAs; the simulator distributes them
+  /// round-robin over SMs in groups of `accesses_per_cta`.
+  uint32_t accesses_per_cta = 8;
+  std::vector<TraceAccess> accesses;
+};
+
+/// Aggregate compression statistics over the commits of a run.
+struct CommitStats {
+  uint64_t blocks = 0;
+  uint64_t lossy_blocks = 0;
+  uint64_t uncompressed_blocks = 0;
+  uint64_t bursts = 0;
+  uint64_t truncated_symbols = 0;
+  uint64_t original_bits = 0;
+  uint64_t lossless_bits = 0;
+  uint64_t final_bits = 0;
+
+  double avg_bursts() const {
+    return blocks ? static_cast<double>(bursts) / static_cast<double>(blocks) : 0.0;
+  }
+  double lossy_fraction() const {
+    return blocks ? static_cast<double>(lossy_blocks) / static_cast<double>(blocks) : 0.0;
+  }
+};
+
+class ApproxMemory {
+ public:
+  ApproxMemory() = default;
+
+  /// Installs the memory-controller codec. Null reverts to exact memory
+  /// (golden run): commits neither mutate nor record bursts below max.
+  void set_codec(std::shared_ptr<const BlockCodec> codec) { codec_ = std::move(codec); }
+  const BlockCodec* codec() const { return codec_.get(); }
+
+  /// Extended cudaMalloc (Sec. IV-C). Threshold is the per-region lossy
+  /// threshold in bytes; ignored when safe_to_approx is false.
+  RegionId alloc(std::string name, size_t bytes, bool safe_to_approx,
+                 size_t threshold_bytes = 16);
+
+  size_t num_regions() const { return regions_.size(); }
+  const std::string& region_name(RegionId r) const { return regions_[r].name; }
+  size_t region_bytes(RegionId r) const { return regions_[r].data.size(); }
+  size_t region_blocks(RegionId r) const { return regions_[r].data.size() / kBlockBytes; }
+  bool region_safe(RegionId r) const { return regions_[r].safe; }
+  uint64_t region_addr(RegionId r) const { return regions_[r].base_addr; }
+  size_t safe_region_count() const;
+
+  /// Typed view of a region's current contents.
+  template <typename T>
+  std::span<T> span(RegionId r) {
+    auto& d = regions_[r].data;
+    return {reinterpret_cast<T*>(d.data()), d.size() / sizeof(T)};
+  }
+  template <typename T>
+  std::span<const T> span(RegionId r) const {
+    const auto& d = regions_[r].data;
+    return {reinterpret_cast<const T*>(d.data()), d.size() / sizeof(T)};
+  }
+
+  /// Pushes the region through the codec block-by-block: updates per-block
+  /// burst counts, accumulates stats, and (SLC lossy blocks only) mutates the
+  /// contents in place.
+  void commit(RegionId r);
+
+  /// Commits every region (host upload after init).
+  void commit_all();
+
+  // --- trace capture -------------------------------------------------------
+  void begin_kernel(std::string name, double compute_per_access,
+                    uint32_t accesses_per_cta = 8);
+  /// Appends one read/write access per block of the region.
+  void trace_read(RegionId r);
+  void trace_write(RegionId r);
+  /// Interleaves same-index blocks of several regions (streaming kernels
+  /// touching multiple arrays in lockstep).
+  void trace_zip(std::span<const RegionId> reads, std::span<const RegionId> writes);
+  /// Appends a single block access.
+  void trace_block(RegionId r, size_t block, bool write);
+
+  const std::vector<KernelTrace>& trace() const { return trace_; }
+  std::vector<KernelTrace> take_trace() { return std::move(trace_); }
+
+  const CommitStats& stats() const { return stats_; }
+  CommitStats region_stats(RegionId r) const;
+
+ private:
+  struct Region {
+    std::string name;
+    std::vector<uint8_t> data;
+    bool safe = false;
+    size_t threshold_bytes = 16;
+    uint64_t base_addr = 0;
+    std::vector<uint8_t> bursts;  ///< per-block bursts from the last commit
+    CommitStats stats;
+  };
+
+  uint8_t current_bursts(const Region& reg, size_t block) const;
+
+  std::vector<Region> regions_;
+  std::shared_ptr<const BlockCodec> codec_;
+  uint64_t next_addr_ = 0x1000'0000;  ///< device heap base
+  std::vector<KernelTrace> trace_;
+  CommitStats stats_;
+};
+
+}  // namespace slc

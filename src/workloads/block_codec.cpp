@@ -1,0 +1,82 @@
+#include "workloads/block_codec.h"
+
+#include <algorithm>
+
+namespace slc {
+
+BlockCodecResult RawBlockCodec::process(BlockView block, bool, size_t) const {
+  BlockCodecResult r;
+  r.bursts = max_bursts(block.size());
+  r.lossless_bits = block.size() * 8;
+  r.final_bits = block.size() * 8;
+  r.stored_uncompressed = true;
+  r.decoded = Block(block.bytes());
+  return r;
+}
+
+BlockCodecResult LosslessBlockCodec::process(BlockView block, bool, size_t) const {
+  BlockCodecResult r;
+  // Size-only path: no payload is needed for a lossless codec (the roundtrip
+  // identity is enforced separately by the unit tests).
+  const size_t bits = comp_->compressed_bits(block);
+  r.lossless_bits = bits;
+  r.final_bits = bits;
+  r.stored_uncompressed = bits >= block.size() * 8;
+  r.bursts = bursts_for_bits(bits, mag_, block.size());
+  r.decoded = Block(block.bytes());
+  return r;
+}
+
+SlcBlockCodec::SlcBlockCodec(std::shared_ptr<const E2mcCompressor> lossless, SlcConfig cfg)
+    : lossless_(lossless),
+      cfg_(cfg),
+      codec_(lossless, cfg),
+      codec_lossless_only_(lossless, [cfg] {
+        SlcConfig c = cfg;
+        c.threshold_bytes = 0;
+        return c;
+      }()) {}
+
+BlockCodecResult SlcBlockCodec::process(BlockView block, bool safe_to_approx,
+                                        size_t threshold_bytes) const {
+  BlockCodecResult r;
+  const bool may_approx = safe_to_approx && threshold_bytes > 0;
+  const SlcCodec& codec =
+      may_approx && std::min(threshold_bytes, cfg_.threshold_bytes) == cfg_.threshold_bytes
+          ? codec_
+          : codec_lossless_only_;
+  // Regions with a tighter threshold than the global config get a dedicated
+  // pass below; the common case (region threshold >= config) uses codec_.
+  if (may_approx && threshold_bytes < cfg_.threshold_bytes) {
+    SlcConfig c = cfg_;
+    c.threshold_bytes = threshold_bytes;
+    const SlcCodec tight(lossless_, c);
+    const SlcCompressedBlock cb = tight.compress(block);
+    r.decoded = tight.decompress(cb, block.size());
+    r.bursts = cb.info.bursts;
+    r.lossless_bits = cb.info.lossless_bits;
+    r.final_bits = cb.info.final_bits;
+    r.lossy = cb.info.lossy;
+    r.stored_uncompressed = cb.info.stored_uncompressed;
+    r.truncated_symbols = cb.info.truncated_symbols;
+    return r;
+  }
+  // Fast path: run the Fig. 4 decision size-only; only lossy blocks need the
+  // full encode + approximate decode to produce mutated contents.
+  const SlcEncodeInfo info = codec.analyze(block);
+  r.bursts = info.bursts;
+  r.lossless_bits = info.lossless_bits;
+  r.final_bits = info.final_bits;
+  r.lossy = info.lossy;
+  r.stored_uncompressed = info.stored_uncompressed;
+  r.truncated_symbols = info.truncated_symbols;
+  if (info.lossy) {
+    const SlcCompressedBlock cb = codec.compress(block);
+    r.decoded = codec.decompress(cb, block.size());
+  } else {
+    r.decoded = Block(block.bytes());
+  }
+  return r;
+}
+
+}  // namespace slc

@@ -1,0 +1,94 @@
+// BlockCodec: the memory-controller compression policy applied to every
+// block that crosses the DRAM pin boundary.
+//
+// Three policies model the paper's configurations:
+//   RawBlockCodec      — no compression (every block costs all bursts)
+//   LosslessBlockCodec — any lossless Compressor (E2MC baseline, BDI, ...)
+//   SlcBlockCodec      — the paper's selective lossy codec
+// process() returns the burst count (timing) and the block contents as the
+// GPU will later observe them (functional); only SLC in lossy mode mutates.
+#pragma once
+
+#include <memory>
+
+#include "compress/compressor.h"
+#include "core/slc_codec.h"
+
+namespace slc {
+
+/// Result of pushing one block through the memory-controller codec.
+struct BlockCodecResult {
+  size_t bursts = 0;          ///< MAG bursts this block costs in DRAM
+  size_t lossless_bits = 0;   ///< compressed size before any truncation
+  size_t final_bits = 0;      ///< stored size
+  bool lossy = false;         ///< true if symbols were approximated
+  bool stored_uncompressed = false;
+  size_t truncated_symbols = 0;
+  Block decoded;              ///< block as later reads will observe it
+};
+
+class BlockCodec {
+ public:
+  virtual ~BlockCodec() = default;
+
+  /// Compresses + decompresses one block. `safe_to_approx` and
+  /// `threshold_bytes` come from the region's extended-cudaMalloc annotation;
+  /// codecs without a lossy mode ignore them.
+  virtual BlockCodecResult process(BlockView block, bool safe_to_approx,
+                                   size_t threshold_bytes) const = 0;
+
+  virtual size_t mag_bytes() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Max bursts for an uncompressed block.
+  size_t max_bursts(size_t block_bytes = kBlockBytes) const {
+    return block_bytes / mag_bytes();
+  }
+};
+
+/// Uncompressed baseline: every block costs max bursts, contents unchanged.
+class RawBlockCodec final : public BlockCodec {
+ public:
+  explicit RawBlockCodec(size_t mag_bytes = kDefaultMagBytes) : mag_(mag_bytes) {}
+  BlockCodecResult process(BlockView block, bool, size_t) const override;
+  size_t mag_bytes() const override { return mag_; }
+  std::string name() const override { return "RAW"; }
+
+ private:
+  size_t mag_;
+};
+
+/// Lossless compression through any Compressor (contents never change).
+class LosslessBlockCodec final : public BlockCodec {
+ public:
+  LosslessBlockCodec(std::shared_ptr<const Compressor> comp,
+                     size_t mag_bytes = kDefaultMagBytes)
+      : comp_(std::move(comp)), mag_(mag_bytes) {}
+  BlockCodecResult process(BlockView block, bool, size_t) const override;
+  size_t mag_bytes() const override { return mag_; }
+  std::string name() const override { return comp_->name(); }
+
+ private:
+  std::shared_ptr<const Compressor> comp_;
+  size_t mag_;
+};
+
+/// The paper's SLC codec. Unsafe regions are forced down the lossless path
+/// (threshold 0); safe regions use min(region threshold, config threshold).
+class SlcBlockCodec final : public BlockCodec {
+ public:
+  SlcBlockCodec(std::shared_ptr<const E2mcCompressor> lossless, SlcConfig cfg);
+  BlockCodecResult process(BlockView block, bool safe_to_approx,
+                           size_t threshold_bytes) const override;
+  size_t mag_bytes() const override { return cfg_.mag_bytes; }
+  std::string name() const override { return to_string(cfg_.variant); }
+  const SlcConfig& config() const { return cfg_; }
+
+ private:
+  std::shared_ptr<const E2mcCompressor> lossless_;
+  SlcConfig cfg_;
+  SlcCodec codec_;
+  SlcCodec codec_lossless_only_;  ///< threshold 0, for unsafe regions
+};
+
+}  // namespace slc

@@ -1,0 +1,131 @@
+// BP — perceptron training (Rodinia backprop).
+//
+// Table III: 64 K input units, MRE metric, 6 approximated regions. One
+// training step of a two-layer perceptron: forward pass (input->hidden,
+// hidden->output), error back-propagation, and weight adjustment with
+// momentum. Safe regions (#AR = 6): input units, input->hidden weights and
+// their momentum array, hidden units, hidden->output weights and their
+// momentum array. The error metric is the MRE over the updated
+// input->hidden weight matrix (the kernel's main output).
+#include <cmath>
+
+#include "workloads/data_gen.h"
+#include "workloads/workload_factories.h"
+
+namespace slc {
+
+namespace {
+
+constexpr size_t kHidden = 16;
+constexpr float kEta = 0.3f;
+constexpr float kMomentum = 0.3f;
+
+float squash(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+class BackpropWorkload final : public Workload {
+ public:
+  explicit BackpropWorkload(WorkloadScale scale) : Workload(scale) {}
+
+  std::string name() const override { return "BP"; }
+  std::string description() const override { return "Perceptron training (backprop)"; }
+  ErrorMetric metric() const override { return ErrorMetric::kMre; }
+
+  void init(ApproxMemory& mem) override {
+    n_in_ = scaled(65536, 4096);
+    Rng rng(0x42505F534C43ull);
+    input_ = mem.alloc("input_units", n_in_ * sizeof(float), /*safe=*/true);
+    w_ih_ = mem.alloc("input_weights", n_in_ * kHidden * sizeof(float), /*safe=*/true);
+    dw_ih_ = mem.alloc("input_prev_weights", n_in_ * kHidden * sizeof(float), /*safe=*/true);
+    hidden_ = mem.alloc("hidden_units", kHidden * sizeof(float), /*safe=*/true);
+    w_ho_ = mem.alloc("hidden_weights", kHidden * sizeof(float), /*safe=*/true);
+    dw_ho_ = mem.alloc("hidden_prev_weights", kHidden * sizeof(float), /*safe=*/true);
+    target_ = mem.alloc("target", sizeof(float), /*safe=*/false);
+
+    // Perceptron inputs are normalized 8-bit features (pixels); weights are
+    // initialized on a small fixed grid, as fixed-point initializers do.
+    auto in = mem.span<float>(input_);
+    for (size_t i = 0; i < n_in_; ++i)
+      in[i] = static_cast<float>(rng.next_below(256)) / 255.0f;
+    auto wih = mem.span<float>(w_ih_);
+    for (auto& w : wih)
+      w = static_cast<float>(static_cast<int32_t>(rng.next_below(1024)) - 512) / 1024.0f;
+    auto who = mem.span<float>(w_ho_);
+    for (auto& w : who)
+      w = static_cast<float>(static_cast<int32_t>(rng.next_below(1024)) - 512) / 1024.0f;
+    mem.span<float>(target_)[0] = 0.7f;
+  }
+
+  void run(ApproxMemory& mem) override {
+    const auto in = mem.span<const float>(input_);
+    auto wih = mem.span<float>(w_ih_);
+    auto dwih = mem.span<float>(dw_ih_);
+    auto hid = mem.span<float>(hidden_);
+    auto who = mem.span<float>(w_ho_);
+    auto dwho = mem.span<float>(dw_ho_);
+    const float target = mem.span<const float>(target_)[0];
+
+    // Kernel 1: bpnn_layerforward (input -> hidden). Streams the weight
+    // matrix once; dominated by memory.
+    mem.begin_kernel("bpnn_layerforward", /*compute_per_access=*/2.2, /*accesses_per_cta=*/2);
+    {
+      const RegionId reads[] = {input_, w_ih_};
+      mem.trace_zip(reads, {});
+    }
+    for (size_t j = 0; j < kHidden; ++j) {
+      float sum = 0.0f;
+      for (size_t i = 0; i < n_in_; ++i) sum += in[i] * wih[i * kHidden + j];
+      hid[j] = squash(sum / static_cast<float>(n_in_));
+    }
+    mem.commit(hidden_);
+
+    // Output layer + deltas (small, host-side in Rodinia).
+    float out = 0.0f;
+    for (size_t j = 0; j < kHidden; ++j) out += hid[j] * who[j];
+    out = squash(out);
+    const float delta_o = out * (1.0f - out) * (target - out);
+    float delta_h[kHidden];
+    for (size_t j = 0; j < kHidden; ++j)
+      delta_h[j] = hid[j] * (1.0f - hid[j]) * delta_o * who[j];
+
+    // Kernel 2: bpnn_adjust_weights (hidden -> output and input -> hidden).
+    mem.begin_kernel("bpnn_adjust_weights", /*compute_per_access=*/2.0, /*accesses_per_cta=*/4);
+    {
+      const RegionId reads[] = {input_, w_ih_, dw_ih_};
+      const RegionId writes[] = {w_ih_, dw_ih_};
+      mem.trace_zip(reads, writes);
+    }
+    for (size_t j = 0; j < kHidden; ++j) {
+      const float dw = kEta * delta_o * hid[j] + kMomentum * dwho[j];
+      who[j] += dw;
+      dwho[j] = dw;
+    }
+    for (size_t i = 0; i < n_in_; ++i) {
+      for (size_t j = 0; j < kHidden; ++j) {
+        const float dw = kEta * delta_h[j] * in[i] + kMomentum * dwih[i * kHidden + j];
+        wih[i * kHidden + j] += dw;
+        dwih[i * kHidden + j] = dw;
+      }
+    }
+    mem.commit(w_ih_);
+    mem.commit(dw_ih_);
+    mem.commit(w_ho_);
+    mem.commit(dw_ho_);
+  }
+
+  std::vector<float> output(const ApproxMemory& mem) const override {
+    const auto w = mem.span<const float>(w_ih_);
+    return std::vector<float>(w.begin(), w.begin() + static_cast<long>(n_in_ * kHidden));
+  }
+
+ private:
+  size_t n_in_ = 0;
+  RegionId input_ = 0, w_ih_ = 0, dw_ih_ = 0, hidden_ = 0, w_ho_ = 0, dw_ho_ = 0, target_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_backprop(WorkloadScale scale) {
+  return std::make_unique<BackpropWorkload>(scale);
+}
+
+}  // namespace slc

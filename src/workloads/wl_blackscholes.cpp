@@ -1,0 +1,99 @@
+// BS — BlackScholes (CUDA SDK): European option pricing.
+//
+// Table III: 4 M options, MRE metric, 4 approximated regions. Inputs are the
+// stock price, strike and time arrays; outputs the call and put premium
+// arrays. Price/strike/years/call are safe (#AR = 4); put stays exact.
+#include <cmath>
+
+#include "workloads/data_gen.h"
+#include "workloads/workload_factories.h"
+
+namespace slc {
+
+namespace {
+
+// Polynomial approximation of the cumulative normal distribution, identical
+// to the CUDA SDK kernel's.
+float cnd(float d) {
+  constexpr float a1 = 0.31938153f;
+  constexpr float a2 = -0.356563782f;
+  constexpr float a3 = 1.781477937f;
+  constexpr float a4 = -1.821255978f;
+  constexpr float a5 = 1.330274429f;
+  constexpr float rsqrt2pi = 0.39894228040143267794f;
+  const float k = 1.0f / (1.0f + 0.2316419f * std::fabs(d));
+  float v = rsqrt2pi * std::exp(-0.5f * d * d) *
+            (k * (a1 + k * (a2 + k * (a3 + k * (a4 + k * a5)))));
+  if (d > 0) v = 1.0f - v;
+  return v;
+}
+
+class BlackScholesWorkload final : public Workload {
+ public:
+  explicit BlackScholesWorkload(WorkloadScale scale) : Workload(scale) {}
+
+  std::string name() const override { return "BS"; }
+  std::string description() const override { return "BlackScholes option pricing"; }
+  ErrorMetric metric() const override { return ErrorMetric::kMre; }
+
+  void init(ApproxMemory& mem) override {
+    n_ = scaled(262144, 8192);
+    std::vector<float> s, x, t;
+    make_option_params(n_, /*seed=*/0x42535F534C43ull, &s, &x, &t);
+    const size_t bytes = n_ * sizeof(float);
+    price_ = mem.alloc("stockPrice", bytes, /*safe=*/true);
+    strike_ = mem.alloc("optionStrike", bytes, /*safe=*/true);
+    years_ = mem.alloc("optionYears", bytes, /*safe=*/true);
+    call_ = mem.alloc("callResult", bytes, /*safe=*/true);
+    put_ = mem.alloc("putResult", bytes, /*safe=*/false);
+    std::copy(s.begin(), s.end(), mem.span<float>(price_).begin());
+    std::copy(x.begin(), x.end(), mem.span<float>(strike_).begin());
+    std::copy(t.begin(), t.end(), mem.span<float>(years_).begin());
+  }
+
+  void run(ApproxMemory& mem) override {
+    constexpr float kRiskFree = 0.02f;
+    constexpr float kVolatility = 0.30f;
+    mem.begin_kernel("BlackScholesGPU", /*compute_per_access=*/1.2, /*accesses_per_cta=*/5);
+    const RegionId reads[] = {price_, strike_, years_};
+    const RegionId writes[] = {call_, put_};
+    mem.trace_zip(reads, writes);
+
+    const auto s = mem.span<const float>(price_);
+    const auto x = mem.span<const float>(strike_);
+    const auto t = mem.span<const float>(years_);
+    auto call = mem.span<float>(call_);
+    auto put = mem.span<float>(put_);
+    for (size_t i = 0; i < n_; ++i) {
+      const float sqrt_t = std::sqrt(t[i]);
+      const float d1 =
+          (std::log(s[i] / x[i]) + (kRiskFree + 0.5f * kVolatility * kVolatility) * t[i]) /
+          (kVolatility * sqrt_t);
+      const float d2 = d1 - kVolatility * sqrt_t;
+      const float cnd_d1 = cnd(d1);
+      const float cnd_d2 = cnd(d2);
+      const float exp_rt = std::exp(-kRiskFree * t[i]);
+      call[i] = s[i] * cnd_d1 - x[i] * exp_rt * cnd_d2;
+      put[i] = x[i] * exp_rt * (1.0f - cnd_d2) - s[i] * (1.0f - cnd_d1);
+    }
+    mem.commit(call_);
+    mem.commit(put_);
+  }
+
+  std::vector<float> output(const ApproxMemory& mem) const override {
+    const auto c = mem.span<const float>(call_);
+    return std::vector<float>(c.begin(), c.begin() + static_cast<long>(n_));
+  }
+
+ private:
+  size_t n_ = 0;
+  RegionId price_ = 0, strike_ = 0, years_ = 0, call_ = 0, put_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_blackscholes(WorkloadScale scale) {
+  return std::make_unique<BlackScholesWorkload>(scale);
+}
+
+}  // namespace slc

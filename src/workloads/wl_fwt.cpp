@@ -1,0 +1,96 @@
+// FWT — fast Walsh-Hadamard transform (CUDA SDK fastWalshTransform).
+//
+// Table III: 8 M elements, NRMSE metric, 2 approximated regions. The SDK
+// version ping-pongs between global passes (fwtBatch1/fwtBatch2); we model
+// the data array plus the kernel workspace as the two safe regions and run
+// the standard log2(N) butterfly passes.
+#include <cmath>
+
+#include "workloads/data_gen.h"
+#include "workloads/workload_factories.h"
+
+namespace slc {
+
+namespace {
+
+class FwtWorkload final : public Workload {
+ public:
+  explicit FwtWorkload(WorkloadScale scale) : Workload(scale) {}
+
+  std::string name() const override { return "FWT"; }
+  std::string description() const override { return "Fast Walsh-Hadamard transform"; }
+  ErrorMetric metric() const override { return ErrorMetric::kNrmse; }
+
+  void init(ApproxMemory& mem) override {
+    n_ = scaled(size_t{1} << 20, size_t{1} << 13);
+    const size_t bytes = n_ * sizeof(float);
+    data_ = mem.alloc("fwtData", bytes, /*safe=*/true);
+    work_ = mem.alloc("fwtWorkspace", bytes, /*safe=*/true);
+    Rng rng(0x4657545F534Cull);
+    auto d = mem.span<float>(data_);
+    // Walsh transforms run on sampled signals; 16-bit PCM quantization is
+    // the natural input grid (and keeps the float mantissa tail zero).
+    for (size_t i = 0; i < n_; ++i) {
+      const auto pcm = static_cast<int32_t>(rng.next_below(65536)) - 32768;
+      d[i] = static_cast<float>(pcm) / 32768.0f;
+    }
+  }
+
+  void run(ApproxMemory& mem) override {
+    // The SDK runs ceil(log2(N)/11) global kernels (each covers 11 butterfly
+    // levels in shared memory); we model three global passes and ping-pong
+    // through the workspace region to expose the write-read roundtrip.
+    size_t levels = 0;
+    while ((size_t{1} << levels) < n_) ++levels;
+    const size_t passes = 3;
+    const size_t levels_per_pass = (levels + passes - 1) / passes;
+
+    RegionId cur = data_;
+    RegionId nxt = work_;
+    size_t done = 0;
+    for (size_t p = 0; p < passes && done < levels; ++p) {
+      mem.begin_kernel("fwtBatch" + std::to_string(p + 1), /*compute_per_access=*/2.5,
+                       /*accesses_per_cta=*/2);
+      const RegionId reads[] = {cur};
+      const RegionId writes[] = {nxt};
+      mem.trace_zip(reads, writes);
+
+      const auto in = mem.span<const float>(cur);
+      auto out = mem.span<float>(nxt);
+      std::copy(in.begin(), in.end(), out.begin());
+      const size_t todo = std::min(levels_per_pass, levels - done);
+      for (size_t l = 0; l < todo; ++l) {
+        const size_t stride = size_t{1} << (done + l);
+        for (size_t base = 0; base < n_; base += 2 * stride) {
+          for (size_t k = 0; k < stride; ++k) {
+            const float a = out[base + k];
+            const float b = out[base + k + stride];
+            out[base + k] = a + b;
+            out[base + k + stride] = a - b;
+          }
+        }
+      }
+      done += todo;
+      mem.commit(nxt);
+      std::swap(cur, nxt);
+    }
+    result_ = cur;
+  }
+
+  std::vector<float> output(const ApproxMemory& mem) const override {
+    const auto c = mem.span<const float>(result_);
+    return std::vector<float>(c.begin(), c.begin() + static_cast<long>(n_));
+  }
+
+ private:
+  size_t n_ = 0;
+  RegionId data_ = 0, work_ = 0, result_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_fwt(WorkloadScale scale) {
+  return std::make_unique<FwtWorkload>(scale);
+}
+
+}  // namespace slc

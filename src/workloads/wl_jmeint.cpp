@@ -1,0 +1,255 @@
+// JM — jmeint (AxBench): triangle-triangle intersection tests.
+//
+// Table III: 400 K triangle pairs, miss-rate metric, 6 approximated regions.
+// The kernel is Möller's 1997 interval-overlap test; each pair's 18 vertex
+// coordinates live in six safe arrays (one per vertex, xyz interleaved), the
+// boolean results in an unsafe output array (a flipped bit is the miss the
+// metric counts; the array itself must stay intact to avoid catastrophic
+// failures, Sec. IV-C).
+#include <array>
+#include <cmath>
+
+#include "workloads/data_gen.h"
+#include "workloads/workload_factories.h"
+
+namespace slc {
+
+namespace {
+
+using Vec3 = std::array<float, 3>;
+
+Vec3 sub(const Vec3& a, const Vec3& b) { return {a[0] - b[0], a[1] - b[1], a[2] - b[2]}; }
+Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2], a[0] * b[1] - a[1] * b[0]};
+}
+float dot(const Vec3& a, const Vec3& b) { return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]; }
+
+// Computes the parametric interval of triangle/plane-line intersection
+// (helper of Möller's test). Returns false when a projection degenerates.
+bool compute_intervals(float vv0, float vv1, float vv2, float d0, float d1, float d2,
+                       float d0d1, float d0d2, float* isect0, float* isect1) {
+  if (d0d1 > 0.0f) {
+    // d0, d1 on the same side, d2 on the other.
+    *isect0 = vv2 + (vv0 - vv2) * d2 / (d2 - d0);
+    *isect1 = vv2 + (vv1 - vv2) * d2 / (d2 - d1);
+  } else if (d0d2 > 0.0f) {
+    *isect0 = vv1 + (vv0 - vv1) * d1 / (d1 - d0);
+    *isect1 = vv1 + (vv2 - vv1) * d1 / (d1 - d2);
+  } else if (d1 * d2 > 0.0f || d0 != 0.0f) {
+    *isect0 = vv0 + (vv1 - vv0) * d0 / (d0 - d1);
+    *isect1 = vv0 + (vv2 - vv0) * d0 / (d0 - d2);
+  } else if (d1 != 0.0f) {
+    *isect0 = vv1 + (vv0 - vv1) * d1 / (d1 - d0);
+    *isect1 = vv1 + (vv2 - vv1) * d1 / (d1 - d2);
+  } else if (d2 != 0.0f) {
+    *isect0 = vv2 + (vv0 - vv2) * d2 / (d2 - d0);
+    *isect1 = vv2 + (vv1 - vv2) * d2 / (d2 - d1);
+  } else {
+    return false;  // coplanar
+  }
+  return true;
+}
+
+// Coplanar case: edge-against-edge and point-in-triangle tests projected on
+// the dominant axis plane.
+bool edge_against_edge(const float* v0, const float* u0, const float* u1, float ax, float ay,
+                       int i0, int i1) {
+  const float bx = u0[i0] - u1[i0];
+  const float by = u0[i1] - u1[i1];
+  const float cx = v0[i0] - u0[i0];
+  const float cy = v0[i1] - u0[i1];
+  const float f = ay * bx - ax * by;
+  const float d = by * cx - bx * cy;
+  if ((f > 0 && d >= 0 && d <= f) || (f < 0 && d <= 0 && d >= f)) {
+    const float e = ax * cy - ay * cx;
+    if (f > 0) {
+      if (e >= 0 && e <= f) return true;
+    } else {
+      if (e <= 0 && e >= f) return true;
+    }
+  }
+  return false;
+}
+
+bool edge_against_tri(const float* v0, const float* v1, const float* u0, const float* u1,
+                      const float* u2, int i0, int i1) {
+  const float ax = v1[i0] - v0[i0];
+  const float ay = v1[i1] - v0[i1];
+  return edge_against_edge(v0, u0, u1, ax, ay, i0, i1) ||
+         edge_against_edge(v0, u1, u2, ax, ay, i0, i1) ||
+         edge_against_edge(v0, u2, u0, ax, ay, i0, i1);
+}
+
+bool point_in_tri(const float* v0, const float* u0, const float* u1, const float* u2, int i0,
+                  int i1) {
+  float a = u1[i1] - u0[i1];
+  float b = -(u1[i0] - u0[i0]);
+  float c = -a * u0[i0] - b * u0[i1];
+  const float d0 = a * v0[i0] + b * v0[i1] + c;
+
+  a = u2[i1] - u1[i1];
+  b = -(u2[i0] - u1[i0]);
+  c = -a * u1[i0] - b * u1[i1];
+  const float d1 = a * v0[i0] + b * v0[i1] + c;
+
+  a = u0[i1] - u2[i1];
+  b = -(u0[i0] - u2[i0]);
+  c = -a * u2[i0] - b * u2[i1];
+  const float d2 = a * v0[i0] + b * v0[i1] + c;
+
+  return d0 * d1 > 0.0f && d0 * d2 > 0.0f;
+}
+
+bool coplanar_tri_tri(const Vec3& n, const float* v0, const float* v1, const float* v2,
+                      const float* u0, const float* u1, const float* u2) {
+  const float ax = std::fabs(n[0]);
+  const float ay = std::fabs(n[1]);
+  const float az = std::fabs(n[2]);
+  int i0, i1;
+  if (ax > ay) {
+    if (ax > az) { i0 = 1; i1 = 2; }
+    else { i0 = 0; i1 = 1; }
+  } else {
+    if (az > ay) { i0 = 0; i1 = 1; }
+    else { i0 = 0; i1 = 2; }
+  }
+  return edge_against_tri(v0, v1, u0, u1, u2, i0, i1) ||
+         edge_against_tri(v1, v2, u0, u1, u2, i0, i1) ||
+         edge_against_tri(v2, v0, u0, u1, u2, i0, i1) ||
+         point_in_tri(v0, u0, u1, u2, i0, i1) || point_in_tri(u0, v0, v1, v2, i0, i1);
+}
+
+/// Möller's fast triangle-triangle intersection test.
+bool tri_tri_intersect(const Vec3& v0, const Vec3& v1, const Vec3& v2, const Vec3& u0,
+                       const Vec3& u1, const Vec3& u2) {
+  // Plane of triangle 1: n1 . x + d1 = 0.
+  const Vec3 e1 = sub(v1, v0);
+  const Vec3 e2 = sub(v2, v0);
+  const Vec3 n1 = cross(e1, e2);
+  const float d1 = -dot(n1, v0);
+  float du0 = dot(n1, u0) + d1;
+  float du1 = dot(n1, u1) + d1;
+  float du2 = dot(n1, u2) + d1;
+  constexpr float kEps = 1e-6f;
+  if (std::fabs(du0) < kEps) du0 = 0;
+  if (std::fabs(du1) < kEps) du1 = 0;
+  if (std::fabs(du2) < kEps) du2 = 0;
+  const float du0du1 = du0 * du1;
+  const float du0du2 = du0 * du2;
+  if (du0du1 > 0.0f && du0du2 > 0.0f) return false;  // all on one side
+
+  // Plane of triangle 2.
+  const Vec3 e3 = sub(u1, u0);
+  const Vec3 e4 = sub(u2, u0);
+  const Vec3 n2 = cross(e3, e4);
+  const float d2 = -dot(n2, u0);
+  float dv0 = dot(n2, v0) + d2;
+  float dv1 = dot(n2, v1) + d2;
+  float dv2 = dot(n2, v2) + d2;
+  if (std::fabs(dv0) < kEps) dv0 = 0;
+  if (std::fabs(dv1) < kEps) dv1 = 0;
+  if (std::fabs(dv2) < kEps) dv2 = 0;
+  const float dv0dv1 = dv0 * dv1;
+  const float dv0dv2 = dv0 * dv2;
+  if (dv0dv1 > 0.0f && dv0dv2 > 0.0f) return false;
+
+  // Direction of the intersection line.
+  const Vec3 dir = cross(n1, n2);
+  // Largest component of dir for the simplified projection.
+  float mx = std::fabs(dir[0]);
+  int index = 0;
+  if (std::fabs(dir[1]) > mx) { mx = std::fabs(dir[1]); index = 1; }
+  if (std::fabs(dir[2]) > mx) { index = 2; }
+  const float vp0 = v0[static_cast<size_t>(index)];
+  const float vp1 = v1[static_cast<size_t>(index)];
+  const float vp2 = v2[static_cast<size_t>(index)];
+  const float up0 = u0[static_cast<size_t>(index)];
+  const float up1 = u1[static_cast<size_t>(index)];
+  const float up2 = u2[static_cast<size_t>(index)];
+
+  float isect1[2], isect2[2];
+  if (!compute_intervals(vp0, vp1, vp2, dv0, dv1, dv2, dv0dv1, dv0dv2, &isect1[0], &isect1[1]))
+    return coplanar_tri_tri(n1, v0.data(), v1.data(), v2.data(), u0.data(), u1.data(),
+                            u2.data());
+  if (!compute_intervals(up0, up1, up2, du0, du1, du2, du0du1, du0du2, &isect2[0], &isect2[1]))
+    return coplanar_tri_tri(n1, v0.data(), v1.data(), v2.data(), u0.data(), u1.data(),
+                            u2.data());
+
+  if (isect1[0] > isect1[1]) std::swap(isect1[0], isect1[1]);
+  if (isect2[0] > isect2[1]) std::swap(isect2[0], isect2[1]);
+  return !(isect1[1] < isect2[0] || isect2[1] < isect1[0]);
+}
+
+class JmeintWorkload final : public Workload {
+ public:
+  explicit JmeintWorkload(WorkloadScale scale) : Workload(scale) {}
+
+  std::string name() const override { return "JM"; }
+  std::string description() const override { return "Intersection of triangles (jmeint)"; }
+  ErrorMetric metric() const override { return ErrorMetric::kMissRate; }
+
+  void init(ApproxMemory& mem) override {
+    n_pairs_ = scaled(65536, 2048);
+    std::vector<float> tri_a, tri_b;
+    make_triangle_pairs(n_pairs_, /*seed=*/0x4A4D5F534C43ull, &tri_a, &tri_b);
+    // Six safe regions: one per vertex of each triangle (#AR = 6).
+    const size_t vbytes = n_pairs_ * 3 * sizeof(float);
+    for (int t = 0; t < 2; ++t) {
+      for (int v = 0; v < 3; ++v) {
+        const std::string rn = std::string("tri") + (t == 0 ? "A" : "B") + "_v" +
+                               std::to_string(v);
+        const RegionId r = mem.alloc(rn, vbytes, /*safe=*/true);
+        vert_[static_cast<size_t>(t * 3 + v)] = r;
+        auto dst = mem.span<float>(r);
+        const auto& src = t == 0 ? tri_a : tri_b;
+        for (size_t i = 0; i < n_pairs_; ++i)
+          for (int c = 0; c < 3; ++c)
+            dst[i * 3 + static_cast<size_t>(c)] =
+                src[i * 9 + static_cast<size_t>(v) * 3 + static_cast<size_t>(c)];
+      }
+    }
+    out_ = mem.alloc("intersects", n_pairs_, /*safe=*/false);
+  }
+
+  void run(ApproxMemory& mem) override {
+    mem.begin_kernel("jmeint", /*compute_per_access=*/2.0, /*accesses_per_cta=*/7);
+    std::array<RegionId, 7> zip_reads{};
+    for (size_t i = 0; i < 6; ++i) zip_reads[i] = vert_[i];
+    mem.trace_zip(std::span<const RegionId>(zip_reads.data(), 6),
+                  std::span<const RegionId>(&out_, 1));
+
+    auto res = mem.span<uint8_t>(out_);
+    std::array<std::span<const float>, 6> v;
+    for (size_t i = 0; i < 6; ++i) v[i] = mem.span<const float>(vert_[i]);
+    for (size_t i = 0; i < n_pairs_; ++i) {
+      auto vec = [&](size_t which) -> Vec3 {
+        return {v[which][i * 3], v[which][i * 3 + 1], v[which][i * 3 + 2]};
+      };
+      res[i] = tri_tri_intersect(vec(0), vec(1), vec(2), vec(3), vec(4), vec(5)) ? 1 : 0;
+    }
+    mem.commit(out_);
+  }
+
+  std::vector<float> output(const ApproxMemory& mem) const override {
+    const auto b = mem.span<const uint8_t>(out_);
+    return std::vector<float>(b.begin(), b.end());
+  }
+
+  std::vector<uint8_t> bool_output(const ApproxMemory& mem) const override {
+    const auto b = mem.span<const uint8_t>(out_);
+    return std::vector<uint8_t>(b.begin(), b.begin() + static_cast<long>(n_pairs_));
+  }
+
+ private:
+  size_t n_pairs_ = 0;
+  std::array<RegionId, 6> vert_{};
+  RegionId out_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_jmeint(WorkloadScale scale) {
+  return std::make_unique<JmeintWorkload>(scale);
+}
+
+}  // namespace slc

@@ -1,0 +1,87 @@
+// Workload framework: C++ reimplementations of the paper's nine benchmarks
+// (Table III) with deterministic synthetic inputs, extended-cudaMalloc
+// annotations, kernel-granular block traces, and application error metrics.
+//
+// Each workload implements:
+//   init(mem)  — allocate regions (with safe-to-approximate annotations
+//                matching Table III's #AR column) and fill inputs
+//   run(mem)   — execute the kernels functionally on the current (possibly
+//                approximated) contents; open one begin_kernel() record per
+//                launch, emit the block trace, and commit() written regions
+//                at kernel end (DRAM writeback is where compression happens)
+//   output()   — the buffer the paper's error metric is computed on
+//
+// The harness (run_workload) performs the golden run (exact memory) and the
+// approximate run (codec installed) on identical inputs and reports the
+// application error plus the captured timing trace.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/error_metrics.h"
+#include "workloads/approx_memory.h"
+
+namespace slc {
+
+/// Input-size scaling. The paper's inputs (Table III) are sized for hours of
+/// GPGPU-Sim time; kDefault keeps every footprint well above the 768 KB L2
+/// (preserving memory-boundedness) while keeping runs interactive. kTiny is
+/// for unit tests.
+enum class WorkloadScale : uint8_t { kTiny, kDefault };
+
+class Workload {
+ public:
+  explicit Workload(WorkloadScale scale) : scale_(scale) {}
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+  virtual ErrorMetric metric() const = 0;
+
+  virtual void init(ApproxMemory& mem) = 0;
+  virtual void run(ApproxMemory& mem) = 0;
+
+  /// Float outputs for MRE/NRMSE/image-diff metrics.
+  virtual std::vector<float> output(const ApproxMemory& mem) const = 0;
+  /// Boolean outputs for the miss-rate metric (JM). Default: none.
+  virtual std::vector<uint8_t> bool_output(const ApproxMemory&) const { return {}; }
+
+  WorkloadScale scale() const { return scale_; }
+
+ protected:
+  WorkloadScale scale_;
+  size_t scaled(size_t dflt, size_t tiny) const {
+    return scale_ == WorkloadScale::kDefault ? dflt : tiny;
+  }
+};
+
+/// Factory by paper short name: JM, BS, DCT, FWT, TP, BP, NN, SRAD1, SRAD2.
+std::unique_ptr<Workload> make_workload(const std::string& name,
+                                        WorkloadScale scale = WorkloadScale::kDefault);
+
+/// All nine in Table III order.
+std::vector<std::string> workload_names();
+
+/// Result of one golden+approximate execution pair.
+struct WorkloadRunResult {
+  double error_pct = 0.0;            ///< Table III metric, in percent
+  std::vector<KernelTrace> trace;    ///< timing trace of the approximate run
+  CommitStats stats;                 ///< codec statistics of the approximate run
+  ErrorMetric metric = ErrorMetric::kMre;
+};
+
+/// Runs `name` twice — exact memory, then with `codec` installed — and
+/// computes the application error between the two outputs.
+WorkloadRunResult run_workload(const std::string& name,
+                               std::shared_ptr<const BlockCodec> codec,
+                               WorkloadScale scale = WorkloadScale::kDefault);
+
+/// Concatenates every safe region's bytes (current contents) — the memory
+/// image used by the compression-ratio studies (Fig. 1 / Fig. 2), standing in
+/// for the blocks the kernels move through DRAM.
+std::vector<uint8_t> workload_memory_image(const std::string& name,
+                                           WorkloadScale scale = WorkloadScale::kDefault);
+
+}  // namespace slc

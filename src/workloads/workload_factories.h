@@ -1,0 +1,20 @@
+// Internal factory declarations for the nine Table III workloads.
+#pragma once
+
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace slc {
+
+std::unique_ptr<Workload> make_jmeint(WorkloadScale scale);
+std::unique_ptr<Workload> make_blackscholes(WorkloadScale scale);
+std::unique_ptr<Workload> make_dct(WorkloadScale scale);
+std::unique_ptr<Workload> make_fwt(WorkloadScale scale);
+std::unique_ptr<Workload> make_transpose(WorkloadScale scale);
+std::unique_ptr<Workload> make_backprop(WorkloadScale scale);
+std::unique_ptr<Workload> make_nn(WorkloadScale scale);
+std::unique_ptr<Workload> make_srad1(WorkloadScale scale);
+std::unique_ptr<Workload> make_srad2(WorkloadScale scale);
+
+}  // namespace slc

@@ -1,0 +1,193 @@
+// ApproxMemory: the extended-cudaMalloc region registry, commits and traces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "workloads/approx_memory.h"
+
+namespace slc {
+namespace {
+
+// Quantized value-similar floats (grid 0.25): the data shape real benchmark
+// inputs have, keeping both float halfwords inside the code table.
+std::vector<uint8_t> quantized_walk(uint64_t seed, size_t blocks) {
+  Rng rng(seed);
+  std::vector<uint8_t> data;
+  double walk = 10.0;
+  for (size_t i = 0; i < blocks * kBlockBytes / 4; ++i) {
+    walk += rng.uniform(-1.0, 1.0);
+    const float v = static_cast<float>(std::round(walk * 4.0) / 4.0);
+    uint32_t bits;
+    __builtin_memcpy(&bits, &v, 4);
+    for (int k = 0; k < 4; ++k) data.push_back(static_cast<uint8_t>(bits >> (8 * k)));
+  }
+  return data;
+}
+
+std::shared_ptr<E2mcCompressor> tiny_e2mc() {
+  E2mcConfig cfg;
+  cfg.sample_fraction = 1.0;
+  return E2mcCompressor::train(quantized_walk(11, 64), cfg);
+}
+
+TEST(ApproxMemory, AllocPadsToBlocks) {
+  ApproxMemory mem;
+  const RegionId r = mem.alloc("x", 130, false);
+  EXPECT_EQ(mem.region_bytes(r), 2 * kBlockBytes);
+  EXPECT_EQ(mem.region_blocks(r), 2u);
+}
+
+TEST(ApproxMemory, AddressesAreBlockAlignedAndDisjoint) {
+  ApproxMemory mem;
+  const RegionId a = mem.alloc("a", 1024, false);
+  const RegionId b = mem.alloc("b", 1024, false);
+  EXPECT_EQ(mem.region_addr(a) % kBlockBytes, 0u);
+  EXPECT_EQ(mem.region_addr(b) % kBlockBytes, 0u);
+  EXPECT_GE(mem.region_addr(b), mem.region_addr(a) + 1024);
+}
+
+TEST(ApproxMemory, SafeRegionCount) {
+  ApproxMemory mem;
+  mem.alloc("a", 128, true);
+  mem.alloc("b", 128, false);
+  mem.alloc("c", 128, true);
+  EXPECT_EQ(mem.safe_region_count(), 2u);
+}
+
+TEST(ApproxMemory, TypedSpans) {
+  ApproxMemory mem;
+  const RegionId r = mem.alloc("f", 512, false);
+  auto s = mem.span<float>(r);
+  EXPECT_EQ(s.size(), 128u);
+  s[0] = 3.5f;
+  EXPECT_EQ(mem.span<const float>(r)[0], 3.5f);
+}
+
+TEST(ApproxMemory, CommitWithoutCodecIsExact) {
+  ApproxMemory mem;
+  const RegionId r = mem.alloc("f", 512, true);
+  auto s = mem.span<float>(r);
+  for (size_t i = 0; i < s.size(); ++i) s[i] = static_cast<float>(i);
+  mem.commit(r);
+  for (size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s[i], static_cast<float>(i));
+}
+
+TEST(ApproxMemory, LosslessCodecRecordsBurstsWithoutMutation) {
+  ApproxMemory mem;
+  auto codec = std::make_shared<LosslessBlockCodec>(tiny_e2mc(), 32);
+  mem.set_codec(codec);
+  const RegionId r = mem.alloc("zeros", 4 * kBlockBytes, true);
+  mem.commit(r);
+  const CommitStats st = mem.region_stats(r);
+  EXPECT_EQ(st.blocks, 4u);
+  EXPECT_EQ(st.lossy_blocks, 0u);
+  // Zero blocks compress far below one burst.
+  EXPECT_EQ(st.bursts, 4u);  // one per block
+  for (uint8_t byte : mem.span<const uint8_t>(r)) EXPECT_EQ(byte, 0);
+}
+
+TEST(ApproxMemory, SlcCodecMutatesOnlySafeRegions) {
+  auto e2mc = tiny_e2mc();
+  SlcConfig cfg;
+  cfg.threshold_bytes = 16;
+  cfg.variant = SlcVariant::kSimp;
+  auto codec = std::make_shared<SlcBlockCodec>(e2mc, cfg);
+
+  ApproxMemory mem;
+  mem.set_codec(codec);
+  const RegionId safe = mem.alloc("safe", 64 * kBlockBytes, true);
+  const RegionId unsafe = mem.alloc("unsafe", 64 * kBlockBytes, false);
+
+  const auto bytes = quantized_walk(3, 64);
+  std::copy(bytes.begin(), bytes.end(), mem.span<uint8_t>(safe).begin());
+  const auto unsafe_before = std::vector<uint8_t>(mem.span<const uint8_t>(unsafe).begin(),
+                                                  mem.span<const uint8_t>(unsafe).end());
+  mem.commit_all();
+  // Unsafe region bytes identical.
+  const auto unsafe_after = mem.span<const uint8_t>(unsafe);
+  EXPECT_TRUE(std::equal(unsafe_before.begin(), unsafe_before.end(), unsafe_after.begin()));
+  EXPECT_EQ(mem.region_stats(unsafe).lossy_blocks, 0u);
+}
+
+TEST(ApproxMemory, TraceCapturesBursts) {
+  ApproxMemory mem;
+  auto codec = std::make_shared<RawBlockCodec>(32);
+  mem.set_codec(codec);
+  const RegionId r = mem.alloc("t", 3 * kBlockBytes, false);
+  mem.commit(r);
+  mem.begin_kernel("k", 2.0, 4);
+  mem.trace_read(r);
+  mem.trace_write(r);
+  const auto& trace = mem.trace();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].name, "k");
+  EXPECT_EQ(trace[0].compute_per_access, 2.0);
+  ASSERT_EQ(trace[0].accesses.size(), 6u);
+  EXPECT_FALSE(trace[0].accesses[0].write);
+  EXPECT_TRUE(trace[0].accesses[3].write);
+  for (const auto& a : trace[0].accesses) {
+    EXPECT_EQ(a.bursts, 4u);  // RAW codec: max bursts
+    EXPECT_EQ(a.addr % kBlockBytes, 0u);
+  }
+}
+
+TEST(ApproxMemory, TraceZipInterleaves) {
+  ApproxMemory mem;
+  const RegionId a = mem.alloc("a", 2 * kBlockBytes, false);
+  const RegionId b = mem.alloc("b", 2 * kBlockBytes, false);
+  mem.begin_kernel("z", 1.0);
+  const RegionId reads[] = {a};
+  const RegionId writes[] = {b};
+  mem.trace_zip(reads, writes);
+  const auto& acc = mem.trace()[0].accesses;
+  ASSERT_EQ(acc.size(), 4u);
+  EXPECT_EQ(acc[0].addr, mem.region_addr(a));
+  EXPECT_EQ(acc[1].addr, mem.region_addr(b));
+  EXPECT_TRUE(acc[1].write);
+  EXPECT_EQ(acc[2].addr, mem.region_addr(a) + kBlockBytes);
+}
+
+TEST(ApproxMemory, UncommittedBlocksCostMaxBursts) {
+  ApproxMemory mem;
+  auto codec = std::make_shared<LosslessBlockCodec>(tiny_e2mc(), 32);
+  mem.set_codec(codec);
+  const RegionId r = mem.alloc("u", kBlockBytes, false);
+  mem.begin_kernel("k", 1.0);
+  mem.trace_read(r);  // never committed
+  EXPECT_EQ(mem.trace()[0].accesses[0].bursts, 4u);
+}
+
+TEST(BlockCodec, RawReportsMaxBursts) {
+  const RawBlockCodec raw(32);
+  Block b;
+  const auto r = raw.process(b.view(), true, 16);
+  EXPECT_EQ(r.bursts, 4u);
+  EXPECT_FALSE(r.lossy);
+  EXPECT_EQ(raw.max_bursts(), 4u);
+}
+
+TEST(BlockCodec, SlcRespectsRegionThreshold) {
+  auto e2mc = tiny_e2mc();
+  SlcConfig cfg;
+  cfg.threshold_bytes = 16;
+  cfg.variant = SlcVariant::kOpt;
+  const SlcBlockCodec codec(e2mc, cfg);
+
+  const auto bytes = quantized_walk(17, 64);
+  size_t lossy_with = 0, lossy_without = 0;
+  for (int i = 0; i < 64; ++i) {
+    const Block b(std::span<const uint8_t>(bytes).subspan(
+        static_cast<size_t>(i) * kBlockBytes, kBlockBytes));
+    if (codec.process(b.view(), true, 16).lossy) ++lossy_with;
+    if (codec.process(b.view(), false, 16).lossy) ++lossy_without;
+    // threshold 0 region: never lossy even if marked safe
+    EXPECT_FALSE(codec.process(b.view(), true, 0).lossy);
+  }
+  EXPECT_GT(lossy_with, 0u);
+  EXPECT_EQ(lossy_without, 0u);
+}
+
+}  // namespace
+}  // namespace slc

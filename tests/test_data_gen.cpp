@@ -1,0 +1,115 @@
+// Synthetic input generators: determinism, ranges, and the value-locality
+// properties compressibility depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/data_gen.h"
+
+namespace slc {
+namespace {
+
+TEST(DataGen, SmoothImageDeterministic) {
+  const auto a = make_smooth_image(64, 64, 1);
+  const auto b = make_smooth_image(64, 64, 1);
+  EXPECT_EQ(a, b);
+  const auto c = make_smooth_image(64, 64, 2);
+  EXPECT_NE(a, c);
+}
+
+TEST(DataGen, SmoothImageRange) {
+  const auto img = make_smooth_image(64, 64, 3);
+  ASSERT_EQ(img.size(), 64u * 64u);
+  for (float p : img) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 255.0f);
+  }
+}
+
+TEST(DataGen, SmoothImageIsLocallySimilar) {
+  const auto img = make_smooth_image(128, 128, 4);
+  double total_step = 0;
+  for (size_t i = 1; i < 128; ++i)
+    total_step += std::abs(img[i] - img[i - 1]);
+  // Smooth: neighbouring pixels differ by a few grey levels on average.
+  EXPECT_LT(total_step / 127.0, 12.0);
+}
+
+TEST(DataGen, SpeckleImageNoisierThanSmooth) {
+  const auto smooth = make_smooth_image(128, 128, 5);
+  const auto speckle = make_speckle_image(128, 128, 5);
+  double ds = 0, dn = 0;
+  for (size_t i = 1; i < smooth.size(); ++i) {
+    ds += std::abs(smooth[i] - smooth[i - 1]);
+    dn += std::abs(speckle[i] - speckle[i - 1]);
+  }
+  EXPECT_GT(dn, ds * 2) << "speckle must add high-frequency noise";
+}
+
+TEST(DataGen, GisRecordsRanges) {
+  std::vector<float> lat, lon;
+  make_gis_records(10000, 6, &lat, &lon);
+  ASSERT_EQ(lat.size(), 10000u);
+  for (size_t i = 0; i < lat.size(); ++i) {
+    EXPECT_GE(lat[i], 0.0f);
+    EXPECT_LE(lat[i], 90.0f);
+    EXPECT_GE(lon[i], 0.0f);
+    EXPECT_LE(lon[i], 180.0f);
+  }
+}
+
+TEST(DataGen, OptionParamsSdkRanges) {
+  std::vector<float> s, x, t;
+  make_option_params(10000, 7, &s, &x, &t);
+  for (size_t i = 0; i < s.size(); ++i) {
+    // Grid quantization can round onto the upper bound, hence <=.
+    EXPECT_GE(s[i], 5.0f);
+    EXPECT_LE(s[i], 30.0f);
+    EXPECT_GE(x[i], 1.0f);
+    EXPECT_LE(x[i], 100.0f);
+    EXPECT_GE(t[i], 0.25f);
+    EXPECT_LE(t[i], 10.0f);
+  }
+}
+
+TEST(DataGen, OptionParamsOnMarketGrids) {
+  // Prices tick in cents, strikes on a 0.50 grid, expiries quarterly.
+  std::vector<float> s, x, t;
+  make_option_params(1000, 7, &s, &x, &t);
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_NEAR(std::round(s[i] * 100.0f) / 100.0f, s[i], 1e-5f);
+    EXPECT_NEAR(std::round(x[i] * 2.0f) / 2.0f, x[i], 1e-5f);
+    EXPECT_NEAR(std::round(t[i] * 4.0f) / 4.0f, t[i], 1e-5f);
+  }
+}
+
+TEST(DataGen, TrianglePairsLocal) {
+  std::vector<float> a, b;
+  make_triangle_pairs(1000, 8, &a, &b);
+  ASSERT_EQ(a.size(), 9000u);
+  ASSERT_EQ(b.size(), 9000u);
+  // Vertices of a pair stay within the shared cell (max spread ~2 units).
+  for (size_t i = 0; i < 1000; ++i) {
+    for (int c = 0; c < 3; ++c) {
+      float mn = 1e9f, mx = -1e9f;
+      for (int v = 0; v < 3; ++v) {
+        const float va = a[i * 9 + static_cast<size_t>(v) * 3 + static_cast<size_t>(c)];
+        const float vb = b[i * 9 + static_cast<size_t>(v) * 3 + static_cast<size_t>(c)];
+        mn = std::min({mn, va, vb});
+        mx = std::max({mx, va, vb});
+      }
+      EXPECT_LE(mx - mn, 2.01f);
+    }
+  }
+}
+
+TEST(DataGen, Deterministic) {
+  std::vector<float> a1, b1, a2, b2;
+  make_triangle_pairs(100, 9, &a1, &b1);
+  make_triangle_pairs(100, 9, &a2, &b2);
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(b1, b2);
+}
+
+}  // namespace
+}  // namespace slc

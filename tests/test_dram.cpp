@@ -1,0 +1,183 @@
+// GDDR5 channel: FR-FCFS, row hits, bus occupancy in beats.
+#include <gtest/gtest.h>
+
+#include "sim/dram.h"
+
+namespace slc {
+namespace {
+
+struct DramFixture : ::testing::Test {
+  GpuSimConfig cfg;
+  SimStats stats;
+
+  // Runs the channel until all completions appear or `limit` cycles pass.
+  std::vector<DramCompletion> drain(DramChannel& ch, size_t expect, uint64_t limit = 100000) {
+    std::vector<DramCompletion> out;
+    for (uint64_t cycle = 0; cycle < limit && out.size() < expect; ++cycle) {
+      ch.tick(cycle);
+      auto& comps = ch.completions();
+      while (!comps.empty() && comps.front().finish_cycle <= cycle) {
+        out.push_back(comps.front());
+        comps.pop_front();
+      }
+    }
+    return out;
+  }
+};
+
+TEST_F(DramFixture, SingleReadCompletes) {
+  DramChannel ch(cfg, stats);
+  DramRequest r;
+  r.addr = 0x1000;
+  r.bursts = 4;
+  r.tag = 7;
+  ch.push_read(r);
+  const auto done = drain(ch, 1);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].tag, 7u);
+  // First access: activate (tRCD) + CAS (tCL) + 2 cycles data (4 bursts,
+  // 8 beats, 2/cycle).
+  EXPECT_GE(done[0].finish_cycle, cfg.t_rcd + cfg.t_cl + 2u);
+  EXPECT_EQ(stats.dram_read_bursts, 4u);
+  EXPECT_EQ(stats.row_misses, 1u);
+}
+
+TEST_F(DramFixture, RowHitsForSequentialBlocks) {
+  DramChannel ch(cfg, stats);
+  for (int i = 0; i < 8; ++i) {
+    DramRequest r;
+    r.addr = 0x1000 + static_cast<uint64_t>(i) * 128;  // same 2 KB row
+    r.bursts = 4;
+    r.tag = static_cast<uint64_t>(i);
+    ch.push_read(r);
+  }
+  drain(ch, 8);
+  EXPECT_EQ(stats.row_misses, 1u);
+  EXPECT_EQ(stats.row_hits, 7u);
+}
+
+TEST_F(DramFixture, FewerBurstsFinishFaster) {
+  SimStats s1, s2;
+  DramChannel full(cfg, s1), comp(cfg, s2);
+  DramRequest a;
+  a.addr = 0;
+  a.bursts = 4;
+  a.tag = 0;
+  DramRequest b = a;
+  b.bursts = 1;
+  full.push_read(a);
+  comp.push_read(b);
+  const auto d1 = drain(full, 1);
+  const auto d2 = drain(comp, 1);
+  EXPECT_LT(d2[0].finish_cycle, d1[0].finish_cycle);
+}
+
+TEST_F(DramFixture, BusSerializesBackToBackTransfers) {
+  DramChannel ch(cfg, stats);
+  for (int i = 0; i < 16; ++i) {
+    DramRequest r;
+    r.addr = 0x2000 + static_cast<uint64_t>(i) * 128;
+    r.bursts = 4;
+    r.tag = static_cast<uint64_t>(i);
+    ch.push_read(r);
+  }
+  const auto done = drain(ch, 16);
+  ASSERT_EQ(done.size(), 16u);
+  // 16 blocks x 4 bursts x 2 beats/burst... = 128 beats / 2 per cycle = 64
+  // data cycles minimum spread.
+  uint64_t last = 0;
+  for (const auto& d : done) last = std::max(last, d.finish_cycle);
+  EXPECT_GE(last, 64u);
+}
+
+TEST_F(DramFixture, WritesDrainWhenNoReads) {
+  DramChannel ch(cfg, stats);
+  DramRequest w;
+  w.addr = 0x3000;
+  w.bursts = 4;
+  w.write = true;
+  w.tag = 1;
+  ch.push_write(w);
+  const auto done = drain(ch, 1);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_TRUE(done[0].write);
+  EXPECT_EQ(stats.dram_write_bursts, 4u);
+}
+
+TEST_F(DramFixture, ReadsHavePriorityOverWrites) {
+  DramChannel ch(cfg, stats);
+  for (int i = 0; i < 4; ++i) {
+    DramRequest w;
+    w.addr = 0x8000 + static_cast<uint64_t>(i) * 128;
+    w.bursts = 4;
+    w.write = true;
+    w.tag = 100 + static_cast<uint64_t>(i);
+    ch.push_write(w);
+  }
+  DramRequest r;
+  r.addr = 0x100;
+  r.bursts = 4;
+  r.tag = 1;
+  ch.push_read(r);
+  const auto done = drain(ch, 5);
+  ASSERT_EQ(done.size(), 5u);
+  EXPECT_EQ(done[0].tag, 1u) << "the read must finish before the writes";
+}
+
+TEST_F(DramFixture, MetadataCountsSeparately) {
+  DramChannel ch(cfg, stats);
+  DramRequest m;
+  m.addr = 0x9000;
+  m.bursts = 1;
+  m.metadata = true;
+  m.tag = 2;
+  ch.push_read(m);
+  drain(ch, 1);
+  EXPECT_EQ(stats.metadata_bursts, 1u);
+  EXPECT_EQ(stats.dram_read_bursts, 0u);
+}
+
+TEST_F(DramFixture, MagScalesBeatCount) {
+  GpuSimConfig cfg64 = cfg;
+  cfg64.mag_bytes = 64;
+  SimStats s64;
+  DramChannel ch(cfg64, s64);
+  DramRequest r;
+  r.addr = 0;
+  r.bursts = 2;  // 2 x 64 B = 8 beats = 4 cycles
+  r.tag = 0;
+  ch.push_read(r);
+  const auto done = drain(ch, 1);
+  EXPECT_GE(done[0].finish_cycle, cfg.t_rcd + cfg.t_cl + 4u);
+}
+
+TEST_F(DramFixture, BankConflictSlowerThanParallelBanks) {
+  // Same bank, different rows -> serialized precharge/activate.
+  SimStats s_conflict;
+  DramChannel conflict(cfg, s_conflict);
+  const uint64_t bank_stride = cfg.row_bytes * cfg.banks_per_mc;
+  for (int i = 0; i < 4; ++i) {
+    DramRequest r;
+    r.addr = static_cast<uint64_t>(i) * bank_stride;  // same bank, new row
+    r.bursts = 1;
+    r.tag = static_cast<uint64_t>(i);
+    conflict.push_read(r);
+  }
+  SimStats s_par;
+  DramChannel parallel(cfg, s_par);
+  for (int i = 0; i < 4; ++i) {
+    DramRequest r;
+    r.addr = static_cast<uint64_t>(i) * cfg.row_bytes;  // different banks
+    r.bursts = 1;
+    r.tag = static_cast<uint64_t>(i);
+    parallel.push_read(r);
+  }
+  uint64_t t_conflict = 0, t_par = 0;
+  for (const auto& d : drain(conflict, 4)) t_conflict = std::max(t_conflict, d.finish_cycle);
+  for (const auto& d : drain(parallel, 4)) t_par = std::max(t_par, d.finish_cycle);
+  EXPECT_GT(t_conflict, t_par);
+  EXPECT_EQ(s_conflict.row_misses, 4u);
+}
+
+}  // namespace
+}  // namespace slc

@@ -1,0 +1,100 @@
+// Energy model: monotonicity and the two saving channels the paper reports
+// (fewer bursts, shorter runtime).
+#include <gtest/gtest.h>
+
+#include "sim/energy.h"
+
+namespace slc {
+namespace {
+
+SimStats base_stats() {
+  SimStats s;
+  s.cycles = 1'000'000;
+  s.dram_read_bursts = 400'000;
+  s.dram_write_bursts = 100'000;
+  s.metadata_bursts = 5'000;
+  s.row_hits = 300'000;
+  s.row_misses = 50'000;
+  s.l1_hits = 100'000;
+  s.l1_misses = 500'000;
+  s.l2_hits = 100'000;
+  s.l2_misses = 400'000;
+  s.l2_writebacks = 100'000;
+  s.writes = 100'000;
+  s.compressions = 100'000;
+  s.decompressions = 300'000;
+  return s;
+}
+
+TEST(Energy, AllComponentsPositive) {
+  const GpuSimConfig cfg;
+  const EnergyBreakdown e = compute_energy(base_stats(), cfg);
+  EXPECT_GT(e.dram_j, 0.0);
+  EXPECT_GT(e.cache_j, 0.0);
+  EXPECT_GT(e.icnt_j, 0.0);
+  EXPECT_GT(e.codec_j, 0.0);
+  EXPECT_GT(e.static_j, 0.0);
+  EXPECT_GT(e.sm_j, 0.0);
+  EXPECT_NEAR(e.total_j(),
+              e.dram_j + e.cache_j + e.icnt_j + e.codec_j + e.static_j + e.sm_j, 1e-12);
+}
+
+TEST(Energy, FewerBurstsLessEnergy) {
+  const GpuSimConfig cfg;
+  SimStats a = base_stats();
+  SimStats b = base_stats();
+  b.dram_read_bursts /= 2;
+  EXPECT_LT(compute_energy(b, cfg).total_j(), compute_energy(a, cfg).total_j());
+}
+
+TEST(Energy, ShorterRuntimeLessStaticEnergy) {
+  const GpuSimConfig cfg;
+  SimStats a = base_stats();
+  SimStats b = base_stats();
+  b.cycles = a.cycles * 9 / 10;
+  const auto ea = compute_energy(a, cfg);
+  const auto eb = compute_energy(b, cfg);
+  EXPECT_LT(eb.static_j, ea.static_j);
+  EXPECT_LT(eb.total_j(), ea.total_j());
+}
+
+TEST(Energy, EdpCompoundsTimeAndEnergy) {
+  const GpuSimConfig cfg;
+  SimStats a = base_stats();
+  SimStats b = base_stats();
+  b.cycles = a.cycles * 9 / 10;
+  b.dram_read_bursts = a.dram_read_bursts * 8 / 10;
+  const double ta = a.exec_seconds(cfg);
+  const double tb = b.exec_seconds(cfg);
+  const double edp_a = compute_energy(a, cfg).edp(ta);
+  const double edp_b = compute_energy(b, cfg).edp(tb);
+  // EDP improvement must exceed the energy improvement alone.
+  const double e_ratio = compute_energy(b, cfg).total_j() / compute_energy(a, cfg).total_j();
+  EXPECT_LT(edp_b / edp_a, e_ratio);
+}
+
+TEST(Energy, CodecEnergyTiny) {
+  // Table I: the codec is negligible against DRAM (paper: "very cheap").
+  const GpuSimConfig cfg;
+  const EnergyBreakdown e = compute_energy(base_stats(), cfg);
+  EXPECT_LT(e.codec_j, e.dram_j / 100.0);
+}
+
+TEST(Energy, MagScalesBurstEnergy) {
+  GpuSimConfig cfg16;
+  cfg16.mag_bytes = 16;
+  GpuSimConfig cfg64;
+  cfg64.mag_bytes = 64;
+  const SimStats s = base_stats();
+  EXPECT_LT(compute_energy(s, cfg16).dram_j, compute_energy(s, cfg64).dram_j);
+}
+
+TEST(Energy, ExecSecondsUsesMemClock) {
+  GpuSimConfig cfg;
+  SimStats s;
+  s.cycles = static_cast<uint64_t>(cfg.mem_clock_ghz * 1e9);
+  EXPECT_NEAR(s.exec_seconds(cfg), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace slc

@@ -1,0 +1,161 @@
+// Full memory-subsystem simulator: progress, conservation laws, and the
+// bandwidth behaviours the paper's speedups rest on.
+#include <gtest/gtest.h>
+
+#include "sim/gpu_sim.h"
+
+namespace slc {
+namespace {
+
+KernelTrace streaming_kernel(size_t blocks, uint8_t bursts, double compute = 1.0,
+                             uint64_t base = 0x1000'0000, bool writes = false) {
+  KernelTrace k;
+  k.name = "stream";
+  k.compute_per_access = compute;
+  k.accesses_per_cta = 8;
+  for (size_t i = 0; i < blocks; ++i) {
+    TraceAccess a;
+    a.addr = base + i * kBlockBytes;
+    a.bursts = bursts;
+    a.write = writes && (i % 2 == 1);
+    k.accesses.push_back(a);
+  }
+  return k;
+}
+
+TEST(GpuSim, EmptyTraceFinishes) {
+  GpuSim sim(GpuSimConfig{});
+  const SimStats s = sim.run({});
+  EXPECT_EQ(s.accesses, 0u);
+}
+
+TEST(GpuSim, AllAccessesAccounted) {
+  GpuSim sim(GpuSimConfig{});
+  const SimStats s = sim.run({streaming_kernel(5000, 4, 1.0, 0x1000'0000, true)});
+  EXPECT_EQ(s.accesses, 5000u);
+  EXPECT_EQ(s.reads + s.writes, 5000u);
+  EXPECT_GT(s.cycles, 0u);
+}
+
+TEST(GpuSim, ReadsMissCachesOnFirstTouch) {
+  GpuSim sim(GpuSimConfig{});
+  const SimStats s = sim.run({streaming_kernel(4000, 4)});
+  // Unique streaming addresses: everything misses, every block fetched once.
+  EXPECT_EQ(s.l1_misses, 4000u);
+  EXPECT_EQ(s.l2_misses, 4000u);
+  EXPECT_EQ(s.dram_read_bursts, 4000u * 4u);
+}
+
+TEST(GpuSim, RepeatedBlocksHitL2) {
+  GpuSimConfig cfg;
+  GpuSim sim(cfg);
+  // Two kernels over the same small footprint (fits 768 KB L2).
+  auto k1 = streaming_kernel(1000, 4);
+  auto k2 = streaming_kernel(1000, 4);
+  const SimStats s = sim.run({k1, k2});
+  EXPECT_GT(s.l2_hits, 900u) << "second pass must hit in L2";
+  EXPECT_LT(s.dram_read_bursts, 2u * 1000u * 4u);
+}
+
+TEST(GpuSim, CompressedTrafficFasterWhenMemoryBound) {
+  GpuSimConfig cfg;
+  cfg.decompress_latency = 20;
+  GpuSim sim_full(cfg), sim_comp(cfg);
+  const SimStats full = sim_full.run({streaming_kernel(20000, 4, 0.5)});
+  const SimStats comp = sim_comp.run({streaming_kernel(20000, 2, 0.5)});
+  EXPECT_LT(comp.cycles, full.cycles)
+      << "half the bursts must run faster under bandwidth bound";
+  const double speedup =
+      static_cast<double>(full.cycles) / static_cast<double>(comp.cycles);
+  EXPECT_GT(speedup, 1.3);
+}
+
+TEST(GpuSim, ComputeBoundInsensitiveToBursts) {
+  GpuSimConfig cfg;
+  GpuSim a(cfg), b(cfg);
+  // 200 compute cycles per access: DRAM is idle most of the time.
+  const SimStats full = a.run({streaming_kernel(3000, 4, 200.0)});
+  const SimStats comp = b.run({streaming_kernel(3000, 1, 200.0)});
+  const double speedup =
+      static_cast<double>(full.cycles) / static_cast<double>(comp.cycles);
+  EXPECT_LT(speedup, 1.05) << "compute-bound kernels gain little from compression";
+}
+
+TEST(GpuSim, DecompressionLatencyCosts) {
+  GpuSimConfig no_lat;
+  no_lat.decompress_latency = 0;
+  GpuSimConfig with_lat = no_lat;
+  with_lat.decompress_latency = 100;
+  GpuSim a(no_lat), b(with_lat);
+  const SimStats fast = a.run({streaming_kernel(2000, 2, 4.0)});
+  const SimStats slow = b.run({streaming_kernel(2000, 2, 4.0)});
+  EXPECT_GT(slow.cycles, fast.cycles);
+}
+
+TEST(GpuSim, WritesProduceWritebacks) {
+  GpuSimConfig cfg;
+  GpuSim sim(cfg);
+  // Write-heavy streaming over a footprint far beyond L2 forces evictions.
+  const SimStats s = sim.run({streaming_kernel(20000, 4, 1.0, 0x1000'0000, true)});
+  EXPECT_GT(s.writes, 0u);
+  EXPECT_GT(s.l2_writebacks, 1000u);
+  EXPECT_GT(s.dram_write_bursts, 0u);
+}
+
+TEST(GpuSim, MdcMissesChargeMetadataTraffic) {
+  GpuSimConfig cfg;
+  GpuSim sim(cfg);
+  const SimStats s = sim.run({streaming_kernel(30000, 2, 1.0)});
+  EXPECT_GT(s.mdc_misses, 0u);
+  EXPECT_GT(s.mdc_hits, s.mdc_misses) << "streaming metadata mostly hits";
+  EXPECT_EQ(s.metadata_bursts, s.mdc_misses);
+}
+
+TEST(GpuSim, AchievedBandwidthBounded) {
+  GpuSimConfig cfg;
+  GpuSim sim(cfg);
+  const SimStats s = sim.run({streaming_kernel(50000, 4, 0.1)});
+  const double bw = s.achieved_bandwidth_gbps(cfg);
+  EXPECT_GT(bw, 0.3 * cfg.bandwidth_gbps()) << "memory-bound stream should load DRAM";
+  EXPECT_LE(bw, cfg.bandwidth_gbps() * 1.001) << "cannot exceed the pin bandwidth";
+}
+
+TEST(GpuSim, KernelsSerialize) {
+  GpuSimConfig cfg;
+  GpuSim one(cfg), two(cfg);
+  auto k = streaming_kernel(5000, 4);
+  const SimStats s1 = one.run({k});
+  // Different footprints so the second kernel cannot hit in L2.
+  auto k2 = streaming_kernel(5000, 4, 1.0, 0x9000'0000);
+  const SimStats s2 = two.run({k, k2});
+  EXPECT_GT(s2.cycles, static_cast<uint64_t>(1.8 * static_cast<double>(s1.cycles)));
+}
+
+TEST(GpuSim, MoreSmsDrainFasterWhenLatencyBound) {
+  GpuSimConfig few;
+  few.num_sms = 2;
+  GpuSimConfig many;
+  many.num_sms = 16;
+  GpuSim a(few), b(many);
+  auto k = streaming_kernel(8000, 1, 2.0);  // light traffic -> latency bound
+  const SimStats s_few = a.run({k});
+  const SimStats s_many = b.run({k});
+  EXPECT_LT(s_many.cycles, s_few.cycles);
+}
+
+// Parameterized conservation checks across MAGs.
+class GpuSimMagTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GpuSimMagTest, BurstAccountingMatchesTrace) {
+  GpuSimConfig cfg;
+  cfg.mag_bytes = GetParam();
+  const auto maxb = static_cast<uint8_t>(cfg.max_bursts());
+  GpuSim sim(cfg);
+  const SimStats s = sim.run({streaming_kernel(3000, maxb)});
+  EXPECT_EQ(s.dram_read_bursts, 3000u * maxb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mags, GpuSimMagTest, ::testing::Values<size_t>(16, 32, 64));
+
+}  // namespace
+}  // namespace slc

@@ -1,0 +1,78 @@
+// Hardware-cost model vs Table I.
+#include <gtest/gtest.h>
+
+#include "hw/hw_model.h"
+
+namespace slc {
+namespace {
+
+TEST(HwModel, TreeGeometry) {
+  HwModelConfig cfg;
+  cfg.extra_nodes = false;
+  const HwModel base(cfg);
+  EXPECT_EQ(base.tree_adder_nodes(), 63u);  // 64 leaves -> 63 internal adders
+  EXPECT_EQ(base.priority_encoder_count(), 5u);  // window sizes 1,2,4,8,16
+
+  const HwModel opt;  // extra_nodes default true
+  EXPECT_EQ(opt.tree_adder_nodes(), 63u + 12u);  // +8 at level 3, +4 at level 4
+  EXPECT_EQ(opt.priority_encoder_count(), 7u);
+}
+
+TEST(HwModel, ComparatorCounts) {
+  HwModelConfig cfg;
+  cfg.extra_nodes = false;
+  const HwModel base(cfg);
+  // Sizes 1,2,4,8,16 -> 64+32+16+8+4 = 124 comparators.
+  EXPECT_EQ(base.comparator_count(), 124u);
+  const HwModel opt;
+  EXPECT_EQ(opt.comparator_count(), 136u);
+}
+
+TEST(HwModel, CompressorWithinTableIOrder) {
+  const HwModel m;
+  const HwCost c = m.compressor();
+  // Paper: 0.0083 mm^2, 1.62 mW. The analytic model must land within 2x.
+  EXPECT_GT(c.area_mm2, 0.0083 / 2);
+  EXPECT_LT(c.area_mm2, 0.0083 * 2);
+  EXPECT_GT(c.power_mw, 1.62 / 2);
+  EXPECT_LT(c.power_mw, 1.62 * 2);
+  EXPECT_DOUBLE_EQ(c.freq_ghz, 1.43);
+}
+
+TEST(HwModel, DecompressorMuchSmaller) {
+  const HwModel m;
+  const HwCost c = m.compressor();
+  const HwCost d = m.decompressor();
+  EXPECT_LT(d.area_mm2, c.area_mm2 / 5);
+  EXPECT_LT(d.power_mw, c.power_mw / 3);
+  EXPECT_DOUBLE_EQ(d.freq_ghz, 0.80);
+}
+
+TEST(HwModel, OverheadNegligible) {
+  const HwModel m;
+  // Paper: 0.0015% area, 0.0008% power of GTX580.
+  EXPECT_LT(m.area_overhead_pct(), 0.01);
+  EXPECT_LT(m.power_overhead_pct(), 0.01);
+  EXPECT_GT(m.area_overhead_pct(), 0.0);
+}
+
+TEST(HwModel, ExtraNodesCostLittle) {
+  HwModelConfig base_cfg;
+  base_cfg.extra_nodes = false;
+  const HwModel base(base_cfg);
+  const HwModel opt;
+  const double ratio = opt.compressor().area_mm2 / base.compressor().area_mm2;
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 1.25) << "OPT extra nodes must stay cheap (Sec. III-F)";
+}
+
+TEST(HwModel, ScalesWithSymbolCount) {
+  HwModelConfig small;
+  small.num_symbols = 32;
+  HwModelConfig big;
+  big.num_symbols = 128;
+  EXPECT_LT(HwModel(small).compressor().area_mm2, HwModel(big).compressor().area_mm2);
+}
+
+}  // namespace
+}  // namespace slc

@@ -1,0 +1,89 @@
+// Statistics helpers: geometric means drive every paper GM bar.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace slc {
+namespace {
+
+TEST(RunningStats, Basic) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValueVarianceZero) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(GeometricMean, KnownValues) {
+  const double xs[] = {1.0, 4.0};
+  EXPECT_NEAR(geometric_mean(xs), 2.0, 1e-12);
+  const double ys[] = {2.0, 2.0, 2.0};
+  EXPECT_NEAR(geometric_mean(ys), 2.0, 1e-12);
+}
+
+TEST(GeometricMean, EmptyIsZero) { EXPECT_EQ(geometric_mean({}), 0.0); }
+
+TEST(GeometricMean, FlooredAtZero) {
+  const double xs[] = {0.0, 1.0};
+  // With the default floor the zero does not collapse the GM to 0.
+  EXPECT_GT(geometric_mean(xs, 1e-6), 0.0);
+  EXPECT_NEAR(geometric_mean(xs, 1e-6), std::sqrt(1e-6), 1e-9);
+}
+
+TEST(GeometricMean, LessThanArithmeticMean) {
+  const double xs[] = {1.0, 2.0, 3.0, 10.0};
+  EXPECT_LT(geometric_mean(xs), 4.0);
+}
+
+TEST(Histogram, CountsAndFractions) {
+  Histogram h;
+  h.add(0, 3);
+  h.add(4);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.at(0), 3u);
+  EXPECT_EQ(h.at(4), 1u);
+  EXPECT_EQ(h.at(99), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.fraction(99), 0.0);
+}
+
+TEST(Histogram, EmptyFractionIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.fraction(0), 0.0);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"A", "Bench"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("A       Bench"), std::string::npos);
+  EXPECT_NE(s.find("longer  2"), std::string::npos);
+}
+
+TEST(TextTable, FmtPrecision) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::fmt(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace slc

@@ -1,0 +1,137 @@
+// The nine Table III workloads: construction, #AR counts, golden-run
+// determinism, exactness under lossless codecs, and error under SLC.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/workload.h"
+
+namespace slc {
+namespace {
+
+// Table III #AR column.
+struct ArExpectation {
+  const char* name;
+  size_t ar;
+};
+constexpr ArExpectation kAr[] = {{"JM", 6},  {"BS", 4},    {"DCT", 2},
+                                 {"FWT", 2}, {"TP", 2},    {"BP", 6},
+                                 {"NN", 2},  {"SRAD1", 8}, {"SRAD2", 6}};
+
+TEST(Workloads, NamesCoverTableIII) {
+  const auto names = workload_names();
+  ASSERT_EQ(names.size(), 9u);
+  for (const auto& e : kAr)
+    EXPECT_NE(std::find(names.begin(), names.end(), e.name), names.end());
+}
+
+TEST(Workloads, UnknownNameThrows) {
+  EXPECT_THROW(make_workload("NOPE"), std::invalid_argument);
+}
+
+class WorkloadParamTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadParamTest, ApproxRegionCountMatchesTableIII) {
+  auto wl = make_workload(GetParam(), WorkloadScale::kTiny);
+  ApproxMemory mem;
+  wl->init(mem);
+  for (const auto& e : kAr) {
+    if (e.name == GetParam()) {
+      EXPECT_EQ(mem.safe_region_count(), e.ar);
+    }
+  }
+}
+
+TEST_P(WorkloadParamTest, GoldenRunDeterministic) {
+  auto run_once = [&] {
+    auto wl = make_workload(GetParam(), WorkloadScale::kTiny);
+    ApproxMemory mem;
+    wl->init(mem);
+    mem.commit_all();
+    wl->run(mem);
+    return wl->output(mem);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_P(WorkloadParamTest, GoldenOutputsFinite) {
+  auto wl = make_workload(GetParam(), WorkloadScale::kTiny);
+  ApproxMemory mem;
+  wl->init(mem);
+  mem.commit_all();
+  wl->run(mem);
+  for (float v : wl->output(mem)) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_P(WorkloadParamTest, RawCodecGivesZeroError) {
+  auto codec = std::make_shared<RawBlockCodec>(32);
+  const WorkloadRunResult r = run_workload(GetParam(), codec, WorkloadScale::kTiny);
+  EXPECT_EQ(r.error_pct, 0.0) << "uncompressed memory must be exact";
+  EXPECT_FALSE(r.trace.empty());
+}
+
+TEST_P(WorkloadParamTest, TraceAccessesHaveValidBursts) {
+  auto codec = std::make_shared<RawBlockCodec>(32);
+  const WorkloadRunResult r = run_workload(GetParam(), codec, WorkloadScale::kTiny);
+  for (const KernelTrace& k : r.trace) {
+    EXPECT_GT(k.compute_per_access, 0.0);
+    for (const TraceAccess& a : k.accesses) {
+      EXPECT_GE(a.bursts, 1u);
+      EXPECT_LE(a.bursts, 4u);
+      EXPECT_EQ(a.addr % kBlockBytes, 0u);
+    }
+  }
+}
+
+TEST_P(WorkloadParamTest, MemoryImageNonEmptyAndDeterministic) {
+  const auto a = workload_memory_image(GetParam(), WorkloadScale::kTiny);
+  const auto b = workload_memory_image(GetParam(), WorkloadScale::kTiny);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size() % kBlockBytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadParamTest,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(WorkloadMetrics, MatchTableIII) {
+  EXPECT_EQ(make_workload("JM", WorkloadScale::kTiny)->metric(), ErrorMetric::kMissRate);
+  EXPECT_EQ(make_workload("BS", WorkloadScale::kTiny)->metric(), ErrorMetric::kMre);
+  EXPECT_EQ(make_workload("DCT", WorkloadScale::kTiny)->metric(), ErrorMetric::kImageDiff);
+  EXPECT_EQ(make_workload("FWT", WorkloadScale::kTiny)->metric(), ErrorMetric::kNrmse);
+  EXPECT_EQ(make_workload("TP", WorkloadScale::kTiny)->metric(), ErrorMetric::kNrmse);
+  EXPECT_EQ(make_workload("BP", WorkloadScale::kTiny)->metric(), ErrorMetric::kMre);
+  EXPECT_EQ(make_workload("NN", WorkloadScale::kTiny)->metric(), ErrorMetric::kMre);
+  EXPECT_EQ(make_workload("SRAD1", WorkloadScale::kTiny)->metric(), ErrorMetric::kImageDiff);
+  EXPECT_EQ(make_workload("SRAD2", WorkloadScale::kTiny)->metric(), ErrorMetric::kImageDiff);
+}
+
+TEST(WorkloadTranspose, GoldenIsExactTranspose) {
+  auto wl = make_workload("TP", WorkloadScale::kTiny);
+  ApproxMemory mem;
+  wl->init(mem);
+  mem.commit_all();
+  wl->run(mem);
+  const auto in = mem.span<const float>(0);
+  const auto out = wl->output(mem);
+  const size_t d = 64;  // tiny scale dimension
+  for (size_t y = 0; y < d; y += 7)
+    for (size_t x = 0; x < d; x += 5) EXPECT_EQ(out[x * d + y], in[y * d + x]);
+}
+
+TEST(WorkloadJm, ProducesBothOutcomes) {
+  auto wl = make_workload("JM", WorkloadScale::kTiny);
+  ApproxMemory mem;
+  wl->init(mem);
+  mem.commit_all();
+  wl->run(mem);
+  const auto out = wl->bool_output(mem);
+  const size_t hits = static_cast<size_t>(std::count(out.begin(), out.end(), 1));
+  EXPECT_GT(hits, out.size() / 20) << "some pairs must intersect";
+  EXPECT_LT(hits, out.size() * 19 / 20) << "some pairs must miss";
+}
+
+}  // namespace
+}  // namespace slc
