@@ -22,11 +22,11 @@ int main() {
   std::vector<double> gm_speedup[5];
 
   for (const std::string& name : names) {
-    const FullRunResult base = full_run(name, CodecKind::kE2mc, mag, 16);
+    const FullRunResult base = full_run(name, "E2MC", mag, 16);
     std::vector<std::string> sp_cells = {name};
     std::vector<std::string> er_cells = {name};
     for (int t = 0; t < 5; ++t) {
-      const FullRunResult r = full_run(name, CodecKind::kTslcOpt, mag, thresholds[t]);
+      const FullRunResult r = full_run(name, "TSLC-OPT", mag, thresholds[t]);
       const double speedup =
           static_cast<double>(base.sim.cycles) / static_cast<double>(r.sim.cycles);
       gm_speedup[t].push_back(speedup);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/slc_compressor.h"
 #include "core/tree_selector.h"
 
 using namespace slc;
@@ -28,25 +29,22 @@ int main() {
 
   std::vector<double> waste_base_all, waste_opt_all;
   for (const std::string& name : names) {
-    const auto e2mc = trained_e2mc(name);
-    const std::vector<uint8_t> image = workload_memory_image(name);
-    const auto blocks = to_blocks(image);
+    const auto slc_comp = std::dynamic_pointer_cast<const SlcCompressor>(
+        CodecRegistry::instance().create("TSLC-PRED",
+                                         codec_options_for(name, mag, threshold)));
+    const SlcCodec& codec = slc_comp->codec();
+    const E2mcCompressor& e2mc = codec.lossless();
+    const auto blocks = to_blocks(workload_image_cached(name));
 
     const TreeSlcSelector base_sel(/*extra_nodes=*/false);
     const TreeSlcSelector opt_sel(/*extra_nodes=*/true);
-
-    SlcConfig cfg;
-    cfg.mag_bytes = mag;
-    cfg.threshold_bytes = threshold;
-    cfg.variant = SlcVariant::kPred;
-    const SlcCodec codec(e2mc, cfg);
 
     uint64_t lossy = 0, total = 0;
     uint64_t sym_base = 0, sym_opt = 0, waste_base = 0, waste_opt = 0, selections = 0;
     for (const Block& b : blocks) {
       ++total;
-      const auto lens = e2mc->code_lengths(b.view());
-      const auto lo = e2mc->layout(lens, codec.header_bits(b.size()));
+      const auto lens = e2mc.code_lengths(b.view());
+      const auto lo = e2mc.layout(lens, codec.header_bits(b.size()));
       const size_t comp = lo.total_bits;
       if (comp >= b.size() * 8) continue;
       const size_t budget = std::max(comp / (mag * 8) * (mag * 8), mag * 8);

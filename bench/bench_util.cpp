@@ -6,6 +6,7 @@
 namespace slc::bench {
 
 namespace {
+std::map<std::string, std::vector<uint8_t>> g_image_cache;
 std::map<std::string, std::shared_ptr<const E2mcCompressor>> g_e2mc_cache;
 std::mutex g_mutex;
 
@@ -14,82 +15,64 @@ std::string cache_key(const std::string& benchmark, WorkloadScale scale) {
 }
 }  // namespace
 
+const std::vector<uint8_t>& workload_image_cached(const std::string& benchmark,
+                                                  WorkloadScale scale) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const std::string key = cache_key(benchmark, scale);
+  auto it = g_image_cache.find(key);
+  if (it == g_image_cache.end())
+    it = g_image_cache.emplace(key, workload_memory_image(benchmark, scale)).first;
+  return it->second;
+}
+
 std::shared_ptr<const E2mcCompressor> trained_e2mc(const std::string& benchmark,
                                                    WorkloadScale scale) {
+  const std::vector<uint8_t>& image = workload_image_cached(benchmark, scale);
   std::lock_guard<std::mutex> lock(g_mutex);
   const std::string key = cache_key(benchmark, scale);
   auto it = g_e2mc_cache.find(key);
   if (it != g_e2mc_cache.end()) return it->second;
-  const std::vector<uint8_t> image = workload_memory_image(benchmark, scale);
   auto comp = E2mcCompressor::train(image, E2mcConfig{});
   g_e2mc_cache[key] = comp;
   return comp;
 }
 
-const char* to_string(CodecKind k) {
-  switch (k) {
-    case CodecKind::kRaw: return "RAW";
-    case CodecKind::kE2mc: return "E2MC";
-    case CodecKind::kTslcSimp: return "TSLC-SIMP";
-    case CodecKind::kTslcPred: return "TSLC-PRED";
-    case CodecKind::kTslcOpt: return "TSLC-OPT";
-  }
-  return "?";
+CodecOptions codec_options_for(const std::string& benchmark, size_t mag_bytes,
+                               size_t threshold_bytes, WorkloadScale scale) {
+  CodecOptions opts;
+  opts.mag_bytes = mag_bytes;
+  opts.threshold_bytes = threshold_bytes;
+  opts.training_data = workload_image_cached(benchmark, scale);
+  opts.trained_e2mc = trained_e2mc(benchmark, scale);
+  return opts;
 }
 
-GpuSimConfig sim_config_for(CodecKind kind, size_t mag_bytes) {
+GpuSimConfig sim_config_for(const std::string& scheme, size_t mag_bytes) {
+  const CodecInfo& info = CodecRegistry::instance().at(scheme);
   GpuSimConfig cfg;
   cfg.mag_bytes = mag_bytes;
-  switch (kind) {
-    case CodecKind::kRaw:
-      cfg.compress_latency = 0;
-      cfg.decompress_latency = 0;
-      break;
-    case CodecKind::kE2mc:
-      cfg.compress_latency = E2mcCompressor::kCompressLatency;     // 46
-      cfg.decompress_latency = E2mcCompressor::kDecompressLatency; // 20
-      break;
-    default:
-      cfg.compress_latency = SlcCodec::kCompressLatency;           // 60
-      cfg.decompress_latency = SlcCodec::kDecompressLatency;       // 20
-      break;
-  }
+  cfg.compress_latency = info.compress_latency;
+  cfg.decompress_latency = info.decompress_latency;
   return cfg;
 }
 
-std::shared_ptr<const BlockCodec> make_codec(CodecKind kind, const std::string& benchmark,
-                                             size_t mag_bytes, size_t threshold_bytes,
-                                             WorkloadScale scale) {
-  switch (kind) {
-    case CodecKind::kRaw:
-      return std::make_shared<RawBlockCodec>(mag_bytes);
-    case CodecKind::kE2mc:
-      return std::make_shared<LosslessBlockCodec>(trained_e2mc(benchmark, scale), mag_bytes);
-    case CodecKind::kTslcSimp:
-    case CodecKind::kTslcPred:
-    case CodecKind::kTslcOpt: {
-      SlcConfig cfg;
-      cfg.mag_bytes = mag_bytes;
-      cfg.threshold_bytes = threshold_bytes;
-      cfg.variant = kind == CodecKind::kTslcSimp   ? SlcVariant::kSimp
-                    : kind == CodecKind::kTslcPred ? SlcVariant::kPred
-                                                   : SlcVariant::kOpt;
-      return std::make_shared<SlcBlockCodec>(trained_e2mc(benchmark, scale), cfg);
-    }
-  }
-  return nullptr;
+std::shared_ptr<const BlockCodec> make_codec(const std::string& scheme,
+                                             const std::string& benchmark, size_t mag_bytes,
+                                             size_t threshold_bytes, WorkloadScale scale) {
+  return CodecRegistry::instance().create_block_codec(
+      scheme, codec_options_for(benchmark, mag_bytes, threshold_bytes, scale));
 }
 
-FullRunResult full_run(const std::string& benchmark, CodecKind kind, size_t mag_bytes,
-                       size_t threshold_bytes, WorkloadScale scale) {
+FullRunResult full_run(const std::string& benchmark, const std::string& scheme,
+                       size_t mag_bytes, size_t threshold_bytes, WorkloadScale scale) {
   FullRunResult out;
-  auto codec = make_codec(kind, benchmark, mag_bytes, threshold_bytes, scale);
+  auto codec = make_codec(scheme, benchmark, mag_bytes, threshold_bytes, scale);
   const WorkloadRunResult wr = run_workload(benchmark, codec, scale);
   out.error_pct = wr.error_pct;
   out.metric = wr.metric;
   out.commit = wr.stats;
 
-  const GpuSimConfig cfg = sim_config_for(kind, mag_bytes);
+  const GpuSimConfig cfg = sim_config_for(scheme, mag_bytes);
   GpuSim sim(cfg);
   out.sim = sim.run(wr.trace);
   out.energy = compute_energy(out.sim, cfg);

@@ -1,6 +1,10 @@
 // Shared harness for the per-figure/table bench binaries: per-benchmark E2MC
-// training, codec construction, full functional+timing runs, and table
-// formatting.
+// training, registry-driven codec construction, full functional+timing runs,
+// and table formatting.
+//
+// Codecs are referred to by their CodecRegistry names everywhere ("RAW",
+// "BDI", "E2MC", "TSLC-OPT", ...). Sweeping another scheme in a bench is a
+// one-line change: add its name to the list (or iterate the registry).
 #pragma once
 
 #include <map>
@@ -9,12 +13,18 @@
 #include <vector>
 
 #include "common/stats.h"
-#include "compress/e2mc.h"
+#include "compress/codec_registry.h"
+#include "engine/codec_engine.h"
 #include "sim/energy.h"
 #include "sim/gpu_sim.h"
 #include "workloads/workload.h"
 
 namespace slc::bench {
+
+/// Memoized copy of workload_memory_image() — the training sample / ratio
+/// study input for a benchmark. Stable storage, so spans over it stay valid.
+const std::vector<uint8_t>& workload_image_cached(const std::string& benchmark,
+                                                  WorkloadScale scale = WorkloadScale::kDefault);
 
 /// Trains the per-benchmark E2MC compressor the way the paper's online
 /// sampling does: evenly spaced blocks covering the benchmark's resident
@@ -22,10 +32,11 @@ namespace slc::bench {
 std::shared_ptr<const E2mcCompressor> trained_e2mc(const std::string& benchmark,
                                                    WorkloadScale scale = WorkloadScale::kDefault);
 
-/// Codec selection for a full-system run.
-enum class CodecKind : uint8_t { kRaw, kE2mc, kTslcSimp, kTslcPred, kTslcOpt };
-
-const char* to_string(CodecKind k);
+/// Registry options for a benchmark: trained E2MC model + training image +
+/// MAG/threshold, ready for CodecRegistry::create()/create_block_codec().
+CodecOptions codec_options_for(const std::string& benchmark, size_t mag_bytes,
+                               size_t threshold_bytes,
+                               WorkloadScale scale = WorkloadScale::kDefault);
 
 /// One full run: functional (error) + timing (cycles) + energy.
 struct FullRunResult {
@@ -38,18 +49,21 @@ struct FullRunResult {
   double edp = 0.0;
 };
 
-/// Simulator configuration for a codec at a MAG (sets pipeline latencies:
-/// E2MC 46/20, TSLC 60/20, RAW 0/0 — Sec. IV-A).
-GpuSimConfig sim_config_for(CodecKind kind, size_t mag_bytes);
+/// Simulator configuration for a registry scheme at a MAG (pipeline
+/// latencies come from the scheme's CodecInfo: E2MC 46/20, TSLC 60/20,
+/// RAW 0/0 — Sec. IV-A).
+GpuSimConfig sim_config_for(const std::string& scheme, size_t mag_bytes);
 
-/// Builds the BlockCodec for a kind/MAG/threshold triple.
-std::shared_ptr<const BlockCodec> make_codec(CodecKind kind, const std::string& benchmark,
-                                             size_t mag_bytes, size_t threshold_bytes,
+/// Builds the BlockCodec for a scheme/MAG/threshold triple via the registry.
+std::shared_ptr<const BlockCodec> make_codec(const std::string& scheme,
+                                             const std::string& benchmark, size_t mag_bytes,
+                                             size_t threshold_bytes,
                                              WorkloadScale scale = WorkloadScale::kDefault);
 
 /// Runs benchmark functionally + through the timing simulator.
-FullRunResult full_run(const std::string& benchmark, CodecKind kind, size_t mag_bytes,
-                       size_t threshold_bytes, WorkloadScale scale = WorkloadScale::kDefault);
+FullRunResult full_run(const std::string& benchmark, const std::string& scheme,
+                       size_t mag_bytes, size_t threshold_bytes,
+                       WorkloadScale scale = WorkloadScale::kDefault);
 
 /// Prints the standard bench banner (paper reference + configuration).
 void print_banner(const std::string& title, const std::string& paper_ref);

@@ -7,6 +7,7 @@
 #include "compress/bdi.h"
 #include "compress/cpack.h"
 #include "compress/fpc.h"
+#include "core/slc_codec.h"
 
 using namespace slc;
 using namespace slc::bench;

@@ -26,17 +26,18 @@ int main() {
 
   Histogram samples;  // the paper's right axis: how often each bucket occurs
 
+  CodecEngine engine;
   for (const std::string& name : names) {
-    const auto e2mc = trained_e2mc(name);
-    const std::vector<uint8_t> image = workload_memory_image(name);
-    const auto blocks = to_blocks(image);
+    const auto e2mc =
+        CodecRegistry::instance().create("E2MC", codec_options_for(name, mag, 16));
+    const std::vector<uint8_t>& image = workload_image_cached(name);
+    const auto res = engine.analyze_bytes(*e2mc, image, mag);
 
     Histogram h;
-    for (const Block& blk : blocks) {
-      const size_t bits = e2mc->compressed_bits(blk.view());
-      const size_t bytes = (bits + 7) / 8;
+    for (const BlockAnalysis& a : res.blocks) {
+      const size_t bytes = (a.bit_size + 7) / 8;
       size_t bucket;
-      if (bytes >= blk.size()) {
+      if (bytes >= kBlockBytes) {
         bucket = mag;  // stored uncompressed
       } else if (bytes <= mag) {
         bucket = 0;  // below one burst folds into the origin (Sec. II-B)

@@ -19,18 +19,25 @@ int main() {
                "Figure 8a/8b (Sec. V-B), threshold 16 B, MAG 32 B");
 
   const auto names = workload_names();
-  const CodecKind variants[] = {CodecKind::kTslcSimp, CodecKind::kTslcPred,
-                                CodecKind::kTslcOpt};
+  const std::vector<std::string> variants = CodecRegistry::instance().lossy_names();
 
-  TextTable bw({"Bench", "E2MC", "BW-SIMP", "BW-PRED", "BW-OPT"});
-  TextTable en({"Bench", "E-SIMP", "EDP-SIMP", "E-PRED", "EDP-PRED", "E-OPT", "EDP-OPT"});
-  std::vector<double> gm_bw[3], gm_e[3], gm_edp[3];
+  std::vector<std::string> bw_header = {"Bench", "E2MC"};
+  std::vector<std::string> en_header = {"Bench"};
+  for (const std::string& v : variants) {
+    bw_header.push_back("BW-" + v);
+    en_header.push_back("E-" + v);
+    en_header.push_back("EDP-" + v);
+  }
+  TextTable bw(bw_header);
+  TextTable en(en_header);
+  std::vector<std::vector<double>> gm_bw(variants.size()), gm_e(variants.size()),
+      gm_edp(variants.size());
 
   for (const std::string& name : names) {
-    const FullRunResult base = full_run(name, CodecKind::kE2mc, mag, threshold);
+    const FullRunResult base = full_run(name, "E2MC", mag, threshold);
     std::vector<std::string> bw_cells = {name, "1.000"};
     std::vector<std::string> en_cells = {name};
-    for (int v = 0; v < 3; ++v) {
+    for (size_t v = 0; v < variants.size(); ++v) {
       const FullRunResult r = full_run(name, variants[v], mag, threshold);
       // Off-chip traffic: DRAM bursts (data + metadata) — the reciprocal of
       // the effective compression ratio, Sec. V-B.
@@ -54,7 +61,7 @@ int main() {
   for (auto& v : gm_bw) bw_gm.push_back(TextTable::fmt(geometric_mean(v), 3));
   bw.add_row(bw_gm);
   std::vector<std::string> en_gm = {"GM"};
-  for (int v = 0; v < 3; ++v) {
+  for (size_t v = 0; v < variants.size(); ++v) {
     en_gm.push_back(TextTable::fmt(geometric_mean(gm_e[v]), 3));
     en_gm.push_back(TextTable::fmt(geometric_mean(gm_edp[v]), 3));
   }

@@ -29,8 +29,8 @@ int main() {
     for (int m = 0; m < 3; ++m) {
       const size_t mag = mags[m];
       const size_t threshold = mag / 2;
-      const FullRunResult base = full_run(name, CodecKind::kE2mc, mag, threshold);
-      const FullRunResult r = full_run(name, CodecKind::kTslcOpt, mag, threshold);
+      const FullRunResult base = full_run(name, "E2MC", mag, threshold);
+      const FullRunResult r = full_run(name, "TSLC-OPT", mag, threshold);
       if (!metric_set) {
         er_cells.push_back(to_string(r.metric));
         metric_set = true;

@@ -21,16 +21,20 @@ int main() {
   std::vector<double> raw_all;
   std::vector<double> eff_all[3];
 
+  CodecEngine engine;
   for (const std::string& name : names) {
-    const auto e2mc = trained_e2mc(name);
-    const std::vector<uint8_t> image = workload_memory_image(name);
-    const auto blocks = to_blocks(image);
+    const auto e2mc =
+        CodecRegistry::instance().create("E2MC", codec_options_for(name, kDefaultMagBytes, 16));
+    const std::vector<uint8_t>& image = workload_image_cached(name);
+    // One size-only engine pass; the per-MAG rounding happens in the
+    // accumulators (raw bits do not depend on MAG).
+    const auto res = engine.analyze_bytes(*e2mc, image, kDefaultMagBytes);
 
     std::vector<std::string> cells = {name};
     double raw = 0;
     for (int m = 0; m < 3; ++m) {
       RatioAccumulator acc(mags[m]);
-      for (const Block& b : blocks) acc.add(b.size() * 8, e2mc->compressed_bits(b.view()));
+      for (const BlockAnalysis& a : res.blocks) acc.add(kBlockBytes * 8, a.bit_size);
       if (m == 0) {
         raw = acc.raw_ratio();
         raw_all.push_back(raw);

@@ -9,10 +9,9 @@
 #include <string>
 
 #include "common/stats.h"
-#include "compress/bdi.h"
-#include "compress/cpack.h"
-#include "compress/fpc.h"
-#include "core/slc_codec.h"
+#include "compress/codec_registry.h"
+#include "core/slc_compressor.h"
+#include "engine/codec_engine.h"
 #include "workloads/workload.h"
 
 using namespace slc;
@@ -28,26 +27,26 @@ int main(int argc, char** argv) {
   std::printf("memory image: %zu blocks (%.1f MB)\n\n", blocks.size(),
               static_cast<double>(image.size()) / 1e6);
 
-  E2mcConfig ecfg;
-  auto e2mc = E2mcCompressor::train(image, ecfg);
-  SlcConfig cfg;
-  cfg.mag_bytes = mag;
-  cfg.threshold_bytes = threshold;
-  cfg.variant = SlcVariant::kOpt;
-  const SlcCodec codec(e2mc, cfg);
+  CodecOptions opts;
+  opts.mag_bytes = mag;
+  opts.threshold_bytes = threshold;
+  opts.training_data = image;
+  opts.trained_e2mc = std::dynamic_pointer_cast<const E2mcCompressor>(
+      CodecRegistry::instance().create("E2MC", opts));
+  const auto slc_comp = std::dynamic_pointer_cast<const SlcCompressor>(
+      CodecRegistry::instance().create("TSLC-OPT", opts));
+  const SlcCodec& codec = slc_comp->codec();
+  CodecEngine engine;
 
-  // Scheme comparison (the Fig. 1 view of this one benchmark).
+  // Scheme comparison (the Fig. 1 view of this one benchmark): every
+  // lossless scheme in the registry, block stream batched by the engine.
   {
-    const BdiCompressor bdi;
-    const FpcCompressor fpc;
-    const CpackCompressor cpack;
-    const Compressor* schemes[] = {&bdi, &fpc, &cpack, e2mc.get()};
     std::printf("%-8s %10s %10s\n", "scheme", "raw", "effective");
-    for (const Compressor* c : schemes) {
-      RatioAccumulator acc(mag);
-      for (const Block& b : blocks) acc.add(b.size() * 8, c->compressed_bits(b.view()));
-      std::printf("%-8s %10.3f %10.3f\n", c->name().c_str(), acc.raw_ratio(),
-                  acc.effective_ratio());
+    for (const std::string& name : CodecRegistry::instance().lossless_names()) {
+      const auto comp = CodecRegistry::instance().create(name, opts);
+      const auto res = engine.analyze_bytes(*comp, image, mag);
+      std::printf("%-8s %10.3f %10.3f\n", name.c_str(), res.ratios.raw_ratio(),
+                  res.ratios.effective_ratio());
     }
   }
 

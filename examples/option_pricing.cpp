@@ -5,6 +5,7 @@
 // is not — so SLC only ever truncates blocks of the safe regions.
 #include <cstdio>
 
+#include "compress/codec_registry.h"
 #include "workloads/workload.h"
 
 using namespace slc;
@@ -12,22 +13,23 @@ using namespace slc;
 int main() {
   const std::string name = "BS";
   const std::vector<uint8_t> image = workload_memory_image(name);
-  auto e2mc = E2mcCompressor::train(image, E2mcConfig{});
+  CodecOptions opts;
+  opts.mag_bytes = 32;
+  opts.training_data = image;
+  opts.trained_e2mc = std::dynamic_pointer_cast<const E2mcCompressor>(
+      CodecRegistry::instance().create("E2MC", opts));
 
   std::printf("BlackScholes option pricing with SLC\n");
   std::printf("------------------------------------\n");
   std::printf("%-10s %-10s %-12s %-12s %-10s\n", "variant", "thresh", "lossy blk %",
               "avg bursts", "MRE %");
 
-  for (SlcVariant variant : {SlcVariant::kSimp, SlcVariant::kPred, SlcVariant::kOpt}) {
+  for (const std::string& variant : CodecRegistry::instance().lossy_names()) {
     for (size_t threshold : {8, 16, 32}) {
-      SlcConfig cfg;
-      cfg.mag_bytes = 32;
-      cfg.threshold_bytes = threshold;
-      cfg.variant = variant;
-      auto codec = std::make_shared<SlcBlockCodec>(e2mc, cfg);
+      opts.threshold_bytes = threshold;
+      auto codec = CodecRegistry::instance().create_block_codec(variant, opts);
       const WorkloadRunResult r = run_workload(name, codec);
-      std::printf("%-10s %-10zu %-12.2f %-12.3f %-10.4f\n", to_string(variant), threshold,
+      std::printf("%-10s %-10zu %-12.2f %-12.3f %-10.4f\n", variant.c_str(), threshold,
                   r.stats.lossy_fraction() * 100.0, r.stats.avg_bursts(), r.error_pct);
     }
   }

@@ -7,8 +7,8 @@
 #include <vector>
 
 #include "common/block.h"
-#include "compress/e2mc.h"
-#include "core/slc_codec.h"
+#include "compress/codec_registry.h"
+#include "core/slc_compressor.h"
 
 using namespace slc;
 
@@ -26,14 +26,18 @@ int main() {
     block.set_word32(i, bits);
   }
 
-  // 1. Train the lossless baseline (E2MC) on a sample of the data the
-  //    application will move. Here: the block itself, repeated.
+  // 1. Build the lossless baseline (E2MC) by registry name, trained on a
+  //    sample of the data the application will move. Here: the block itself,
+  //    repeated.
   std::vector<uint8_t> sample;
   for (int rep = 0; rep < 64; ++rep)
     sample.insert(sample.end(), block.bytes().begin(), block.bytes().end());
-  E2mcConfig e2mc_cfg;
-  e2mc_cfg.sample_fraction = 1.0;
-  auto e2mc = E2mcCompressor::train(sample, e2mc_cfg);
+  CodecOptions opts;
+  opts.mag_bytes = 32;
+  opts.threshold_bytes = 16;
+  opts.training_data = sample;
+  opts.e2mc.sample_fraction = 1.0;
+  auto e2mc = CodecRegistry::instance().create("E2MC", opts);
 
   const CompressedBlock lossless = e2mc->compress(block.view());
   std::printf("E2MC lossless: %zu bits (%.1f B) for a %zu B block\n", lossless.bit_size,
@@ -42,16 +46,16 @@ int main() {
               bursts_for_bits(lossless.bit_size, 32),
               bursts_for_bits(lossless.bit_size, 32) * 32);
 
-  // 2. The same block through SLC: if the compressed size is a few bytes
-  //    above a burst multiple, SLC truncates symbols to fit the budget.
-  SlcConfig cfg;
-  cfg.mag_bytes = 32;
-  cfg.threshold_bytes = 16;
-  cfg.variant = SlcVariant::kOpt;
-  const SlcCodec codec(e2mc, cfg);
+  // 2. The same block through SLC (constructed by name too): if the
+  //    compressed size is a few bytes above a burst multiple, SLC truncates
+  //    symbols to fit the budget.
+  const auto slc_comp = std::dynamic_pointer_cast<const SlcCompressor>(
+      CodecRegistry::instance().create("TSLC-OPT", opts));
+  const SlcCodec& codec = slc_comp->codec();
   const SlcCompressedBlock sc = codec.compress(block.view());
 
-  std::printf("\nSLC (%s, threshold %zu B):\n", to_string(cfg.variant), cfg.threshold_bytes);
+  std::printf("\nSLC (%s, threshold %zu B):\n", slc_comp->name().c_str(),
+              codec.config().threshold_bytes);
   std::printf("  lossless size : %zu bits\n", sc.info.lossless_bits);
   std::printf("  bit budget gap: %zu extra bits above the burst multiple\n",
               sc.info.extra_bits);

@@ -5,6 +5,7 @@
 // metrics, and the functional/timing split.
 #include <cstdio>
 
+#include "compress/codec_registry.h"
 #include "metrics/error_metrics.h"
 #include "sim/energy.h"
 #include "sim/gpu_sim.h"
@@ -17,31 +18,34 @@ int main() {
 
   // Train E2MC on the workload's memory image (online sampling stand-in).
   const std::vector<uint8_t> image = workload_memory_image(name);
-  auto e2mc = E2mcCompressor::train(image, E2mcConfig{});
+  CodecOptions opts;
+  opts.mag_bytes = 32;
+  opts.threshold_bytes = 16;  // the paper's default lossy threshold
+  opts.training_data = image;
+  opts.trained_e2mc = std::dynamic_pointer_cast<const E2mcCompressor>(
+      CodecRegistry::instance().create("E2MC", opts));
+  const CodecRegistry& registry = CodecRegistry::instance();
 
   std::printf("SRAD2 through the SLC memory system\n");
   std::printf("-----------------------------------\n");
 
   // Baseline: lossless E2MC.
-  auto base_codec = std::make_shared<LosslessBlockCodec>(e2mc, 32);
+  auto base_codec = registry.create_block_codec("E2MC", opts);
   const WorkloadRunResult base = run_workload(name, base_codec);
 
   GpuSimConfig base_cfg;
-  base_cfg.compress_latency = E2mcCompressor::kCompressLatency;
-  base_cfg.decompress_latency = E2mcCompressor::kDecompressLatency;
+  base_cfg.compress_latency = registry.at("E2MC").compress_latency;
+  base_cfg.decompress_latency = registry.at("E2MC").decompress_latency;
   GpuSim base_sim(base_cfg);
   const SimStats base_stats = base_sim.run(base.trace);
 
   // SLC with the paper's default threshold.
-  SlcConfig cfg;
-  cfg.mag_bytes = 32;
-  cfg.threshold_bytes = 16;
-  cfg.variant = SlcVariant::kOpt;
-  auto slc_codec = std::make_shared<SlcBlockCodec>(e2mc, cfg);
+  auto slc_codec = registry.create_block_codec("TSLC-OPT", opts);
   const WorkloadRunResult slc = run_workload(name, slc_codec);
 
   GpuSimConfig slc_cfg = base_cfg;
-  slc_cfg.compress_latency = SlcCodec::kCompressLatency;
+  slc_cfg.compress_latency = registry.at("TSLC-OPT").compress_latency;
+  slc_cfg.decompress_latency = registry.at("TSLC-OPT").decompress_latency;
   GpuSim slc_sim(slc_cfg);
   const SimStats slc_stats = slc_sim.run(slc.trace);
 

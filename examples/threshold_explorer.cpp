@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "compress/codec_registry.h"
 #include "workloads/workload.h"
 
 using namespace slc;
@@ -19,7 +20,12 @@ int main(int argc, char** argv) {
   const double target = argc > 2 ? std::atof(argv[2]) : 1.0;
 
   const std::vector<uint8_t> image = workload_memory_image(name);
-  auto e2mc = E2mcCompressor::train(image, E2mcConfig{});
+  CodecOptions opts;
+  opts.mag_bytes = 32;
+  opts.training_data = image;
+  // Train once, reuse the model for every codec built below.
+  opts.trained_e2mc = std::dynamic_pointer_cast<const E2mcCompressor>(
+      CodecRegistry::instance().create("E2MC", opts));
 
   std::printf("Threshold exploration for %s (target error <= %.3f%%)\n", name.c_str(), target);
   std::printf("%-10s %-12s %-12s %-12s\n", "threshold", "lossy blk %", "traffic", "error %");
@@ -28,16 +34,13 @@ int main(int argc, char** argv) {
   double best_traffic = 1.0;
 
   // Baseline traffic: lossless E2MC bursts.
-  auto base_codec = std::make_shared<LosslessBlockCodec>(e2mc, 32);
+  auto base_codec = CodecRegistry::instance().create_block_codec("E2MC", opts);
   const WorkloadRunResult base = run_workload(name, base_codec);
   const double base_bursts = static_cast<double>(base.stats.bursts);
 
   for (size_t threshold : {2, 4, 8, 12, 16, 20, 24, 28, 32}) {
-    SlcConfig cfg;
-    cfg.mag_bytes = 32;
-    cfg.threshold_bytes = threshold;
-    cfg.variant = SlcVariant::kOpt;
-    auto codec = std::make_shared<SlcBlockCodec>(e2mc, cfg);
+    opts.threshold_bytes = threshold;
+    auto codec = CodecRegistry::instance().create_block_codec("TSLC-OPT", opts);
     const WorkloadRunResult r = run_workload(name, codec);
     const double traffic = static_cast<double>(r.stats.bursts) / base_bursts;
     std::printf("%-10zu %-12.2f %-12.3f %-12.4f\n", threshold,

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/bitstream.h"
+#include "compress/codec_registry.h"
 
 namespace slc {
 
@@ -217,5 +218,31 @@ Block BdiCompressor::decompress(const CompressedBlock& cb, size_t block_bytes) c
     }
   }
 }
+
+BlockAnalysis BdiCompressor::analyze(BlockView block) const {
+  const BdiEncoding enc = best_encoding(block);
+  BlockAnalysis a;
+  a.is_compressed = enc != BdiEncoding::kUncompressed;
+  a.bit_size = encoding_bits(enc, block.size());
+  a.lossless_bits = a.bit_size;
+  return a;
+}
+
+namespace {
+const CodecRegistrar bdi_registrar({
+    .name = "BDI",
+    .scheme = "base-delta-immediate",
+    .paper = "Pekhimenko et al., PACT 2012 (paper Fig. 1 baseline)",
+    .order = 0,
+    .lossy = false,
+    .needs_training = false,
+    .compress_latency = 2,
+    .decompress_latency = 1,
+    .make = [](const CodecOptions&) -> std::shared_ptr<const Compressor> {
+      return std::make_shared<BdiCompressor>();
+    },
+    .make_block_codec = nullptr,
+});
+}  // namespace
 
 }  // namespace slc

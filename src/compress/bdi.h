@@ -30,6 +30,8 @@ class BdiCompressor : public Compressor {
   std::string name() const override { return "BDI"; }
   CompressedBlock compress(BlockView block) const override;
   Block decompress(const CompressedBlock& cb, size_t block_bytes) const override;
+  /// Size-only: picks the winning encoding without emitting the bit stream.
+  BlockAnalysis analyze(BlockView block) const override;
 
   /// Exposes the winning encoding for a block (used by tests and ablations).
   static BdiEncoding best_encoding(BlockView block);

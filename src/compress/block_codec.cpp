@@ -1,0 +1,48 @@
+#include "compress/block_codec.h"
+
+#include "compress/codec_registry.h"
+
+namespace slc {
+
+BlockCodecResult RawBlockCodec::process(BlockView block, bool, size_t) const {
+  BlockCodecResult r;
+  r.bursts = max_bursts(block.size());
+  r.lossless_bits = block.size() * 8;
+  r.final_bits = block.size() * 8;
+  r.stored_uncompressed = true;
+  r.decoded = Block(block.bytes());
+  return r;
+}
+
+BlockCodecResult LosslessBlockCodec::process(BlockView block, bool, size_t) const {
+  BlockCodecResult r;
+  // Size-only path: no payload is needed for a lossless codec (the roundtrip
+  // identity is enforced separately by the unit tests).
+  const BlockAnalysis a = comp_->analyze(block);
+  r.lossless_bits = a.bit_size;
+  r.final_bits = a.bit_size;
+  r.stored_uncompressed = !a.is_compressed || a.bit_size >= block.size() * 8;
+  r.bursts = bursts_for_bits(a.bit_size, mag_, block.size());
+  r.decoded = Block(block.bytes());
+  return r;
+}
+
+namespace {
+const CodecRegistrar raw_registrar({
+    .name = "RAW",
+    .scheme = "uncompressed baseline",
+    .paper = "baseline configuration (Sec. IV)",
+    .order = -1,
+    .lossy = false,
+    .needs_training = false,
+    .compress_latency = 0,
+    .decompress_latency = 0,
+    .make = nullptr,  // RAW has no Compressor form
+    .make_block_codec =
+        [](const CodecOptions& opts) -> std::shared_ptr<const BlockCodec> {
+      return std::make_shared<RawBlockCodec>(opts.mag_bytes);
+    },
+});
+}  // namespace
+
+}  // namespace slc

@@ -1,18 +1,19 @@
 // BlockCodec: the memory-controller compression policy applied to every
 // block that crosses the DRAM pin boundary.
 //
-// Three policies model the paper's configurations:
+// The interface and the scheme-agnostic policies live here in the compress
+// layer; the paper's selective lossy policy (SlcBlockCodec) lives in
+// core/slc_block_codec.h. Policies are normally constructed by name through
+// CodecRegistry::create_block_codec().
 //   RawBlockCodec      — no compression (every block costs all bursts)
 //   LosslessBlockCodec — any lossless Compressor (E2MC baseline, BDI, ...)
-//   SlcBlockCodec      — the paper's selective lossy codec
 // process() returns the burst count (timing) and the block contents as the
-// GPU will later observe them (functional); only SLC in lossy mode mutates.
+// GPU will later observe them (functional); only lossy codecs mutate.
 #pragma once
 
 #include <memory>
 
 #include "compress/compressor.h"
-#include "core/slc_codec.h"
 
 namespace slc {
 
@@ -33,7 +34,8 @@ class BlockCodec {
 
   /// Compresses + decompresses one block. `safe_to_approx` and
   /// `threshold_bytes` come from the region's extended-cudaMalloc annotation;
-  /// codecs without a lossy mode ignore them.
+  /// codecs without a lossy mode ignore them. Must be safe to call
+  /// concurrently from CodecEngine workers (all bundled policies are).
   virtual BlockCodecResult process(BlockView block, bool safe_to_approx,
                                    size_t threshold_bytes) const = 0;
 
@@ -71,24 +73,6 @@ class LosslessBlockCodec final : public BlockCodec {
  private:
   std::shared_ptr<const Compressor> comp_;
   size_t mag_;
-};
-
-/// The paper's SLC codec. Unsafe regions are forced down the lossless path
-/// (threshold 0); safe regions use min(region threshold, config threshold).
-class SlcBlockCodec final : public BlockCodec {
- public:
-  SlcBlockCodec(std::shared_ptr<const E2mcCompressor> lossless, SlcConfig cfg);
-  BlockCodecResult process(BlockView block, bool safe_to_approx,
-                           size_t threshold_bytes) const override;
-  size_t mag_bytes() const override { return cfg_.mag_bytes; }
-  std::string name() const override { return to_string(cfg_.variant); }
-  const SlcConfig& config() const { return cfg_; }
-
- private:
-  std::shared_ptr<const E2mcCompressor> lossless_;
-  SlcConfig cfg_;
-  SlcCodec codec_;
-  SlcCodec codec_lossless_only_;  ///< threshold 0, for unsafe regions
 };
 
 }  // namespace slc

@@ -1,0 +1,85 @@
+#include "compress/codec_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "compress/block_codec.h"
+
+namespace slc {
+
+CodecRegistry& CodecRegistry::instance() {
+  static CodecRegistry reg;
+  return reg;
+}
+
+void CodecRegistry::add(CodecInfo info) {
+  if (info.name.empty()) throw std::logic_error("codec registration with empty name");
+  auto [it, inserted] = by_name_.emplace(info.name, std::move(info));
+  if (!inserted) throw std::logic_error("duplicate codec registration: " + it->first);
+}
+
+const CodecInfo* CodecRegistry::find(std::string_view name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &it->second;
+}
+
+const CodecInfo& CodecRegistry::at(std::string_view name) const {
+  if (const CodecInfo* info = find(name)) return *info;
+  std::string known;
+  for (const std::string& n : names()) known += (known.empty() ? "" : ", ") + n;
+  throw std::out_of_range("unknown codec \"" + std::string(name) + "\" (known: " + known + ")");
+}
+
+std::shared_ptr<const Compressor> CodecRegistry::create(std::string_view name,
+                                                        const CodecOptions& opts) const {
+  const CodecInfo& info = at(name);
+  if (!info.make)
+    throw std::invalid_argument(info.name + " has no Compressor form (BlockCodec only)");
+  if (info.needs_training && opts.training_data.empty() && !opts.trained_e2mc)
+    throw std::invalid_argument(info.name +
+                                " needs CodecOptions::training_data (or a trained_e2mc)");
+  return info.make(opts);
+}
+
+std::shared_ptr<const BlockCodec> CodecRegistry::create_block_codec(
+    std::string_view name, const CodecOptions& opts) const {
+  const CodecInfo& info = at(name);
+  if (info.make_block_codec) return info.make_block_codec(opts);
+  return std::make_shared<LosslessBlockCodec>(create(name, opts), opts.mag_bytes);
+}
+
+std::vector<const CodecInfo*> CodecRegistry::entries() const {
+  std::vector<const CodecInfo*> out;
+  out.reserve(by_name_.size());
+  for (const auto& [_, info] : by_name_) out.push_back(&info);
+  std::stable_sort(out.begin(), out.end(), [](const CodecInfo* a, const CodecInfo* b) {
+    return a->order != b->order ? a->order < b->order : a->name < b->name;
+  });
+  return out;
+}
+
+std::vector<std::string> CodecRegistry::names() const {
+  std::vector<std::string> out;
+  for (const CodecInfo* info : entries()) out.push_back(info->name);
+  return out;
+}
+
+std::vector<std::string> CodecRegistry::lossless_names() const {
+  std::vector<std::string> out;
+  for (const CodecInfo* info : entries())
+    if (info->make && !info->lossy) out.push_back(info->name);
+  return out;
+}
+
+std::vector<std::string> CodecRegistry::lossy_names() const {
+  std::vector<std::string> out;
+  for (const CodecInfo* info : entries())
+    if (info->make && info->lossy) out.push_back(info->name);
+  return out;
+}
+
+CodecRegistrar::CodecRegistrar(CodecInfo info) {
+  CodecRegistry::instance().add(std::move(info));
+}
+
+}  // namespace slc

@@ -1,8 +1,32 @@
 #include "compress/compressor.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace slc {
+
+BlockAnalysis Compressor::analyze(BlockView block) const {
+  const CompressedBlock cb = compress(block);
+  BlockAnalysis a;
+  a.bit_size = cb.bit_size;
+  a.is_compressed = cb.is_compressed;
+  a.lossless_bits = cb.bit_size;
+  return a;
+}
+
+std::vector<CompressedBlock> Compressor::compress_batch(std::span<const Block> blocks) const {
+  std::vector<CompressedBlock> out;
+  out.reserve(blocks.size());
+  for (const Block& b : blocks) out.push_back(compress(b.view()));
+  return out;
+}
+
+std::vector<BlockAnalysis> Compressor::analyze_batch(std::span<const Block> blocks) const {
+  std::vector<BlockAnalysis> out;
+  out.reserve(blocks.size());
+  for (const Block& b : blocks) out.push_back(analyze(b.view()));
+  return out;
+}
 
 void RatioAccumulator::add(size_t original_bits, size_t compressed_bits) {
   ++blocks_;
@@ -16,6 +40,14 @@ void RatioAccumulator::add(size_t original_bits, size_t compressed_bits) {
   eff = std::max(eff, mag_bytes_ * 8);
   eff = std::min(eff, original_bits);
   effective_bits_ += eff;
+}
+
+void RatioAccumulator::merge(const RatioAccumulator& other) {
+  assert(mag_bytes_ == other.mag_bytes_);
+  blocks_ += other.blocks_;
+  original_bits_ += other.original_bits_;
+  raw_bits_ += other.raw_bits_;
+  effective_bits_ += other.effective_bits_;
 }
 
 double RatioAccumulator::raw_ratio() const {

@@ -1,5 +1,6 @@
-// Common interface for block compressors (BDI, FPC, C-PACK, E2MC) plus the
-// raw/effective compression-ratio bookkeeping from the paper.
+// Common interface for block compressors (BDI, FPC, C-PACK, E2MC, Huffman,
+// and the SLC adapters) plus the raw/effective compression-ratio bookkeeping
+// from the paper.
 //
 // All schemes operate on one 128 B memory block at a time and report an exact
 // compressed size in bits. The *raw* ratio divides original bits by these
@@ -29,6 +30,18 @@ struct CompressedBlock {
   size_t byte_size() const { return (bit_size + 7) / 8; }
 };
 
+/// Size-only outcome of compressing one block — everything the ratio studies
+/// and the timing simulator need, without materializing a payload. For
+/// lossless schemes `lossless_bits == bit_size` and the lossy fields stay
+/// zero; the SLC adapters fill all fields from the Fig. 4 mode decision.
+struct BlockAnalysis {
+  size_t bit_size = 0;          ///< stored size in bits (raw size if uncompressed)
+  bool is_compressed = false;
+  bool lossy = false;           ///< symbols were approximated (SLC only)
+  size_t lossless_bits = 0;     ///< size before any truncation
+  size_t truncated_symbols = 0; ///< approximated symbols (SLC only)
+};
+
 /// Abstract block compressor.
 class Compressor {
  public:
@@ -45,8 +58,19 @@ class Compressor {
   /// Exact inverse of compress(). `block_bytes` is the original block size.
   virtual Block decompress(const CompressedBlock& cb, size_t block_bytes) const = 0;
 
-  /// Size-only fast path used by the ratio studies (Fig. 1 / Fig. 2).
-  virtual size_t compressed_bits(BlockView block) const { return compress(block).bit_size; }
+  /// Size-only fast path: must report exactly the sizes compress() would,
+  /// without building the bit stream. The default derives the answer from a
+  /// full compress(); every bundled scheme overrides it with a counting pass.
+  virtual BlockAnalysis analyze(BlockView block) const;
+
+  /// Convenience wrapper over analyze() — the ratio studies' common call.
+  size_t compressed_bits(BlockView block) const { return analyze(block).bit_size; }
+
+  /// Batch entry points used by the CodecEngine. The defaults loop over
+  /// blocks; schemes with cross-block state or vector implementations may
+  /// override. Results are index-aligned with `blocks`.
+  virtual std::vector<CompressedBlock> compress_batch(std::span<const Block> blocks) const;
+  virtual std::vector<BlockAnalysis> analyze_batch(std::span<const Block> blocks) const;
 };
 
 /// Accumulates raw and effective compression ratios over a stream of blocks
@@ -58,6 +82,11 @@ class RatioAccumulator {
   explicit RatioAccumulator(size_t mag_bytes = kDefaultMagBytes) : mag_bytes_(mag_bytes) {}
 
   void add(size_t original_bits, size_t compressed_bits);
+
+  /// Folds another accumulator (same MAG) into this one. All counters are
+  /// integers, so merging is exact and order-independent — the property the
+  /// CodecEngine relies on for thread-count-invariant results.
+  void merge(const RatioAccumulator& other);
 
   double raw_ratio() const;
   double effective_ratio() const;

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "common/bitstream.h"
+#include "compress/codec_registry.h"
 
 namespace slc {
 
@@ -184,5 +185,56 @@ Block CpackCompressor::decompress(const CompressedBlock& cb, size_t block_bytes)
   }
   return out;
 }
+
+BlockAnalysis CpackCompressor::analyze(BlockView block) const {
+  // Mirror of compress(): same dictionary walk (the FIFO must see the same
+  // push sequence), summing code sizes instead of emitting bits.
+  const size_t n_words = block.size() / 4;
+  FifoDict dict(dict_entries_);
+  size_t bits = 0;
+  for (size_t i = 0; i < n_words; ++i) {
+    const uint32_t word = block.word32(i);
+    if (word == 0) {
+      bits += code_bits(CpackCode::kZZZZ);
+    } else if ((word & 0xFFFFFF00u) == 0) {
+      bits += code_bits(CpackCode::kZZZX);
+    } else if (dict.find_full(word) >= 0) {
+      bits += code_bits(CpackCode::kMMMM);
+    } else if (dict.find_partial(word, 3) >= 0) {
+      bits += code_bits(CpackCode::kMMMX);
+      dict.push(word);
+    } else if (dict.find_partial(word, 2) >= 0) {
+      bits += code_bits(CpackCode::kMMXX);
+      dict.push(word);
+    } else {
+      bits += code_bits(CpackCode::kXXXX);
+      dict.push(word);
+    }
+  }
+
+  BlockAnalysis a;
+  const size_t raw_bits = block.size() * 8;
+  a.is_compressed = bits < raw_bits;
+  a.bit_size = a.is_compressed ? bits : raw_bits;
+  a.lossless_bits = a.bit_size;
+  return a;
+}
+
+namespace {
+const CodecRegistrar cpack_registrar({
+    .name = "C-PACK",
+    .scheme = "dictionary + zero patterns",
+    .paper = "Chen et al., IEEE TVLSI 2010 (paper Fig. 1 baseline)",
+    .order = 2,
+    .lossy = false,
+    .needs_training = false,
+    .compress_latency = 8,
+    .decompress_latency = 8,
+    .make = [](const CodecOptions&) -> std::shared_ptr<const Compressor> {
+      return std::make_shared<CpackCompressor>();
+    },
+    .make_block_codec = nullptr,
+});
+}  // namespace
 
 }  // namespace slc

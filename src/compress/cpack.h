@@ -27,6 +27,8 @@ class CpackCompressor : public Compressor {
   std::string name() const override { return "C-PACK"; }
   CompressedBlock compress(BlockView block) const override;
   Block decompress(const CompressedBlock& cb, size_t block_bytes) const override;
+  /// Size-only: runs the dictionary pass summing code bits, no bit stream.
+  BlockAnalysis analyze(BlockView block) const override;
 
   /// Encoded bits for a code (prefix + index + literal bytes).
   unsigned code_bits(CpackCode c) const;

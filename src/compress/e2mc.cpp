@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bitstream.h"
+#include "compress/codec_registry.h"
 
 namespace slc {
 
@@ -52,11 +53,15 @@ WayLayout E2mcCompressor::layout(std::span<const uint16_t> code_lens, size_t hea
   return lo;
 }
 
-size_t E2mcCompressor::compressed_bits(BlockView block) const {
+BlockAnalysis E2mcCompressor::analyze(BlockView block) const {
   const auto lens = code_lengths(block);
   const WayLayout lo = layout(lens, header_bits(block.size()));
   const size_t raw_bits = block.size() * 8;
-  return lo.total_bits >= raw_bits ? raw_bits : lo.total_bits;
+  BlockAnalysis a;
+  a.is_compressed = lo.total_bits < raw_bits;
+  a.bit_size = a.is_compressed ? lo.total_bits : raw_bits;
+  a.lossless_bits = a.bit_size;
+  return a;
 }
 
 CompressedBlock E2mcCompressor::compress(BlockView block) const {
@@ -140,5 +145,23 @@ Block E2mcCompressor::decompress(const CompressedBlock& cb, size_t block_bytes) 
   }
   return out;
 }
+
+namespace {
+const CodecRegistrar e2mc_registrar({
+    .name = "E2MC",
+    .scheme = "entropy coding, 4 parallel decoding ways",
+    .paper = "Lal et al., IPDPS 2017 (paper Sec. II-B, lossless baseline)",
+    .order = 3,
+    .lossy = false,
+    .needs_training = true,
+    .compress_latency = E2mcCompressor::kCompressLatency,
+    .decompress_latency = E2mcCompressor::kDecompressLatency,
+    .make = [](const CodecOptions& opts) -> std::shared_ptr<const Compressor> {
+      if (opts.trained_e2mc) return opts.trained_e2mc;
+      return E2mcCompressor::train(opts.training_data, opts.e2mc);
+    },
+    .make_block_codec = nullptr,
+});
+}  // namespace
 
 }  // namespace slc

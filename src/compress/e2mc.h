@@ -46,7 +46,8 @@ class E2mcCompressor : public Compressor {
   std::string name() const override { return "E2MC"; }
   CompressedBlock compress(BlockView block) const override;
   Block decompress(const CompressedBlock& cb, size_t block_bytes) const override;
-  size_t compressed_bits(BlockView block) const override;
+  /// Size-only: sums code lengths through the way layout, no bit stream.
+  BlockAnalysis analyze(BlockView block) const override;
 
   /// Per-symbol encoded lengths for a block — the values the TSLC tree adder
   /// reads from the compressor's code-length table.

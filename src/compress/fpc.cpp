@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bitstream.h"
+#include "compress/codec_registry.h"
 
 namespace slc {
 
@@ -153,5 +154,48 @@ Block FpcCompressor::decompress(const CompressedBlock& cb, size_t block_bytes) c
   }
   return out;
 }
+
+BlockAnalysis FpcCompressor::analyze(BlockView block) const {
+  // Mirror of compress(): the same word walk, summing sizes instead of
+  // emitting bits.
+  const size_t n_words = block.size() / 4;
+  size_t bits = 0;
+  size_t i = 0;
+  while (i < n_words) {
+    if (block.word32(i) == 0) {
+      size_t run = 1;
+      while (i + run < n_words && run < kMaxZeroRun && block.word32(i + run) == 0) ++run;
+      bits += kPrefixBits + payload_bits(FpcPattern::kZeroRun);
+      i += run;
+      continue;
+    }
+    bits += kPrefixBits + payload_bits(classify(block.word32(i)));
+    ++i;
+  }
+
+  BlockAnalysis a;
+  const size_t raw_bits = block.size() * 8;
+  a.is_compressed = bits < raw_bits;
+  a.bit_size = a.is_compressed ? bits : raw_bits;
+  a.lossless_bits = a.bit_size;
+  return a;
+}
+
+namespace {
+const CodecRegistrar fpc_registrar({
+    .name = "FPC",
+    .scheme = "frequent pattern compression",
+    .paper = "Alameldeen & Wood, UW-Madison TR 2004 (paper Fig. 1 baseline)",
+    .order = 1,
+    .lossy = false,
+    .needs_training = false,
+    .compress_latency = 8,
+    .decompress_latency = 5,
+    .make = [](const CodecOptions&) -> std::shared_ptr<const Compressor> {
+      return std::make_shared<FpcCompressor>();
+    },
+    .make_block_codec = nullptr,
+});
+}  // namespace
 
 }  // namespace slc

@@ -27,6 +27,8 @@ class FpcCompressor : public Compressor {
   std::string name() const override { return "FPC"; }
   CompressedBlock compress(BlockView block) const override;
   Block decompress(const CompressedBlock& cb, size_t block_bytes) const override;
+  /// Size-only: classifies words and sums prefix+payload bits, no bit stream.
+  BlockAnalysis analyze(BlockView block) const override;
 
   /// Pattern classification for one word (zero runs handled by the caller).
   static FpcPattern classify(uint32_t word);

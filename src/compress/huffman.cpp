@@ -6,6 +6,10 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/bitstream.h"
+#include "compress/codec_registry.h"
+#include "compress/e2mc.h"
+
 namespace slc {
 
 void SymbolFrequencies::add_data(std::span<const uint8_t> data) {
@@ -188,5 +192,93 @@ void HuffmanCode::build_lut() {
     if (len_[s]) fill(code_[s], len_[s], static_cast<uint16_t>(s), false);
   if (esc_len_) fill(esc_code_, esc_len_, 0, true);
 }
+
+std::shared_ptr<HuffmanCompressor> HuffmanCompressor::train(std::span<const uint8_t> sample,
+                                                            size_t max_entries,
+                                                            unsigned max_len) {
+  SymbolFrequencies freqs;
+  freqs.add_data(sample);
+  return std::make_shared<HuffmanCompressor>(HuffmanCode::build(freqs, max_entries, max_len));
+}
+
+BlockAnalysis HuffmanCompressor::analyze(BlockView block) const {
+  const size_t n = block.num_symbols();
+  size_t bits = 0;
+  for (size_t i = 0; i < n; ++i) bits += code_.encoded_bits(block.symbol(i));
+
+  BlockAnalysis a;
+  const size_t raw_bits = block.size() * 8;
+  a.is_compressed = bits < raw_bits;
+  a.bit_size = a.is_compressed ? bits : raw_bits;
+  a.lossless_bits = a.bit_size;
+  return a;
+}
+
+CompressedBlock HuffmanCompressor::compress(BlockView block) const {
+  const BlockAnalysis a = analyze(block);
+  CompressedBlock out;
+  if (!a.is_compressed) {
+    out.is_compressed = false;
+    out.bit_size = block.size() * 8;
+    out.payload.assign(block.bytes().begin(), block.bytes().end());
+    return out;
+  }
+  BitWriter w;
+  const size_t n = block.num_symbols();
+  for (size_t i = 0; i < n; ++i) {
+    const uint16_t sym = block.symbol(i);
+    if (code_.in_table(sym)) {
+      w.put(code_.codeword(sym), code_.codeword_len(sym));
+    } else {
+      w.put(code_.esc_code(), code_.esc_len());
+      w.put(sym, kSymbolBits);
+    }
+  }
+  out.is_compressed = true;
+  out.bit_size = w.bit_size();
+  assert(out.bit_size == a.bit_size);
+  out.payload = w.bytes();
+  return out;
+}
+
+Block HuffmanCompressor::decompress(const CompressedBlock& cb, size_t block_bytes) const {
+  if (!cb.is_compressed) {
+    return Block(std::span<const uint8_t>(cb.payload.data(), block_bytes));
+  }
+  Block out(block_bytes);
+  BitReader r(cb.payload);
+  const size_t n_sym = block_bytes * 8 / kSymbolBits;
+  for (size_t s = 0; s < n_sym; ++s) {
+    const auto step = code_.decode(static_cast<uint16_t>(r.peek(16)));
+    assert(step.bits > 0 && "invalid codeword");
+    r.skip(step.bits);
+    uint16_t sym = step.symbol;
+    if (step.is_escape) sym = static_cast<uint16_t>(r.get(kSymbolBits));
+    out.set_symbol(s, sym);
+  }
+  return out;
+}
+
+namespace {
+const CodecRegistrar huffman_registrar({
+    .name = "Huffman",
+    .scheme = "whole-block canonical Huffman (single way)",
+    .paper = "length-limited canonical coding per Lal et al., IPDPS 2017",
+    .order = 4,
+    .lossy = false,
+    .needs_training = true,
+    .compress_latency = E2mcCompressor::kCompressLatency,
+    .decompress_latency = E2mcCompressor::kDecompressLatency,
+    .make = [](const CodecOptions& opts) -> std::shared_ptr<const Compressor> {
+      // Unlike E2MC/TSLC, a pre-trained E2MC model is no substitute for a
+      // sample here — the single-way code must be trained directly.
+      if (opts.training_data.empty())
+        throw std::invalid_argument("Huffman needs CodecOptions::training_data");
+      return HuffmanCompressor::train(opts.training_data, opts.e2mc.table_entries,
+                                      opts.e2mc.max_code_len);
+    },
+    .make_block_codec = nullptr,
+});
+}  // namespace
 
 }  // namespace slc

@@ -11,10 +11,12 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/block.h"
+#include "compress/compressor.h"
 
 namespace slc {
 
@@ -92,6 +94,33 @@ class HuffmanCode {
   std::vector<DecodeStep> lut_; // 65536-entry peek-decoder
 
   void build_lut();
+};
+
+/// Plain whole-block Huffman coding over 16-bit symbols: one sequential
+/// stream, no parallel-decoding ways and no pdp header. This is the
+/// single-way upper bound E2MC's ratio is measured against (the way split and
+/// byte alignment are pure MAG/latency overhead), exposed as its own registry
+/// entry so the benches can quantify that gap.
+class HuffmanCompressor : public Compressor {
+ public:
+  explicit HuffmanCompressor(HuffmanCode code) : code_(std::move(code)) {}
+
+  /// Trains the symbol table on `sample` (same canonical construction E2MC
+  /// uses, without the way geometry).
+  static std::shared_ptr<HuffmanCompressor> train(std::span<const uint8_t> sample,
+                                                  size_t max_entries = 1024,
+                                                  unsigned max_len = 16);
+
+  std::string name() const override { return "Huffman"; }
+  CompressedBlock compress(BlockView block) const override;
+  Block decompress(const CompressedBlock& cb, size_t block_bytes) const override;
+  /// Size-only: sums per-symbol code lengths, no bit stream.
+  BlockAnalysis analyze(BlockView block) const override;
+
+  const HuffmanCode& code() const { return code_; }
+
+ private:
+  HuffmanCode code_;
 };
 
 /// Package-merge: returns optimal code lengths (<= max_len) for the given

@@ -1,31 +1,8 @@
-#include "workloads/block_codec.h"
+#include "core/slc_block_codec.h"
 
 #include <algorithm>
 
 namespace slc {
-
-BlockCodecResult RawBlockCodec::process(BlockView block, bool, size_t) const {
-  BlockCodecResult r;
-  r.bursts = max_bursts(block.size());
-  r.lossless_bits = block.size() * 8;
-  r.final_bits = block.size() * 8;
-  r.stored_uncompressed = true;
-  r.decoded = Block(block.bytes());
-  return r;
-}
-
-BlockCodecResult LosslessBlockCodec::process(BlockView block, bool, size_t) const {
-  BlockCodecResult r;
-  // Size-only path: no payload is needed for a lossless codec (the roundtrip
-  // identity is enforced separately by the unit tests).
-  const size_t bits = comp_->compressed_bits(block);
-  r.lossless_bits = bits;
-  r.final_bits = bits;
-  r.stored_uncompressed = bits >= block.size() * 8;
-  r.bursts = bursts_for_bits(bits, mag_, block.size());
-  r.decoded = Block(block.bytes());
-  return r;
-}
 
 SlcBlockCodec::SlcBlockCodec(std::shared_ptr<const E2mcCompressor> lossless, SlcConfig cfg)
     : lossless_(lossless),

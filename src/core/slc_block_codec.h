@@ -1,0 +1,31 @@
+// SlcBlockCodec: the paper's selective lossy codec as a memory-controller
+// BlockCodec policy. Unsafe regions are forced down the lossless path
+// (threshold 0); safe regions use min(region threshold, config threshold).
+//
+// Constructed by name through CodecRegistry::create_block_codec("TSLC-*").
+#pragma once
+
+#include <memory>
+
+#include "compress/block_codec.h"
+#include "core/slc_codec.h"
+
+namespace slc {
+
+class SlcBlockCodec final : public BlockCodec {
+ public:
+  SlcBlockCodec(std::shared_ptr<const E2mcCompressor> lossless, SlcConfig cfg);
+  BlockCodecResult process(BlockView block, bool safe_to_approx,
+                           size_t threshold_bytes) const override;
+  size_t mag_bytes() const override { return cfg_.mag_bytes; }
+  std::string name() const override { return to_string(cfg_.variant); }
+  const SlcConfig& config() const { return cfg_; }
+
+ private:
+  std::shared_ptr<const E2mcCompressor> lossless_;
+  SlcConfig cfg_;
+  SlcCodec codec_;
+  SlcCodec codec_lossless_only_;  ///< threshold 0, for unsafe regions
+};
+
+}  // namespace slc

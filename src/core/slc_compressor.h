@@ -1,0 +1,46 @@
+// SlcCompressor: the SLC codec behind the uniform Compressor interface.
+//
+// SlcCodec's native API returns SlcCompressedBlock (payload + mode-decision
+// bookkeeping); this adapter maps it onto compress()/decompress()/analyze()
+// so SLC participates in the CodecRegistry, the CodecEngine and every
+// scheme-sweeping bench exactly like the lossless schemes. The SLC payload is
+// self-describing (the Fig. 6 header carries mode/ss/len), so decompress()
+// needs nothing beyond the CompressedBlock.
+//
+// Note the SLC variants are *lossy*: decompress(compress(b)) may differ from
+// b for blocks the Fig. 4 decision truncates. analyze() exposes that through
+// BlockAnalysis::lossy/truncated_symbols.
+#pragma once
+
+#include <memory>
+
+#include "core/slc_codec.h"
+
+namespace slc {
+
+class SlcCompressor : public Compressor {
+ public:
+  SlcCompressor(std::shared_ptr<const E2mcCompressor> lossless, SlcConfig cfg)
+      : codec_(std::move(lossless), cfg) {}
+
+  std::string name() const override { return to_string(codec_.config().variant); }
+  CompressedBlock compress(BlockView block) const override {
+    return codec_.compress(block).data;
+  }
+  Block decompress(const CompressedBlock& cb, size_t block_bytes) const override {
+    SlcCompressedBlock scb;
+    scb.data = cb;
+    return codec_.decompress(scb, block_bytes);
+  }
+  BlockAnalysis analyze(BlockView block) const override;
+
+  /// The wrapped codec, for consumers that need the SLC-specific API
+  /// (encode info, tree selector, header geometry).
+  const SlcCodec& codec() const { return codec_; }
+  const SlcConfig& config() const { return codec_.config(); }
+
+ private:
+  SlcCodec codec_;
+};
+
+}  // namespace slc

@@ -1,0 +1,164 @@
+#include "engine/codec_engine.h"
+
+#include <algorithm>
+
+namespace slc {
+
+CodecEngine::CodecEngine(unsigned num_threads) {
+  unsigned n = num_threads != 0 ? num_threads : std::thread::hardware_concurrency();
+  n = std::max(1u, n);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+CodecEngine::~CodecEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::shared_ptr<CodecEngine> CodecEngine::shared_default() {
+  static std::shared_ptr<CodecEngine> engine = std::make_shared<CodecEngine>();
+  return engine;
+}
+
+void CodecEngine::worker_loop(unsigned id) {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || generation_ != seen_generation; });
+    if (stop_) return;
+    seen_generation = generation_;
+    while (next_ < count_) {
+      const size_t begin = next_;
+      const size_t end = std::min(count_, begin + shard_);
+      next_ = end;
+      lk.unlock();
+      try {
+        (*body_)(begin, end, id);
+      } catch (...) {
+        lk.lock();
+        if (!error_) error_ = std::current_exception();
+        completed_ += end - begin;
+        continue;
+      }
+      lk.lock();
+      completed_ += end - begin;
+    }
+    if (completed_ == count_) done_cv_.notify_all();
+  }
+}
+
+void CodecEngine::parallel_for(
+    size_t count, const std::function<void(size_t, size_t, unsigned)>& body) {
+  if (count == 0) return;
+  std::lock_guard<std::mutex> call_lock(call_mutex_);
+  std::unique_lock<std::mutex> lk(mutex_);
+  body_ = &body;
+  count_ = count;
+  // Dynamic work queue: ~8 shards per worker balances load without paying a
+  // queue round-trip per block. Shard size never affects results, only how
+  // the stream is cut across workers.
+  const size_t target_shards = workers_.size() * 8;
+  shard_ = std::clamp<size_t>((count + target_shards - 1) / target_shards, 1, 4096);
+  next_ = 0;
+  completed_ = 0;
+  error_ = nullptr;
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lk, [&] { return completed_ == count_; });
+  body_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+CodecEngine::StreamAnalysis CodecEngine::analyze_indexed(
+    size_t n_blocks, size_t mag_bytes,
+    const std::function<void(size_t, size_t, BlockAnalysis*)>& produce,
+    const std::function<size_t(size_t)>& original_bits) {
+  StreamAnalysis out;
+  out.blocks.resize(n_blocks);
+  out.ratios = RatioAccumulator(mag_bytes);
+
+  struct WorkerStats {
+    RatioAccumulator ratios;
+    uint64_t lossy = 0;
+    uint64_t truncated = 0;
+  };
+  std::vector<WorkerStats> per_worker(num_threads(), WorkerStats{RatioAccumulator(mag_bytes)});
+
+  parallel_for(n_blocks, [&](size_t begin, size_t end, unsigned worker) {
+    produce(begin, end, out.blocks.data() + begin);
+    WorkerStats& ws = per_worker[worker];
+    for (size_t i = begin; i < end; ++i) {
+      const BlockAnalysis& a = out.blocks[i];
+      ws.ratios.add(original_bits(i), a.bit_size);
+      ws.lossy += a.lossy ? 1 : 0;
+      ws.truncated += a.truncated_symbols;
+    }
+  });
+
+  for (const WorkerStats& ws : per_worker) {
+    out.ratios.merge(ws.ratios);
+    out.lossy_blocks += ws.lossy;
+    out.truncated_symbols += ws.truncated;
+  }
+  return out;
+}
+
+CodecEngine::StreamAnalysis CodecEngine::analyze_stream(const Compressor& comp,
+                                                        std::span<const Block> blocks,
+                                                        size_t mag_bytes) {
+  return analyze_indexed(
+      blocks.size(), mag_bytes,
+      [&](size_t begin, size_t end, BlockAnalysis* dst) {
+        // Shard goes through the compressor's batch entry point, so schemes
+        // with vector implementations get their shot.
+        std::vector<BlockAnalysis> shard =
+            comp.analyze_batch(blocks.subspan(begin, end - begin));
+        std::move(shard.begin(), shard.end(), dst);
+      },
+      [&](size_t i) { return blocks[i].size() * 8; });
+}
+
+CodecEngine::StreamAnalysis CodecEngine::analyze_bytes(const Compressor& comp,
+                                                       std::span<const uint8_t> data,
+                                                       size_t mag_bytes, size_t block_bytes) {
+  const size_t n_blocks = (data.size() + block_bytes - 1) / block_bytes;
+  return analyze_indexed(
+      n_blocks, mag_bytes,
+      [&](size_t begin, size_t end, BlockAnalysis* dst) {
+        for (size_t b = begin; b < end; ++b) {
+          const size_t off = b * block_bytes;
+          if (off + block_bytes <= data.size()) {
+            dst[b - begin] = comp.analyze(BlockView(data.subspan(off, block_bytes)));
+          } else {
+            // Zero-padded tail block, matching to_blocks(pad_tail = true).
+            Block padded(block_bytes);
+            std::copy(data.begin() + static_cast<ptrdiff_t>(off), data.end(),
+                      padded.mutable_bytes().begin());
+            dst[b - begin] = comp.analyze(padded.view());
+          }
+        }
+      },
+      [&](size_t) { return block_bytes * 8; });
+}
+
+std::vector<CompressedBlock> CodecEngine::compress_stream(const Compressor& comp,
+                                                          std::span<const Block> blocks) {
+  std::vector<CompressedBlock> out(blocks.size());
+  parallel_for(blocks.size(), [&](size_t begin, size_t end, unsigned) {
+    std::vector<CompressedBlock> shard = comp.compress_batch(blocks.subspan(begin, end - begin));
+    for (size_t i = 0; i < shard.size(); ++i) out[begin + i] = std::move(shard[i]);
+  });
+  return out;
+}
+
+}  // namespace slc

@@ -1,0 +1,104 @@
+// CodecEngine: batched multi-threaded driver for the codec stack.
+//
+// A persistent std::thread worker pool pulls fixed-size shards of a block
+// stream off a work queue and runs compress/analyze per shard; per-worker
+// RatioAccumulator/stat counters are merged at the end. Because every
+// compressor is stateless across blocks (const methods only), per-block
+// results are written into index-aligned slots and all merged counters are
+// integers, so a 1-thread and an N-thread run produce byte-identical results
+// — the property the tier-1 determinism test pins down.
+//
+// Two modes, matching the consumers:
+//   * full-payload  — compress_stream(): every block's bit stream (the
+//                     functional path / roundtrip studies)
+//   * size-only     — analyze_stream()/analyze_bytes(): sizes + ratios only
+//                     (the simulator's and the ratio benches' common case)
+// The generic parallel_for() underlies both and is what ApproxMemory::commit
+// shards its BlockCodec work with.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "compress/compressor.h"
+
+namespace slc {
+
+class CodecEngine {
+ public:
+  /// `num_threads` = 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit CodecEngine(unsigned num_threads = 0);
+  ~CodecEngine();
+
+  CodecEngine(const CodecEngine&) = delete;
+  CodecEngine& operator=(const CodecEngine&) = delete;
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Process-wide default engine (hardware concurrency), shared so consumers
+  /// do not each spin up a pool. ApproxMemory uses this unless given one.
+  static std::shared_ptr<CodecEngine> shared_default();
+
+  /// Runs body(begin, end, worker_id) over disjoint shards covering
+  /// [0, count). Blocks until every shard completed. Shards are handed out
+  /// dynamically (work queue), so shard->worker assignment is nondeterministic
+  /// — bodies must write only to index-aligned slots and keep any accumulation
+  /// per worker_id (merge after) for deterministic results. An exception
+  /// thrown by `body` is rethrown here once the pool drained. Calls are
+  /// serialized; do not call parallel_for from inside a body.
+  void parallel_for(size_t count,
+                    const std::function<void(size_t begin, size_t end, unsigned worker_id)>& body);
+
+  /// Size-only sweep of a block stream: per-block analyses plus the merged
+  /// raw/effective ratio bookkeeping at `mag_bytes`.
+  struct StreamAnalysis {
+    std::vector<BlockAnalysis> blocks;  ///< index-aligned with the input
+    RatioAccumulator ratios;
+    uint64_t lossy_blocks = 0;
+    uint64_t truncated_symbols = 0;
+  };
+  StreamAnalysis analyze_stream(const Compressor& comp, std::span<const Block> blocks,
+                                size_t mag_bytes = kDefaultMagBytes);
+  /// Same, over a flat buffer sliced into 128 B views without copying (a
+  /// short tail is zero-padded into a final full block, like to_blocks).
+  StreamAnalysis analyze_bytes(const Compressor& comp, std::span<const uint8_t> data,
+                               size_t mag_bytes = kDefaultMagBytes,
+                               size_t block_bytes = kBlockBytes);
+
+  /// Full-payload sweep: every block compressed, results index-aligned.
+  std::vector<CompressedBlock> compress_stream(const Compressor& comp,
+                                               std::span<const Block> blocks);
+
+ private:
+  void worker_loop(unsigned id);
+
+  /// Shared core of the analyze entry points: `produce` fills the analyses
+  /// for one shard into the index-aligned slots, `original_bits` sizes block
+  /// i for the ratio bookkeeping; per-worker stats are merged at the end.
+  StreamAnalysis analyze_indexed(size_t n_blocks, size_t mag_bytes,
+                                 const std::function<void(size_t begin, size_t end,
+                                                          BlockAnalysis* out)>& produce,
+                                 const std::function<size_t(size_t)>& original_bits);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;                  // guards the job fields + cvs below
+  std::condition_variable work_cv_;   // wakes workers on a new job / stop
+  std::condition_variable done_cv_;   // wakes the caller on job completion
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  const std::function<void(size_t, size_t, unsigned)>* body_ = nullptr;
+  size_t count_ = 0;
+  size_t shard_ = 1;
+  size_t next_ = 0;       // next shard start (claimed under mutex_)
+  size_t completed_ = 0;  // items whose body returned
+  std::exception_ptr error_;
+
+  std::mutex call_mutex_;  // serializes parallel_for callers
+};
+
+}  // namespace slc

@@ -42,27 +42,42 @@ void ApproxMemory::commit(RegionId r) {
     std::fill(reg.bursts.begin(), reg.bursts.end(), maxb);
     return;
   }
-  for (size_t b = 0; b < n_blocks; ++b) {
-    const BlockView view(std::span<const uint8_t>(reg.data).subspan(b * kBlockBytes, kBlockBytes));
-    const BlockCodecResult res = codec_->process(view, reg.safe, reg.threshold_bytes);
-    reg.bursts[b] = static_cast<uint8_t>(res.bursts);
-    auto bump = [&](CommitStats& s) {
-      ++s.blocks;
-      s.lossy_blocks += res.lossy ? 1 : 0;
-      s.uncompressed_blocks += res.stored_uncompressed ? 1 : 0;
-      s.bursts += res.bursts;
-      s.truncated_symbols += res.truncated_symbols;
-      s.original_bits += kBlockBytes * 8;
-      s.lossless_bits += res.lossless_bits;
-      s.final_bits += res.final_bits;
-    };
-    bump(stats_);
-    bump(reg.stats);
-    if (res.lossy) {
-      auto dst = std::span<uint8_t>(reg.data).subspan(b * kBlockBytes, kBlockBytes);
-      const auto src = res.decoded.bytes();
-      std::copy(src.begin(), src.end(), dst.begin());
+  // Shard the region across the engine's workers. Each block's outcome
+  // depends only on its own pre-commit contents and all writes (burst slot,
+  // lossy mutation) are block-disjoint, so the result is identical for any
+  // worker count; per-worker stats merge exactly (integer counters).
+  const unsigned n_workers = engine_ ? engine_->num_threads() : 1;
+  std::vector<CommitStats> worker_stats(n_workers);
+  const auto process_range = [&](size_t begin, size_t end, unsigned worker) {
+    CommitStats& ws = worker_stats[worker];
+    for (size_t b = begin; b < end; ++b) {
+      const BlockView view(
+          std::span<const uint8_t>(reg.data).subspan(b * kBlockBytes, kBlockBytes));
+      const BlockCodecResult res = codec_->process(view, reg.safe, reg.threshold_bytes);
+      reg.bursts[b] = static_cast<uint8_t>(res.bursts);
+      ++ws.blocks;
+      ws.lossy_blocks += res.lossy ? 1 : 0;
+      ws.uncompressed_blocks += res.stored_uncompressed ? 1 : 0;
+      ws.bursts += res.bursts;
+      ws.truncated_symbols += res.truncated_symbols;
+      ws.original_bits += kBlockBytes * 8;
+      ws.lossless_bits += res.lossless_bits;
+      ws.final_bits += res.final_bits;
+      if (res.lossy) {
+        auto dst = std::span<uint8_t>(reg.data).subspan(b * kBlockBytes, kBlockBytes);
+        const auto src = res.decoded.bytes();
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
     }
+  };
+  if (engine_) {
+    engine_->parallel_for(n_blocks, process_range);
+  } else {
+    process_range(0, n_blocks, 0);
+  }
+  for (const CommitStats& ws : worker_stats) {
+    stats_.merge(ws);
+    reg.stats.merge(ws);
   }
 }
 

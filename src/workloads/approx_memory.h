@@ -24,7 +24,8 @@
 #include <vector>
 
 #include "common/block.h"
-#include "workloads/block_codec.h"
+#include "compress/block_codec.h"
+#include "engine/codec_engine.h"
 
 namespace slc {
 
@@ -66,6 +67,19 @@ struct CommitStats {
   double lossy_fraction() const {
     return blocks ? static_cast<double>(lossy_blocks) / static_cast<double>(blocks) : 0.0;
   }
+
+  /// Folds another accumulator into this one (integer counters, so merging
+  /// is exact in any order — commit() merges per-worker stats with this).
+  void merge(const CommitStats& o) {
+    blocks += o.blocks;
+    lossy_blocks += o.lossy_blocks;
+    uncompressed_blocks += o.uncompressed_blocks;
+    bursts += o.bursts;
+    truncated_symbols += o.truncated_symbols;
+    original_bits += o.original_bits;
+    lossless_bits += o.lossless_bits;
+    final_bits += o.final_bits;
+  }
 };
 
 class ApproxMemory {
@@ -76,6 +90,12 @@ class ApproxMemory {
   /// (golden run): commits neither mutate nor record bursts below max.
   void set_codec(std::shared_ptr<const BlockCodec> codec) { codec_ = std::move(codec); }
   const BlockCodec* codec() const { return codec_.get(); }
+
+  /// Installs the engine commits shard their block work across. Defaults to
+  /// the process-wide shared engine; results are identical for any thread
+  /// count. Null forces the single-threaded inline path.
+  void set_engine(std::shared_ptr<CodecEngine> engine) { engine_ = std::move(engine); }
+  CodecEngine* engine() const { return engine_.get(); }
 
   /// Extended cudaMalloc (Sec. IV-C). Threshold is the per-region lossy
   /// threshold in bytes; ignored when safe_to_approx is false.
@@ -143,6 +163,7 @@ class ApproxMemory {
 
   std::vector<Region> regions_;
   std::shared_ptr<const BlockCodec> codec_;
+  std::shared_ptr<CodecEngine> engine_ = CodecEngine::shared_default();
   uint64_t next_addr_ = 0x1000'0000;  ///< device heap base
   std::vector<KernelTrace> trace_;
   CommitStats stats_;

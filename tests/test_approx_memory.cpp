@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "core/slc_block_codec.h"
 #include "workloads/approx_memory.h"
 
 namespace slc {

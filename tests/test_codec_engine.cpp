@@ -1,0 +1,149 @@
+// CodecEngine: parallel-for coverage, and the determinism guarantee — a
+// 1-thread and an N-thread run produce identical per-block results, payloads
+// and merged stats/ratios.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "test_util.h"
+#include "compress/codec_registry.h"
+#include "engine/codec_engine.h"
+#include "workloads/approx_memory.h"
+
+namespace slc {
+namespace {
+
+using test::quantized_walk;
+using test::test_options;
+
+TEST(CodecEngine, ParallelForCoversEveryIndexExactlyOnce) {
+  CodecEngine engine(4);
+  EXPECT_EQ(engine.num_threads(), 4u);
+  for (const size_t count : {0u, 1u, 7u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> hits(count);
+    engine.parallel_for(count, [&](size_t begin, size_t end, unsigned worker) {
+      EXPECT_LT(worker, engine.num_threads());
+      EXPECT_LE(begin, end);
+      EXPECT_LE(end, count);
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < count; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(CodecEngine, ParallelForRethrowsBodyExceptions) {
+  CodecEngine engine(2);
+  EXPECT_THROW(engine.parallel_for(100,
+                                   [&](size_t begin, size_t, unsigned) {
+                                     if (begin == 0) throw std::runtime_error("boom");
+                                   }),
+               std::runtime_error);
+  // The pool must stay usable afterwards.
+  std::atomic<size_t> total{0};
+  engine.parallel_for(10, [&](size_t begin, size_t end, unsigned) { total += end - begin; });
+  EXPECT_EQ(total.load(), 10u);
+}
+
+// The tier-1 determinism property: identical per-block decisions, payload
+// bytes and merged stats for 1 worker vs N workers.
+TEST(CodecEngine, ThreadCountInvariantResults) {
+  const auto training = quantized_walk(31, 256);
+  const auto blocks = to_blocks(quantized_walk(32, 300));
+
+  for (const char* scheme : {"E2MC", "TSLC-OPT"}) {
+    const auto comp = CodecRegistry::instance().create(scheme, test_options(training));
+    CodecEngine one(1);
+    CodecEngine four(4);
+
+    const auto a1 = one.analyze_stream(*comp, blocks, 32);
+    const auto a4 = four.analyze_stream(*comp, blocks, 32);
+    ASSERT_EQ(a1.blocks.size(), a4.blocks.size());
+    for (size_t i = 0; i < a1.blocks.size(); ++i) {
+      EXPECT_EQ(a1.blocks[i].bit_size, a4.blocks[i].bit_size) << scheme << " block " << i;
+      EXPECT_EQ(a1.blocks[i].lossy, a4.blocks[i].lossy) << scheme << " block " << i;
+    }
+    EXPECT_EQ(a1.ratios.blocks(), a4.ratios.blocks());
+    EXPECT_EQ(a1.ratios.raw_ratio(), a4.ratios.raw_ratio()) << scheme;
+    EXPECT_EQ(a1.ratios.effective_ratio(), a4.ratios.effective_ratio()) << scheme;
+    EXPECT_EQ(a1.lossy_blocks, a4.lossy_blocks) << scheme;
+    EXPECT_EQ(a1.truncated_symbols, a4.truncated_symbols) << scheme;
+
+    const auto c1 = one.compress_stream(*comp, blocks);
+    const auto c4 = four.compress_stream(*comp, blocks);
+    ASSERT_EQ(c1.size(), c4.size());
+    for (size_t i = 0; i < c1.size(); ++i) {
+      EXPECT_EQ(c1[i].bit_size, c4[i].bit_size) << scheme << " block " << i;
+      EXPECT_EQ(c1[i].payload, c4[i].payload) << scheme << " block " << i;
+    }
+  }
+}
+
+TEST(CodecEngine, AnalyzeBytesMatchesAnalyzeStream) {
+  const auto training = quantized_walk(31, 256);
+  const auto data = quantized_walk(33, 64);
+  const auto blocks = to_blocks(data);
+  const auto comp = CodecRegistry::instance().create("E2MC", test_options(training));
+
+  CodecEngine engine(2);
+  const auto from_blocks = engine.analyze_stream(*comp, blocks, 32);
+  const auto from_bytes = engine.analyze_bytes(*comp, data, 32);
+  ASSERT_EQ(from_bytes.blocks.size(), from_blocks.blocks.size());
+  for (size_t i = 0; i < from_bytes.blocks.size(); ++i)
+    EXPECT_EQ(from_bytes.blocks[i].bit_size, from_blocks.blocks[i].bit_size);
+  EXPECT_EQ(from_bytes.ratios.raw_ratio(), from_blocks.ratios.raw_ratio());
+}
+
+TEST(CodecEngine, AnalyzeBytesPadsTail) {
+  const auto training = quantized_walk(31, 256);
+  auto data = quantized_walk(34, 3);
+  data.resize(data.size() - 40);  // ragged tail
+  const auto comp = CodecRegistry::instance().create("E2MC", test_options(training));
+
+  CodecEngine engine(2);
+  const auto res = engine.analyze_bytes(*comp, data, 32);
+  EXPECT_EQ(res.blocks.size(), 3u);  // tail zero-padded into a full block
+  const auto blocks = to_blocks(data);
+  ASSERT_EQ(blocks.size(), 3u);
+  for (size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(res.blocks[i].bit_size, comp->compressed_bits(blocks[i].view()));
+}
+
+// ApproxMemory::commit shards through the engine; stats and mutated contents
+// must not depend on the worker count.
+TEST(CodecEngine, CommitInvariantAcrossEngines) {
+  const auto training = quantized_walk(31, 256);
+  CodecOptions opts = test_options(training);
+  const auto codec = CodecRegistry::instance().create_block_codec("TSLC-OPT", opts);
+
+  auto run_commit = [&](std::shared_ptr<CodecEngine> engine) {
+    ApproxMemory mem;
+    mem.set_engine(std::move(engine));
+    mem.set_codec(codec);
+    const RegionId r = mem.alloc("x", 300 * kBlockBytes, /*safe=*/true, 16);
+    auto dst = mem.span<uint8_t>(r);
+    const auto src = quantized_walk(35, 300);
+    std::copy(src.begin(), src.end(), dst.begin());
+    mem.commit(r);
+    return std::make_pair(mem.stats(), std::vector<uint8_t>(dst.begin(), dst.end()));
+  };
+
+  const auto [stats_seq, data_seq] = run_commit(nullptr);  // inline path
+  const auto [stats_one, data_one] = run_commit(std::make_shared<CodecEngine>(1));
+  const auto [stats_four, data_four] = run_commit(std::make_shared<CodecEngine>(4));
+
+  EXPECT_EQ(data_seq, data_one);
+  EXPECT_EQ(data_seq, data_four);
+  for (const auto* s : {&stats_one, &stats_four}) {
+    EXPECT_EQ(stats_seq.blocks, s->blocks);
+    EXPECT_EQ(stats_seq.lossy_blocks, s->lossy_blocks);
+    EXPECT_EQ(stats_seq.bursts, s->bursts);
+    EXPECT_EQ(stats_seq.final_bits, s->final_bits);
+    EXPECT_EQ(stats_seq.truncated_symbols, s->truncated_symbols);
+  }
+}
+
+}  // namespace
+}  // namespace slc

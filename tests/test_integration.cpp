@@ -6,6 +6,7 @@
 #include "compress/bdi.h"
 #include "compress/cpack.h"
 #include "compress/fpc.h"
+#include "core/slc_block_codec.h"
 #include "sim/energy.h"
 #include "sim/gpu_sim.h"
 #include "workloads/workload.h"

@@ -1,0 +1,37 @@
+// Shared fixtures for the registry/engine tests: deterministic
+// value-similar test data and default codec options.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "compress/codec_registry.h"
+
+namespace slc::test {
+
+// Quantized value-similar floats (grid 0.25): the data shape real benchmark
+// inputs have, keeping both float halfwords inside the code table.
+inline std::vector<uint8_t> quantized_walk(uint64_t seed, size_t blocks) {
+  Rng rng(seed);
+  std::vector<uint8_t> data;
+  double walk = 10.0;
+  for (size_t i = 0; i < blocks * kBlockBytes / 4; ++i) {
+    walk += rng.uniform(-1.0, 1.0);
+    const float v = static_cast<float>(std::round(walk * 4.0) / 4.0);
+    uint32_t bits;
+    __builtin_memcpy(&bits, &v, 4);
+    for (int k = 0; k < 4; ++k) data.push_back(static_cast<uint8_t>(bits >> (8 * k)));
+  }
+  return data;
+}
+
+inline CodecOptions test_options(std::span<const uint8_t> training) {
+  CodecOptions opts;
+  opts.mag_bytes = 32;
+  opts.threshold_bytes = 16;
+  opts.training_data = training;
+  return opts;
+}
+
+}  // namespace slc::test
