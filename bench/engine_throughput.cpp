@@ -1,8 +1,10 @@
 // CodecEngine throughput: block-stream compress/analyze rate vs worker
-// count, with a determinism check. Not a paper figure — it validates the
-// engine layer the simulator and the ratio benches batch their block work
-// through: near-linear multicore scaling on multi-core hosts, byte-identical
-// compression decisions at every thread count.
+// count, with a determinism check, plus the pipelined-vs-barrier region
+// commit comparison (ApproxMemory::commit_async + flush against commit).
+// Not a paper figure — it validates the engine layer the simulator and the
+// ratio benches batch their block work through: near-linear multicore
+// scaling on multi-core hosts, byte-identical compression decisions at
+// every thread count, and commit/compute overlap from the async job queue.
 //
 // Usage: engine_throughput [benchmark] [scheme] [repeat]
 //   defaults: SRAD2 E2MC 4 (repeat multiplies the block stream to give the
@@ -22,6 +24,97 @@ namespace {
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// --- pipelined vs barrier commits ------------------------------------------
+// Models the workload harness inner loop: per "kernel", a single-threaded
+// data-generation pass over a region followed by that region's DRAM commit.
+// The barrier path waits out each commit (commit()); the pipelined path
+// queues it (commit_async()) so the engine compresses region r while the
+// caller generates region r+1. Both paths execute the identical sequence of
+// reads and commits — settle-on-access keeps results byte-identical.
+
+struct CommitRunResult {
+  double seconds = 0.0;
+  CommitStats stats;
+  std::vector<uint8_t> image;  ///< final contents of every region
+};
+
+struct CommitLoopConfig {
+  size_t n_regions = 4;
+  size_t blocks_per_region = 512;
+  size_t iterations = 3;
+  size_t gen_passes = 1;  ///< data-generation sweeps per commit (calibrated)
+};
+
+void generate_pass(std::span<float> s, size_t pass) {
+  for (size_t i = 0; i < s.size(); ++i)
+    s[i] = s[i] * 0.9999f + 1e-7f * static_cast<float>(pass + 1);
+}
+
+CommitRunResult run_commit_loop(bool pipelined, const CommitLoopConfig& cfg,
+                                std::shared_ptr<CodecEngine> engine,
+                                std::shared_ptr<const BlockCodec> codec,
+                                const std::vector<uint8_t>& seed) {
+  ApproxMemory mem;
+  mem.set_engine(std::move(engine));
+  mem.set_codec(std::move(codec));
+  std::vector<RegionId> regions;
+  const size_t bytes_per = cfg.blocks_per_region * kBlockBytes;
+  for (size_t r = 0; r < cfg.n_regions; ++r) {
+    regions.push_back(mem.alloc("pipe" + std::to_string(r), bytes_per, /*safe=*/true, 16));
+    auto dst = mem.span<uint8_t>(regions.back());
+    // Tile the benchmark image across regions (wraps if the image is small).
+    for (size_t i = 0; i < bytes_per; ++i) dst[i] = seed[(r * bytes_per + i) % seed.size()];
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t it = 0; it < cfg.iterations; ++it) {
+    for (const RegionId r : regions) {
+      // span() settles region r's previous commit before the caller-side
+      // generation pass reads/writes it; other regions stay in flight.
+      auto s = mem.span<float>(r);
+      for (size_t p = 0; p < cfg.gen_passes; ++p) generate_pass(s, p);
+      if (pipelined) {
+        mem.commit_async(r);
+      } else {
+        mem.commit(r);
+      }
+    }
+  }
+  mem.flush();
+  CommitRunResult out;
+  out.seconds = seconds_since(t0);
+  out.stats = mem.stats();
+  for (const RegionId r : regions) {
+    const auto bytes = mem.span<const uint8_t>(r);
+    out.image.insert(out.image.end(), bytes.begin(), bytes.end());
+  }
+  return out;
+}
+
+/// Sizes gen_passes so the caller-side generation costs roughly one commit:
+/// the regime the workload harness sits in, and where overlap pays.
+size_t calibrate_gen_passes(const CommitLoopConfig& cfg, std::shared_ptr<CodecEngine> engine,
+                            std::shared_ptr<const BlockCodec> codec,
+                            const std::vector<uint8_t>& seed) {
+  ApproxMemory mem;
+  mem.set_engine(std::move(engine));
+  mem.set_codec(std::move(codec));
+  const size_t bytes_per = cfg.blocks_per_region * kBlockBytes;
+  const RegionId r = mem.alloc("cal", bytes_per, /*safe=*/true, 16);
+  auto dst = mem.span<uint8_t>(r);
+  for (size_t i = 0; i < bytes_per; ++i) dst[i] = seed[i % seed.size()];
+
+  auto t0 = std::chrono::steady_clock::now();
+  mem.commit(r);
+  const double commit_s = seconds_since(t0);
+
+  auto s = mem.span<float>(r);
+  t0 = std::chrono::steady_clock::now();
+  generate_pass(s, 0);
+  const double gen_s = std::max(seconds_since(t0), 1e-9);
+  return std::clamp<size_t>(static_cast<size_t>(commit_s / gen_s + 0.5), 1, 512);
 }
 
 }  // namespace
@@ -92,6 +185,42 @@ int main(int argc, char** argv) try {
   std::printf("%s\n", t.to_string().c_str());
   std::printf("Speedups are relative to 1 engine worker on this host; expect near-linear\n");
   std::printf("scaling up to the physical core count (a 1-core container shows ~1.0x).\n");
+
+  // --- pipelined vs barrier region commits ---------------------------------
+  const auto codec = make_codec("TSLC-OPT", benchmark, kDefaultMagBytes, 16);
+  const auto engine = std::make_shared<CodecEngine>();
+  CommitLoopConfig cfg;
+  cfg.gen_passes = calibrate_gen_passes(cfg, engine, codec, workload_image_cached(benchmark));
+  std::printf("\nPipelined vs barrier region commits — %zu regions x %zu iterations,\n",
+              cfg.n_regions, cfg.iterations);
+  std::printf("%zu blocks/region, %zu generation pass(es) per commit (calibrated to ~1 commit),\n",
+              cfg.blocks_per_region, cfg.gen_passes);
+  std::printf("codec TSLC-OPT, %u engine worker(s)\n\n", engine->num_threads());
+
+  const auto barrier =
+      run_commit_loop(/*pipelined=*/false, cfg, engine, codec, workload_image_cached(benchmark));
+  const auto pipelined =
+      run_commit_loop(/*pipelined=*/true, cfg, engine, codec, workload_image_cached(benchmark));
+
+  const bool commits_identical =
+      pipelined.image == barrier.image && pipelined.stats == barrier.stats;
+
+  TextTable p({"Commit path", "Seconds", "Mblk/s", "Speedup", "Identical"});
+  const auto total_blocks = static_cast<double>(barrier.stats.blocks);
+  p.add_row({"barrier (commit)", TextTable::fmt(barrier.seconds, 3),
+             TextTable::fmt(total_blocks / barrier.seconds / 1e6, 3), "1.00x", "yes"});
+  p.add_row({"pipelined (commit_async)", TextTable::fmt(pipelined.seconds, 3),
+             TextTable::fmt(total_blocks / pipelined.seconds / 1e6, 3),
+             TextTable::fmt(barrier.seconds / pipelined.seconds, 2) + "x",
+             commits_identical ? "yes" : "NO"});
+  std::printf("%s\n", p.to_string().c_str());
+  std::printf("The pipelined path overlaps each commit with the next region's single-threaded\n");
+  std::printf("data generation; expect >= 1.2x with 4+ hardware threads. A 1-core host\n");
+  std::printf("serializes caller and pool, so both paths cost the same there (~1.0x).\n");
+  if (!commits_identical) {
+    std::printf("FATAL: pipelined commits diverged from the barrier path\n");
+    return 1;
+  }
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

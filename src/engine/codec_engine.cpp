@@ -25,140 +25,195 @@ std::shared_ptr<CodecEngine> CodecEngine::shared_default() {
   return engine;
 }
 
-void CodecEngine::worker_loop(unsigned id) {
-  uint64_t seen_generation = 0;
-  std::unique_lock<std::mutex> lk(mutex_);
-  for (;;) {
-    work_cv_.wait(lk, [&] { return stop_ || generation_ != seen_generation; });
-    if (stop_) return;
-    seen_generation = generation_;
-    while (next_ < count_) {
-      const size_t begin = next_;
-      const size_t end = std::min(count_, begin + shard_);
-      next_ = end;
-      lk.unlock();
-      try {
-        (*body_)(begin, end, id);
-      } catch (...) {
-        lk.lock();
-        if (!error_) error_ = std::current_exception();
-        completed_ += end - begin;
-        continue;
-      }
-      lk.lock();
-      completed_ += end - begin;
-    }
-    if (completed_ == count_) done_cv_.notify_all();
+std::shared_ptr<detail::EngineJob> CodecEngine::enqueue(
+    size_t count, std::function<void(size_t, size_t, unsigned)> body) {
+  auto job = std::make_shared<detail::EngineJob>();
+  job->count = count;
+  job->body = std::move(body);
+  if (count == 0) {
+    job->finished = true;
+    return job;
   }
-}
-
-void CodecEngine::parallel_for(
-    size_t count, const std::function<void(size_t, size_t, unsigned)>& body) {
-  if (count == 0) return;
-  std::lock_guard<std::mutex> call_lock(call_mutex_);
-  std::unique_lock<std::mutex> lk(mutex_);
-  body_ = &body;
-  count_ = count;
   // Dynamic work queue: ~8 shards per worker balances load without paying a
   // queue round-trip per block. Shard size never affects results, only how
   // the stream is cut across workers.
   const size_t target_shards = workers_.size() * 8;
-  shard_ = std::clamp<size_t>((count + target_shards - 1) / target_shards, 1, 4096);
-  next_ = 0;
-  completed_ = 0;
-  error_ = nullptr;
-  ++generation_;
+  job->shard = std::clamp<size_t>((count + target_shards - 1) / target_shards, 1, 4096);
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    queue_.push_back(job);
+  }
   work_cv_.notify_all();
-  done_cv_.wait(lk, [&] { return completed_ == count_; });
-  body_ = nullptr;
-  if (error_) {
-    std::exception_ptr e = error_;
-    error_ = nullptr;
+  return job;
+}
+
+void CodecEngine::worker_loop(unsigned id) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    const std::shared_ptr<detail::EngineJob> job = queue_.front();
+    const size_t begin = job->next;
+    const size_t end = std::min(job->count, begin + job->shard);
+    job->next = end;
+    if (job->next >= job->count) queue_.pop_front();
+    // A shard that already saw this job fail is cancelled, not run: the
+    // first exception wins and the job drains as fast as workers can claim.
+    const bool cancelled = job->error != nullptr;
+    lk.unlock();
+    std::exception_ptr thrown;
+    if (!cancelled) {
+      try {
+        job->body(begin, end, id);
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+    }
+    lk.lock();
+    if (thrown && !job->error) job->error = thrown;
+    job->completed += end - begin;
+    if (job->completed == job->count) {
+      job->finished = true;
+      job->body = nullptr;  // release captures as soon as the job drained
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void CodecEngine::wait_job(detail::EngineJob& job) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  done_cv_.wait(lk, [&] { return job.finished; });
+  if (job.error) {
+    const std::exception_ptr e = job.error;
     lk.unlock();
     std::rethrow_exception(e);
   }
 }
 
-CodecEngine::StreamAnalysis CodecEngine::analyze_indexed(
-    size_t n_blocks, size_t mag_bytes,
-    const std::function<void(size_t, size_t, BlockAnalysis*)>& produce,
-    const std::function<size_t(size_t)>& original_bits) {
-  StreamAnalysis out;
-  out.blocks.resize(n_blocks);
-  out.ratios = RatioAccumulator(mag_bytes);
+bool CodecEngine::job_ready(const detail::EngineJob& job) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return job.finished;
+}
 
+CodecFuture<void> CodecEngine::submit(size_t count,
+                                      std::function<void(size_t, size_t, unsigned)> body) {
+  return submit_job<void>(count, std::move(body), {});
+}
+
+void CodecEngine::parallel_for(size_t count,
+                               const std::function<void(size_t, size_t, unsigned)>& body) {
+  if (count == 0) return;
+  // Reference the caller's body instead of copying it: the job cannot
+  // outlive this frame because wait_job blocks until it drained.
+  const auto job = enqueue(count, [&body](size_t b, size_t e, unsigned w) { body(b, e, w); });
+  wait_job(*job);
+}
+
+CodecFuture<CodecEngine::StreamAnalysis> CodecEngine::submit_analyze_indexed(
+    size_t n_blocks, size_t mag_bytes,
+    std::function<void(size_t, size_t, BlockAnalysis*)> produce,
+    std::function<size_t(size_t)> original_bits) {
   struct WorkerStats {
     RatioAccumulator ratios;
     uint64_t lossy = 0;
     uint64_t truncated = 0;
   };
-  std::vector<WorkerStats> per_worker(num_threads(), WorkerStats{RatioAccumulator(mag_bytes)});
+  // The job context owns everything the shards touch; the future's finalize
+  // keeps it alive until the merged result is materialized.
+  struct Ctx {
+    StreamAnalysis out;
+    std::vector<WorkerStats> per_worker;
+    std::function<void(size_t, size_t, BlockAnalysis*)> produce;
+    std::function<size_t(size_t)> original_bits;
+  };
+  auto ctx = std::make_shared<Ctx>();
+  ctx->out.blocks.resize(n_blocks);
+  ctx->out.ratios = RatioAccumulator(mag_bytes);
+  ctx->per_worker.assign(num_threads(), WorkerStats{RatioAccumulator(mag_bytes)});
+  ctx->produce = std::move(produce);
+  ctx->original_bits = std::move(original_bits);
 
-  parallel_for(n_blocks, [&](size_t begin, size_t end, unsigned worker) {
-    produce(begin, end, out.blocks.data() + begin);
-    WorkerStats& ws = per_worker[worker];
-    for (size_t i = begin; i < end; ++i) {
-      const BlockAnalysis& a = out.blocks[i];
-      ws.ratios.add(original_bits(i), a.bit_size);
-      ws.lossy += a.lossy ? 1 : 0;
-      ws.truncated += a.truncated_symbols;
-    }
-  });
+  return submit_job<StreamAnalysis>(
+      n_blocks,
+      [ctx](size_t begin, size_t end, unsigned worker) {
+        ctx->produce(begin, end, ctx->out.blocks.data() + begin);
+        WorkerStats& ws = ctx->per_worker[worker];
+        for (size_t i = begin; i < end; ++i) {
+          const BlockAnalysis& a = ctx->out.blocks[i];
+          ws.ratios.add(ctx->original_bits(i), a.bit_size);
+          ws.lossy += a.lossy ? 1 : 0;
+          ws.truncated += a.truncated_symbols;
+        }
+      },
+      [ctx]() {
+        for (const WorkerStats& ws : ctx->per_worker) {
+          ctx->out.ratios.merge(ws.ratios);
+          ctx->out.lossy_blocks += ws.lossy;
+          ctx->out.truncated_symbols += ws.truncated;
+        }
+        return std::move(ctx->out);
+      });
+}
 
-  for (const WorkerStats& ws : per_worker) {
-    out.ratios.merge(ws.ratios);
-    out.lossy_blocks += ws.lossy;
-    out.truncated_symbols += ws.truncated;
-  }
-  return out;
+CodecFuture<CodecEngine::StreamAnalysis> CodecEngine::submit_analyze(const Compressor& comp,
+                                                                     std::span<const Block> blocks,
+                                                                     size_t mag_bytes) {
+  return submit_analyze_indexed(
+      blocks.size(), mag_bytes,
+      [&comp, blocks](size_t begin, size_t end, BlockAnalysis* dst) {
+        // Shard goes through the compressor's batch entry point, so schemes
+        // with vector implementations get their shot.
+        std::vector<BlockAnalysis> shard = comp.analyze_batch(blocks.subspan(begin, end - begin));
+        std::move(shard.begin(), shard.end(), dst);
+      },
+      [blocks](size_t i) { return blocks[i].size() * 8; });
+}
+
+CodecFuture<std::vector<CompressedBlock>> CodecEngine::submit_compress(
+    const Compressor& comp, std::span<const Block> blocks) {
+  auto out = std::make_shared<std::vector<CompressedBlock>>(blocks.size());
+  return submit_job<std::vector<CompressedBlock>>(
+      blocks.size(),
+      [out, &comp, blocks](size_t begin, size_t end, unsigned) {
+        std::vector<CompressedBlock> shard = comp.compress_batch(blocks.subspan(begin, end - begin));
+        for (size_t i = 0; i < shard.size(); ++i) (*out)[begin + i] = std::move(shard[i]);
+      },
+      [out]() { return std::move(*out); });
 }
 
 CodecEngine::StreamAnalysis CodecEngine::analyze_stream(const Compressor& comp,
                                                         std::span<const Block> blocks,
                                                         size_t mag_bytes) {
-  return analyze_indexed(
-      blocks.size(), mag_bytes,
-      [&](size_t begin, size_t end, BlockAnalysis* dst) {
-        // Shard goes through the compressor's batch entry point, so schemes
-        // with vector implementations get their shot.
-        std::vector<BlockAnalysis> shard =
-            comp.analyze_batch(blocks.subspan(begin, end - begin));
-        std::move(shard.begin(), shard.end(), dst);
-      },
-      [&](size_t i) { return blocks[i].size() * 8; });
+  return submit_analyze(comp, blocks, mag_bytes).wait();
 }
 
 CodecEngine::StreamAnalysis CodecEngine::analyze_bytes(const Compressor& comp,
                                                        std::span<const uint8_t> data,
                                                        size_t mag_bytes, size_t block_bytes) {
   const size_t n_blocks = (data.size() + block_bytes - 1) / block_bytes;
-  return analyze_indexed(
-      n_blocks, mag_bytes,
-      [&](size_t begin, size_t end, BlockAnalysis* dst) {
-        for (size_t b = begin; b < end; ++b) {
-          const size_t off = b * block_bytes;
-          if (off + block_bytes <= data.size()) {
-            dst[b - begin] = comp.analyze(BlockView(data.subspan(off, block_bytes)));
-          } else {
-            // Zero-padded tail block, matching to_blocks(pad_tail = true).
-            Block padded(block_bytes);
-            std::copy(data.begin() + static_cast<ptrdiff_t>(off), data.end(),
-                      padded.mutable_bytes().begin());
-            dst[b - begin] = comp.analyze(padded.view());
-          }
-        }
-      },
-      [&](size_t) { return block_bytes * 8; });
+  return submit_analyze_indexed(
+             n_blocks, mag_bytes,
+             [&comp, data, block_bytes](size_t begin, size_t end, BlockAnalysis* dst) {
+               for (size_t b = begin; b < end; ++b) {
+                 const size_t off = b * block_bytes;
+                 if (off + block_bytes <= data.size()) {
+                   dst[b - begin] = comp.analyze(BlockView(data.subspan(off, block_bytes)));
+                 } else {
+                   // Zero-padded tail block, matching to_blocks(pad_tail = true).
+                   Block padded(block_bytes);
+                   std::copy(data.begin() + static_cast<ptrdiff_t>(off), data.end(),
+                             padded.mutable_bytes().begin());
+                   dst[b - begin] = comp.analyze(padded.view());
+                 }
+               }
+             },
+             [block_bytes](size_t) { return block_bytes * 8; })
+      .wait();
 }
 
 std::vector<CompressedBlock> CodecEngine::compress_stream(const Compressor& comp,
                                                           std::span<const Block> blocks) {
-  std::vector<CompressedBlock> out(blocks.size());
-  parallel_for(blocks.size(), [&](size_t begin, size_t end, unsigned) {
-    std::vector<CompressedBlock> shard = comp.compress_batch(blocks.subspan(begin, end - begin));
-    for (size_t i = 0; i < shard.size(); ++i) out[begin + i] = std::move(shard[i]);
-  });
-  return out;
+  return submit_compress(comp, blocks).wait();
 }
 
 }  // namespace slc

@@ -1,37 +1,104 @@
 // CodecEngine: batched multi-threaded driver for the codec stack.
 //
-// A persistent std::thread worker pool pulls fixed-size shards of a block
-// stream off a work queue and runs compress/analyze per shard; per-worker
-// RatioAccumulator/stat counters are merged at the end. Because every
-// compressor is stateless across blocks (const methods only), per-block
-// results are written into index-aligned slots and all merged counters are
-// integers, so a 1-thread and an N-thread run produce byte-identical results
-// — the property the tier-1 determinism test pins down.
+// A persistent std::thread worker pool pulls fixed-size shards off a FIFO
+// *job queue*: every submit()/parallel_for call enqueues one independent job
+// (its own [0, count) range, completion state and error slot), and workers
+// drain whichever jobs are pending — so multiple analyze/compress/commit
+// jobs can be in flight at once and the pool never idles between them.
+//
+// Determinism contract (per job): shard->worker assignment is
+// nondeterministic, but bodies write only to index-aligned slots and keep
+// accumulation per worker_id; finalizers merge the per-worker integer
+// counters after the job drained, so a 1-thread and an N-thread run produce
+// byte-identical results — the property the tier-1 determinism test pins
+// down. Jobs never share accumulators, so concurrency across jobs cannot
+// change any job's result.
 //
 // Two modes, matching the consumers:
-//   * full-payload  — compress_stream(): every block's bit stream (the
-//                     functional path / roundtrip studies)
-//   * size-only     — analyze_stream()/analyze_bytes(): sizes + ratios only
-//                     (the simulator's and the ratio benches' common case)
-// The generic parallel_for() underlies both and is what ApproxMemory::commit
-// shards its BlockCodec work with.
+//   * full-payload  — compress_stream()/submit_compress(): every block's bit
+//                     stream (the functional path / roundtrip studies)
+//   * size-only     — analyze_stream()/analyze_bytes()/submit_analyze():
+//                     sizes + ratios only (the simulator's and the ratio
+//                     benches' common case)
+// The synchronous entry points are thin wrappers: submit + wait. The generic
+// submit()/submit_job() underlie ApproxMemory::commit_async().
 #pragma once
 
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "compress/compressor.h"
 
 namespace slc {
 
+class CodecEngine;
+
+namespace detail {
+
+/// One submitted job: an independent shard range plus its own completion and
+/// error state. Shared between the queue, the workers still running its
+/// shards, and the future holding it.
+struct EngineJob {
+  std::function<void(size_t begin, size_t end, unsigned worker_id)> body;
+  size_t count = 0;
+  size_t shard = 1;
+  size_t next = 0;       ///< next shard start (claimed under the engine mutex)
+  size_t completed = 0;  ///< items whose body returned (or were cancelled)
+  bool finished = false;
+  std::exception_ptr error;
+};
+
+}  // namespace detail
+
+/// Ticket for a job submitted to a CodecEngine. Move-only; wait() is
+/// one-shot: it blocks until the job drained, rethrows the first exception a
+/// shard threw, and otherwise materializes the job's result (merging
+/// per-worker state). The future must be waited (or destroyed) before the
+/// engine it came from is destroyed, and inputs captured by the job (codec,
+/// block storage) must stay alive until wait() returns. Destroying a future
+/// without waiting leaks no memory but abandons the result; the job still
+/// runs to completion.
+template <typename T>
+class CodecFuture {
+ public:
+  CodecFuture() = default;
+  CodecFuture(CodecFuture&&) noexcept = default;
+  CodecFuture& operator=(CodecFuture&&) noexcept = default;
+  CodecFuture(const CodecFuture&) = delete;
+  CodecFuture& operator=(const CodecFuture&) = delete;
+
+  /// True until wait() consumed this future (default-constructed: false).
+  bool valid() const { return state_ != nullptr; }
+  /// Non-blocking: has the job drained (result or exception ready)?
+  bool ready() const;
+  /// Blocks until the job drained, then returns its result (one-shot).
+  /// Rethrows the first exception thrown by any shard of this job.
+  T wait();
+
+ private:
+  friend class CodecEngine;
+  struct State {
+    CodecEngine* engine = nullptr;
+    std::shared_ptr<detail::EngineJob> job;
+    std::function<T()> finalize;  ///< runs on the waiting thread, post-drain
+  };
+  explicit CodecFuture(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
 class CodecEngine {
  public:
   /// `num_threads` = 0 picks std::thread::hardware_concurrency() (min 1).
   explicit CodecEngine(unsigned num_threads = 0);
+  /// Joins the pool. Every future obtained from this engine must have been
+  /// waited (or dropped) before destruction; jobs still queued are abandoned.
   ~CodecEngine();
 
   CodecEngine(const CodecEngine&) = delete;
@@ -43,15 +110,26 @@ class CodecEngine {
   /// do not each spin up a pool. ApproxMemory uses this unless given one.
   static std::shared_ptr<CodecEngine> shared_default();
 
-  /// Runs body(begin, end, worker_id) over disjoint shards covering
-  /// [0, count). Blocks until every shard completed. Shards are handed out
-  /// dynamically (work queue), so shard->worker assignment is nondeterministic
-  /// — bodies must write only to index-aligned slots and keep any accumulation
-  /// per worker_id (merge after) for deterministic results. An exception
-  /// thrown by `body` is rethrown here once the pool drained. Calls are
-  /// serialized; do not call parallel_for from inside a body.
-  void parallel_for(size_t count,
-                    const std::function<void(size_t begin, size_t end, unsigned worker_id)>& body);
+  // --- asynchronous submission ---------------------------------------------
+  // Any thread may call submit*(); jobs from concurrent callers interleave
+  // on the queue without affecting each other's results. Job bodies must not
+  // submit to or wait on the engine (a body blocking on the pool it runs in
+  // can deadlock once every worker does it). An exception in one job is
+  // confined to that job: its remaining shards are cancelled, wait()
+  // rethrows, and other jobs and the pool are unaffected.
+
+  /// Enqueues body(begin, end, worker_id) over disjoint shards covering
+  /// [0, count) and returns immediately.
+  CodecFuture<void> submit(size_t count,
+                           std::function<void(size_t begin, size_t end, unsigned worker_id)> body);
+
+  /// Generalized submit: `finalize` runs once on the thread that waits, after
+  /// every shard completed — the place to merge per-worker accumulators into
+  /// the job's result (keeping the determinism contract).
+  template <typename T>
+  CodecFuture<T> submit_job(size_t count,
+                            std::function<void(size_t begin, size_t end, unsigned worker_id)> body,
+                            std::function<T()> finalize);
 
   /// Size-only sweep of a block stream: per-block analyses plus the merged
   /// raw/effective ratio bookkeeping at `mag_bytes`.
@@ -61,6 +139,22 @@ class CodecEngine {
     uint64_t lossy_blocks = 0;
     uint64_t truncated_symbols = 0;
   };
+
+  /// Async size-only sweep. `comp` and the storage behind `blocks` must stay
+  /// alive until wait().
+  CodecFuture<StreamAnalysis> submit_analyze(const Compressor& comp, std::span<const Block> blocks,
+                                             size_t mag_bytes = kDefaultMagBytes);
+  /// Async full-payload sweep; same lifetime contract as submit_analyze.
+  CodecFuture<std::vector<CompressedBlock>> submit_compress(const Compressor& comp,
+                                                            std::span<const Block> blocks);
+
+  // --- synchronous wrappers (submit + wait) --------------------------------
+
+  /// Runs body over [0, count) and blocks until every shard completed. An
+  /// exception thrown by `body` is rethrown here once the job drained.
+  void parallel_for(size_t count,
+                    const std::function<void(size_t begin, size_t end, unsigned worker_id)>& body);
+
   StreamAnalysis analyze_stream(const Compressor& comp, std::span<const Block> blocks,
                                 size_t mag_bytes = kDefaultMagBytes);
   /// Same, over a flat buffer sliced into 128 B views without copying (a
@@ -74,31 +168,61 @@ class CodecEngine {
                                                std::span<const Block> blocks);
 
  private:
+  template <typename U>
+  friend class CodecFuture;
+
   void worker_loop(unsigned id);
+
+  /// Creates a job, sizes its shards and (count > 0) puts it on the queue.
+  std::shared_ptr<detail::EngineJob> enqueue(
+      size_t count, std::function<void(size_t, size_t, unsigned)> body);
+  /// Blocks until `job` drained; rethrows its first shard exception.
+  void wait_job(detail::EngineJob& job);
+  bool job_ready(const detail::EngineJob& job) const;
 
   /// Shared core of the analyze entry points: `produce` fills the analyses
   /// for one shard into the index-aligned slots, `original_bits` sizes block
-  /// i for the ratio bookkeeping; per-worker stats are merged at the end.
-  StreamAnalysis analyze_indexed(size_t n_blocks, size_t mag_bytes,
-                                 const std::function<void(size_t begin, size_t end,
-                                                          BlockAnalysis* out)>& produce,
-                                 const std::function<size_t(size_t)>& original_bits);
+  /// i for the ratio bookkeeping; per-worker stats merge on wait().
+  CodecFuture<StreamAnalysis> submit_analyze_indexed(
+      size_t n_blocks, size_t mag_bytes,
+      std::function<void(size_t begin, size_t end, BlockAnalysis* out)> produce,
+      std::function<size_t(size_t)> original_bits);
 
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;                  // guards the job fields + cvs below
+  mutable std::mutex mutex_;          // guards queue_ + per-job shard state
   std::condition_variable work_cv_;   // wakes workers on a new job / stop
-  std::condition_variable done_cv_;   // wakes the caller on job completion
-  uint64_t generation_ = 0;
+  std::condition_variable done_cv_;   // wakes waiters when any job drains
   bool stop_ = false;
-  const std::function<void(size_t, size_t, unsigned)>* body_ = nullptr;
-  size_t count_ = 0;
-  size_t shard_ = 1;
-  size_t next_ = 0;       // next shard start (claimed under mutex_)
-  size_t completed_ = 0;  // items whose body returned
-  std::exception_ptr error_;
-
-  std::mutex call_mutex_;  // serializes parallel_for callers
+  std::deque<std::shared_ptr<detail::EngineJob>> queue_;  // jobs with unclaimed shards
 };
+
+template <typename T>
+CodecFuture<T> CodecEngine::submit_job(size_t count,
+                                       std::function<void(size_t, size_t, unsigned)> body,
+                                       std::function<T()> finalize) {
+  auto state = std::make_shared<typename CodecFuture<T>::State>();
+  state->engine = this;
+  state->job = enqueue(count, std::move(body));
+  state->finalize = std::move(finalize);
+  return CodecFuture<T>(std::move(state));
+}
+
+template <typename T>
+bool CodecFuture<T>::ready() const {
+  return state_ && state_->engine->job_ready(*state_->job);
+}
+
+template <typename T>
+T CodecFuture<T>::wait() {
+  if (!state_) throw std::logic_error("CodecFuture::wait on an empty future");
+  auto state = std::move(state_);  // one-shot: consume before any throw
+  state->engine->wait_job(*state->job);
+  if constexpr (std::is_void_v<T>) {
+    if (state->finalize) state->finalize();
+  } else {
+    return state->finalize();
+  }
+}
 
 }  // namespace slc

@@ -255,4 +255,9 @@ SimStats GpuSim::run(const std::vector<KernelTrace>& trace) {
   return stats_;
 }
 
+SimStats GpuSim::run(ApproxMemory& mem) {
+  mem.flush();
+  return run(mem.trace());
+}
+
 }  // namespace slc

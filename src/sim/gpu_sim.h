@@ -27,6 +27,12 @@ class GpuSim {
   /// Runs all kernels of a trace; returns the accumulated counters.
   SimStats run(const std::vector<KernelTrace>& trace);
 
+  /// Replays the trace captured in `mem`, flushing its pending async region
+  /// commits first — the burst counts a replay consumes must be final, so
+  /// this is the safe way to chain a pipelined functional run into the
+  /// timing simulation.
+  SimStats run(ApproxMemory& mem);
+
   const GpuSimConfig& config() const { return cfg_; }
 
  private:

@@ -5,6 +5,47 @@
 
 namespace slc {
 
+namespace {
+
+/// The per-block commit kernel, shared by the inline and the engine paths.
+/// Works on raw buffer pointers (stable across regions_ reallocation, so an
+/// in-flight job survives a concurrent alloc()); every write (burst slot,
+/// lossy mutation) is block-disjoint and each block's outcome depends only
+/// on its own pre-commit contents, so sharding cannot change results.
+void process_blocks(const BlockCodec& codec, uint8_t* data, uint8_t* bursts, bool safe,
+                    size_t threshold_bytes, size_t begin, size_t end, CommitStats& ws) {
+  for (size_t b = begin; b < end; ++b) {
+    const BlockView view(std::span<const uint8_t>(data + b * kBlockBytes, kBlockBytes));
+    const BlockCodecResult res = codec.process(view, safe, threshold_bytes);
+    bursts[b] = static_cast<uint8_t>(res.bursts);
+    ++ws.blocks;
+    ws.lossy_blocks += res.lossy ? 1 : 0;
+    ws.uncompressed_blocks += res.stored_uncompressed ? 1 : 0;
+    ws.bursts += res.bursts;
+    ws.truncated_symbols += res.truncated_symbols;
+    ws.original_bits += kBlockBytes * 8;
+    ws.lossless_bits += res.lossless_bits;
+    ws.final_bits += res.final_bits;
+    if (res.lossy) {
+      const auto src = res.decoded.bytes();
+      std::copy(src.begin(), src.end(), data + b * kBlockBytes);
+    }
+  }
+}
+
+}  // namespace
+
+ApproxMemory::~ApproxMemory() {
+  for (RegionId r = 0; r < regions_.size(); ++r) {
+    try {
+      settle(r);
+    } catch (...) {
+      // Job exceptions are reportable via flush(); during teardown the only
+      // obligation is to drain jobs targeting our buffers before they free.
+    }
+  }
+}
+
 RegionId ApproxMemory::alloc(std::string name, size_t bytes, bool safe_to_approx,
                              size_t threshold_bytes) {
   // Pad to whole blocks (cudaMalloc returns 256 B-aligned sizes anyway).
@@ -33,7 +74,21 @@ uint8_t ApproxMemory::current_bursts(const Region& reg, size_t block) const {
   return static_cast<uint8_t>(kBlockBytes / mag);
 }
 
+void ApproxMemory::settle(RegionId r) {
+  Region& reg = regions_[r];
+  if (!reg.pending.valid()) return;
+  const CommitStats s = reg.pending.wait();  // one-shot: clears pending
+  stats_.merge(s);
+  reg.stats.merge(s);
+}
+
 void ApproxMemory::commit(RegionId r) {
+  commit_async(r);
+  settle(r);
+}
+
+void ApproxMemory::commit_async(RegionId r) {
+  settle(r);  // commits of the same region serialize
   Region& reg = regions_[r];
   const size_t n_blocks = reg.data.size() / kBlockBytes;
   if (!codec_) {
@@ -42,47 +97,56 @@ void ApproxMemory::commit(RegionId r) {
     std::fill(reg.bursts.begin(), reg.bursts.end(), maxb);
     return;
   }
-  // Shard the region across the engine's workers. Each block's outcome
-  // depends only on its own pre-commit contents and all writes (burst slot,
-  // lossy mutation) are block-disjoint, so the result is identical for any
-  // worker count; per-worker stats merge exactly (integer counters).
-  const unsigned n_workers = engine_ ? engine_->num_threads() : 1;
-  std::vector<CommitStats> worker_stats(n_workers);
-  const auto process_range = [&](size_t begin, size_t end, unsigned worker) {
-    CommitStats& ws = worker_stats[worker];
-    for (size_t b = begin; b < end; ++b) {
-      const BlockView view(
-          std::span<const uint8_t>(reg.data).subspan(b * kBlockBytes, kBlockBytes));
-      const BlockCodecResult res = codec_->process(view, reg.safe, reg.threshold_bytes);
-      reg.bursts[b] = static_cast<uint8_t>(res.bursts);
-      ++ws.blocks;
-      ws.lossy_blocks += res.lossy ? 1 : 0;
-      ws.uncompressed_blocks += res.stored_uncompressed ? 1 : 0;
-      ws.bursts += res.bursts;
-      ws.truncated_symbols += res.truncated_symbols;
-      ws.original_bits += kBlockBytes * 8;
-      ws.lossless_bits += res.lossless_bits;
-      ws.final_bits += res.final_bits;
-      if (res.lossy) {
-        auto dst = std::span<uint8_t>(reg.data).subspan(b * kBlockBytes, kBlockBytes);
-        const auto src = res.decoded.bytes();
-        std::copy(src.begin(), src.end(), dst.begin());
-      }
-    }
-  };
-  if (engine_) {
-    engine_->parallel_for(n_blocks, process_range);
-  } else {
-    process_range(0, n_blocks, 0);
-  }
-  for (const CommitStats& ws : worker_stats) {
+  if (!engine_) {
+    // Inline path: run the commit on the caller thread.
+    CommitStats ws;
+    process_blocks(*codec_, reg.data.data(), reg.bursts.data(), reg.safe, reg.threshold_bytes, 0,
+                   n_blocks, ws);
     stats_.merge(ws);
     reg.stats.merge(ws);
+    return;
   }
+  // Queue one engine job for the whole region. The body captures raw buffer
+  // pointers and a codec reference-count, never `this` or a Region& — both
+  // survive regions_ growth and an ApproxMemory move while the job runs.
+  auto per_worker = std::make_shared<std::vector<CommitStats>>(engine_->num_threads());
+  uint8_t* data = reg.data.data();
+  uint8_t* bursts = reg.bursts.data();
+  const bool safe = reg.safe;
+  const size_t threshold = reg.threshold_bytes;
+  std::shared_ptr<const BlockCodec> codec = codec_;
+  reg.pending = engine_->submit_job<CommitStats>(
+      n_blocks,
+      [per_worker, data, bursts, safe, threshold, codec](size_t begin, size_t end,
+                                                         unsigned worker) {
+        process_blocks(*codec, data, bursts, safe, threshold, begin, end, (*per_worker)[worker]);
+      },
+      [per_worker]() {
+        // Per-worker integer counters merge exactly in any order, so the
+        // settled stats match the inline path for every thread count.
+        CommitStats total;
+        for (const CommitStats& ws : *per_worker) total.merge(ws);
+        return total;
+      });
+}
+
+void ApproxMemory::flush() {
+  // Settle everything even when a commit failed: the barrier guarantee
+  // (no region left in flight, completed stats merged) must hold for
+  // callers that catch the rethrown codec exception.
+  std::exception_ptr first;
+  for (RegionId r = 0; r < regions_.size(); ++r) {
+    try {
+      settle(r);
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 void ApproxMemory::commit_all() {
-  for (RegionId r = 0; r < regions_.size(); ++r) commit(r);
+  for (RegionId r = 0; r < regions_.size(); ++r) commit_async(r);
 }
 
 void ApproxMemory::begin_kernel(std::string name, double compute_per_access,
@@ -96,6 +160,7 @@ void ApproxMemory::begin_kernel(std::string name, double compute_per_access,
 
 void ApproxMemory::trace_block(RegionId r, size_t block, bool write) {
   assert(!trace_.empty() && "begin_kernel() must precede trace calls");
+  settle(r);  // bursts must reflect the latest commit, async or not
   const Region& reg = regions_[r];
   TraceAccess a;
   a.addr = reg.base_addr + block * kBlockBytes;
@@ -126,6 +191,15 @@ void ApproxMemory::trace_zip(std::span<const RegionId> reads, std::span<const Re
   }
 }
 
-CommitStats ApproxMemory::region_stats(RegionId r) const { return regions_[r].stats; }
+const CommitStats& ApproxMemory::stats() {
+  flush();
+  return stats_;
+}
+
+CommitStats ApproxMemory::region_stats(RegionId r) const {
+  // Settling materializes lazily-deferred state; logically const.
+  const_cast<ApproxMemory*>(this)->settle(r);
+  return regions_[r].stats;
+}
 
 }  // namespace slc

@@ -6,15 +6,34 @@
 // maps to alloc(name, bytes, safe, threshold). Regions live at contiguous
 // 128 B-aligned device addresses. Whenever a region's contents cross the DRAM
 // boundary (host upload at init, kernel writeback), the harness calls
-// commit(): every block is pushed through the installed BlockCodec, which
-// yields the burst count for the timing trace and — for SLC lossy blocks in
-// safe regions — the approximated contents later reads observe.
+// commit() or commit_async(): every block is pushed through the installed
+// BlockCodec, which yields the burst count for the timing trace and — for SLC
+// lossy blocks in safe regions — the approximated contents later reads
+// observe.
+//
+// Async commits: commit_async(r) queues the region's block work as one
+// CodecEngine job and returns immediately, so the harness thread can capture
+// the next kernel's trace or generate data for other regions while the
+// engine compresses. Every observation of a region — span(), trace_*(),
+// region_stats(), stats(), flush() — first *settles* that region (waits its
+// pending commit and folds its stats in), so any-thread-count results stay
+// byte-identical to the serial commit() path; the only code that may touch a
+// region's bytes without settling is a span taken BEFORE the async commit
+// and dereferenced before the next settle point — don't do that; re-acquire
+// spans after a commit_async of the same region.
 //
 // Kernel-level tracing: begin_kernel() opens a kernel record; trace_read()/
 // trace_write() append block-granular accesses carrying the burst count in
-// effect (from the region's latest commit). The timing simulator replays the
-// trace; the functional run uses the mutated arrays. Both derive from the
-// same codec decisions.
+// effect (from the region's latest settled commit). The timing simulator
+// replays the trace; the functional run uses the mutated arrays. Both derive
+// from the same codec decisions.
+//
+// Threading model: one ApproxMemory belongs to one harness thread. The
+// *engine workers* run its queued commits concurrently, but all member
+// calls — including the const observers, which settle (and therefore
+// mutate lazily-deferred state) — must come from a single thread or be
+// externally synchronized. Distinct ApproxMemory instances may share an
+// engine freely.
 #pragma once
 
 #include <cstdint>
@@ -68,8 +87,12 @@ struct CommitStats {
     return blocks ? static_cast<double>(lossy_blocks) / static_cast<double>(blocks) : 0.0;
   }
 
+  /// All-field equality — the determinism checks compare whole accumulators
+  /// so a new counter can never silently escape them.
+  bool operator==(const CommitStats&) const = default;
+
   /// Folds another accumulator into this one (integer counters, so merging
-  /// is exact in any order — commit() merges per-worker stats with this).
+  /// is exact in any order — settle() merges per-commit stats with this).
   void merge(const CommitStats& o) {
     blocks += o.blocks;
     lossy_blocks += o.lossy_blocks;
@@ -85,6 +108,16 @@ struct CommitStats {
 class ApproxMemory {
  public:
   ApproxMemory() = default;
+  /// Settles every pending async commit (exceptions from in-flight codec
+  /// jobs are swallowed here — wait via flush() to observe them).
+  ~ApproxMemory();
+
+  // Pending futures are one-shot and their jobs write into this object's
+  // region buffers, so copies are unsound; moves transfer the whole model.
+  ApproxMemory(const ApproxMemory&) = delete;
+  ApproxMemory& operator=(const ApproxMemory&) = delete;
+  ApproxMemory(ApproxMemory&&) = default;
+  ApproxMemory& operator=(ApproxMemory&&) = delete;
 
   /// Installs the memory-controller codec. Null reverts to exact memory
   /// (golden run): commits neither mutate nor record bursts below max.
@@ -93,8 +126,13 @@ class ApproxMemory {
 
   /// Installs the engine commits shard their block work across. Defaults to
   /// the process-wide shared engine; results are identical for any thread
-  /// count. Null forces the single-threaded inline path.
-  void set_engine(std::shared_ptr<CodecEngine> engine) { engine_ = std::move(engine); }
+  /// count. Null forces the single-threaded inline path (commit_async then
+  /// degrades to a synchronous commit). Settles pending commits first —
+  /// their futures reference the engine being replaced.
+  void set_engine(std::shared_ptr<CodecEngine> engine) {
+    flush();
+    engine_ = std::move(engine);
+  }
   CodecEngine* engine() const { return engine_.get(); }
 
   /// Extended cudaMalloc (Sec. IV-C). Threshold is the per-region lossy
@@ -110,24 +148,45 @@ class ApproxMemory {
   uint64_t region_addr(RegionId r) const { return regions_[r].base_addr; }
   size_t safe_region_count() const;
 
-  /// Typed view of a region's current contents.
+  /// Typed view of a region's current contents. Settles a pending async
+  /// commit of `r` first, so the bytes seen are always post-commit; spans
+  /// taken before a later commit_async(r) must be re-acquired afterwards.
   template <typename T>
   std::span<T> span(RegionId r) {
+    settle(r);
     auto& d = regions_[r].data;
     return {reinterpret_cast<T*>(d.data()), d.size() / sizeof(T)};
   }
   template <typename T>
   std::span<const T> span(RegionId r) const {
+    // Settling materializes lazily-deferred state; logically const.
+    const_cast<ApproxMemory*>(this)->settle(r);
     const auto& d = regions_[r].data;
     return {reinterpret_cast<const T*>(d.data()), d.size() / sizeof(T)};
   }
 
   /// Pushes the region through the codec block-by-block: updates per-block
   /// burst counts, accumulates stats, and (SLC lossy blocks only) mutates the
-  /// contents in place.
+  /// contents in place. Synchronous: equivalent to commit_async + settle.
   void commit(RegionId r);
 
-  /// Commits every region (host upload after init).
+  /// Queues the commit as one engine job and returns immediately. Back-to-
+  /// back commits of the same region serialize (the second settles the
+  /// first); commits of different regions run concurrently. Results and
+  /// stats are byte-identical to commit() for any thread count. A codec
+  /// exception surfaces at the settle point (flush(), stats(), span(), ...).
+  void commit_async(RegionId r);
+
+  /// Barrier: settles every pending async commit, folding its stats in.
+  /// Rethrows the first codec exception any pending commit raised.
+  void flush();
+
+  /// True while region r has an un-settled async commit in flight.
+  bool commit_pending(RegionId r) const { return regions_[r].pending.valid(); }
+
+  /// Commits every region (host upload after init). Commits are queued
+  /// asynchronously — regions pipeline through the engine back-to-back and
+  /// settle on first observation, so callers needing a barrier add flush().
   void commit_all();
 
   // --- trace capture -------------------------------------------------------
@@ -139,13 +198,16 @@ class ApproxMemory {
   /// Interleaves same-index blocks of several regions (streaming kernels
   /// touching multiple arrays in lockstep).
   void trace_zip(std::span<const RegionId> reads, std::span<const RegionId> writes);
-  /// Appends a single block access.
+  /// Appends a single block access (settles r: bursts reflect the latest
+  /// commit, async or not).
   void trace_block(RegionId r, size_t block, bool write);
 
   const std::vector<KernelTrace>& trace() const { return trace_; }
   std::vector<KernelTrace> take_trace() { return std::move(trace_); }
 
-  const CommitStats& stats() const { return stats_; }
+  /// Whole-run stats. Settles every pending commit first so the counters
+  /// always cover all commits issued so far.
+  const CommitStats& stats();
   CommitStats region_stats(RegionId r) const;
 
  private:
@@ -157,7 +219,12 @@ class ApproxMemory {
     uint64_t base_addr = 0;
     std::vector<uint8_t> bursts;  ///< per-block bursts from the last commit
     CommitStats stats;
+    CodecFuture<CommitStats> pending;  ///< in-flight async commit, if any
   };
+
+  /// Waits a pending async commit of r (if any) and folds its stats into
+  /// the region and run totals. No-op when nothing is pending.
+  void settle(RegionId r);
 
   uint8_t current_bursts(const Region& reg, size_t block) const;
 

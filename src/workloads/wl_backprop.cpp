@@ -76,7 +76,10 @@ class BackpropWorkload final : public Workload {
       for (size_t i = 0; i < n_in_; ++i) sum += in[i] * wih[i * kHidden + j];
       hid[j] = squash(sum / static_cast<float>(n_in_));
     }
-    mem.commit(hidden_);
+    mem.commit_async(hidden_);
+    // The host-side output layer reads the *committed* hidden units —
+    // re-acquire the span to settle the in-flight commit.
+    hid = mem.span<float>(hidden_);
 
     // Output layer + deltas (small, host-side in Rodinia).
     float out = 0.0f;
@@ -106,10 +109,12 @@ class BackpropWorkload final : public Workload {
         dwih[i * kHidden + j] = dw;
       }
     }
-    mem.commit(w_ih_);
-    mem.commit(dw_ih_);
-    mem.commit(w_ho_);
-    mem.commit(dw_ho_);
+    // Terminal commits: all four queue back-to-back on the engine; the
+    // harness flush (or the next span/stats observation) settles them.
+    mem.commit_async(w_ih_);
+    mem.commit_async(dw_ih_);
+    mem.commit_async(w_ho_);
+    mem.commit_async(dw_ho_);
   }
 
   std::vector<float> output(const ApproxMemory& mem) const override {

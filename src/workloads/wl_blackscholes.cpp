@@ -76,8 +76,8 @@ class BlackScholesWorkload final : public Workload {
       call[i] = s[i] * cnd_d1 - x[i] * exp_rt * cnd_d2;
       put[i] = x[i] * exp_rt * (1.0f - cnd_d2) - s[i] * (1.0f - cnd_d1);
     }
-    mem.commit(call_);
-    mem.commit(put_);
+    mem.commit_async(call_);
+    mem.commit_async(put_);
   }
 
   std::vector<float> output(const ApproxMemory& mem) const override {

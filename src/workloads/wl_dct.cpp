@@ -80,7 +80,7 @@ class DctWorkload final : public Workload {
           }
       }
     }
-    mem.commit(dst_);
+    mem.commit_async(dst_);
   }
 
   std::vector<float> output(const ApproxMemory& mem) const override {

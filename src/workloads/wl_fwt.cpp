@@ -71,7 +71,7 @@ class FwtWorkload final : public Workload {
         }
       }
       done += todo;
-      mem.commit(nxt);
+      mem.commit_async(nxt);
       std::swap(cur, nxt);
     }
     result_ = cur;

@@ -227,7 +227,7 @@ class JmeintWorkload final : public Workload {
       };
       res[i] = tri_tri_intersect(vec(0), vec(1), vec(2), vec(3), vec(4), vec(5)) ? 1 : 0;
     }
-    mem.commit(out_);
+    mem.commit_async(out_);
   }
 
   std::vector<float> output(const ApproxMemory& mem) const override {

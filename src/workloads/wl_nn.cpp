@@ -50,7 +50,7 @@ class NnWorkload final : public Workload {
       const float dlon = l[2 * i + 1] - kTargetLon;
       d[i] = std::sqrt(dlat * dlat + dlon * dlon);
     }
-    mem.commit(dist_);
+    mem.commit_async(dist_);
   }
 
   std::vector<float> output(const ApproxMemory& mem) const override {

@@ -70,6 +70,9 @@ class SradWorkload final : public Workload {
     const size_t d = dim_;
 
     for (int it = 0; it < kIterations; ++it) {
+      // The previous iteration's commit_async(j_) may still be in flight;
+      // re-acquiring the span settles it before J is read again.
+      J = mem.span<float>(j_);
       // ROI statistics (srad_v1 materializes the partial sums in DRAM).
       double sum = 0.0, sum2 = 0.0;
       if (v1_) {
@@ -83,11 +86,15 @@ class SradWorkload final : public Workload {
           s1[i] = J[i];
           s2[i] = J[i] * J[i];
         }
-        mem.commit(sums_);
-        mem.commit(sums2_);
+        mem.commit_async(sums_);
+        mem.commit_async(sums2_);
+        // The host reduction reads the *committed* (possibly approximated)
+        // partial sums — re-acquire to settle both in-flight commits.
+        const auto s1c = mem.span<const float>(sums_);
+        const auto s2c = mem.span<const float>(sums2_);
         for (size_t i = 0; i < d * d; ++i) {
-          sum += s1[i];
-          sum2 += s2[i];
+          sum += s1c[i];
+          sum2 += s2c[i];
         }
       } else {
         for (size_t i = 0; i < d * d; ++i) {
@@ -141,11 +148,14 @@ class SradWorkload final : public Workload {
           C[i] = std::isfinite(c) ? static_cast<float>(std::clamp(c, 0.0, 1.0)) : 0.0f;
         }
       }
-      mem.commit(dn_);
-      mem.commit(ds_);
-      mem.commit(dw_);
-      mem.commit(de_);
-      mem.commit(c_);
+      // All five commits queue back-to-back on the engine and overlap the
+      // next kernel's trace capture; trace_zip settles each region before
+      // recording its bursts, so kernel 2's compute reads committed data.
+      mem.commit_async(dn_);
+      mem.commit_async(ds_);
+      mem.commit_async(dw_);
+      mem.commit_async(de_);
+      mem.commit_async(c_);
 
       // Kernel 2: divergence + image update.
       mem.begin_kernel(v1_ ? "srad2" : "srad_cuda_2", /*compute_per_access=*/0.8,
@@ -168,7 +178,8 @@ class SradWorkload final : public Workload {
           J[i] += 0.25f * kLambda * div;
         }
       }
-      mem.commit(j_);
+      // Settled at the top of the next iteration (or by the harness flush).
+      mem.commit_async(j_);
     }
   }
 

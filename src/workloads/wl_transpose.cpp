@@ -57,7 +57,7 @@ class TransposeWorkload final : public Workload {
     auto out = mem.span<float>(out_);
     for (size_t y = 0; y < dim_; ++y)
       for (size_t x = 0; x < dim_; ++x) out[x * dim_ + y] = in[y * dim_ + x];
-    mem.commit(out_);
+    mem.commit_async(out_);
   }
 
   std::vector<float> output(const ApproxMemory& mem) const override {

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <tuple>
 
 #include "common/rng.h"
 #include "core/slc_block_codec.h"
@@ -158,6 +159,124 @@ TEST(ApproxMemory, UncommittedBlocksCostMaxBursts) {
   mem.begin_kernel("k", 1.0);
   mem.trace_read(r);  // never committed
   EXPECT_EQ(mem.trace()[0].accesses[0].bursts, 4u);
+}
+
+// --- async commits ----------------------------------------------------------
+
+namespace {
+
+std::shared_ptr<SlcBlockCodec> tiny_slc() {
+  SlcConfig cfg;
+  cfg.threshold_bytes = 16;
+  cfg.variant = SlcVariant::kOpt;
+  return std::make_shared<SlcBlockCodec>(tiny_e2mc(), cfg);
+}
+
+/// Fills a fresh memory with two value-similar regions and returns their ids.
+std::vector<RegionId> fill_two_regions(ApproxMemory& mem) {
+  std::vector<RegionId> regions;
+  for (uint64_t s = 0; s < 2; ++s) {
+    regions.push_back(mem.alloc("r" + std::to_string(s), 48 * kBlockBytes, /*safe=*/true, 16));
+    const auto src = quantized_walk(70 + s, 48);
+    std::copy(src.begin(), src.end(), mem.span<uint8_t>(regions.back()).begin());
+  }
+  return regions;
+}
+
+}  // namespace
+
+// commit_async + flush must be byte-identical to commit(): same mutated
+// contents, same stats, same burst counts in the trace.
+TEST(ApproxMemory, CommitAsyncMatchesSyncCommit) {
+  auto run = [](bool async) {
+    ApproxMemory mem;
+    mem.set_codec(tiny_slc());
+    const auto regions = fill_two_regions(mem);
+    for (const RegionId r : regions) {
+      if (async) {
+        mem.commit_async(r);
+      } else {
+        mem.commit(r);
+      }
+    }
+    mem.flush();
+    mem.begin_kernel("k", 1.0);
+    std::vector<uint8_t> bursts;
+    std::vector<uint8_t> contents;
+    for (const RegionId r : regions) {
+      mem.trace_read(r);
+      const auto bytes = mem.span<const uint8_t>(r);
+      contents.insert(contents.end(), bytes.begin(), bytes.end());
+    }
+    for (const TraceAccess& a : mem.trace()[0].accesses) bursts.push_back(a.bursts);
+    return std::make_tuple(contents, bursts, mem.stats());
+  };
+
+  const auto [sync_data, sync_bursts, sync_stats] = run(false);
+  const auto [async_data, async_bursts, async_stats] = run(true);
+  EXPECT_EQ(sync_data, async_data);
+  EXPECT_EQ(sync_bursts, async_bursts);
+  EXPECT_TRUE(sync_stats == async_stats);  // all-field CommitStats equality
+}
+
+TEST(ApproxMemory, FlushDrainsAllPendingCommits) {
+  ApproxMemory mem;
+  mem.set_codec(tiny_slc());
+  const auto regions = fill_two_regions(mem);
+  for (const RegionId r : regions) {
+    mem.commit_async(r);
+    EXPECT_TRUE(mem.commit_pending(r));
+  }
+  mem.flush();
+  for (const RegionId r : regions) EXPECT_FALSE(mem.commit_pending(r));
+  EXPECT_EQ(mem.stats().blocks, 96u);  // 2 regions x 48 blocks, all settled
+}
+
+// Every observation settles: span(), trace and stats see post-commit state
+// without an explicit flush().
+TEST(ApproxMemory, ObservationsSettlePendingCommit) {
+  ApproxMemory reference;
+  reference.set_codec(tiny_slc());
+  const auto ref_regions = fill_two_regions(reference);
+  reference.commit(ref_regions[0]);
+
+  ApproxMemory mem;
+  mem.set_codec(tiny_slc());
+  const auto regions = fill_two_regions(mem);
+  mem.commit_async(regions[0]);
+
+  // span() settles before exposing bytes.
+  const auto got = mem.span<const uint8_t>(regions[0]);
+  const auto want = reference.span<const uint8_t>(ref_regions[0]);
+  EXPECT_FALSE(mem.commit_pending(regions[0]));
+  EXPECT_TRUE(std::equal(want.begin(), want.end(), got.begin()));
+
+  // trace_block settles too: bursts reflect the in-flight commit's outcome.
+  mem.commit_async(regions[1]);
+  reference.commit(ref_regions[1]);
+  mem.begin_kernel("k", 1.0);
+  reference.begin_kernel("k", 1.0);
+  mem.trace_read(regions[1]);
+  reference.trace_read(ref_regions[1]);
+  ASSERT_EQ(mem.trace()[0].accesses.size(), reference.trace()[0].accesses.size());
+  for (size_t i = 0; i < mem.trace()[0].accesses.size(); ++i)
+    EXPECT_EQ(mem.trace()[0].accesses[i].bursts, reference.trace()[0].accesses[i].bursts);
+
+  // region_stats settles the one region it reports on.
+  EXPECT_EQ(mem.region_stats(regions[1]).blocks, reference.region_stats(ref_regions[1]).blocks);
+}
+
+// commit_all queues every region; back-to-back commits of the same region
+// serialize through settle, so re-commits stay ordered.
+TEST(ApproxMemory, CommitAllPipelinesAndRecommitSerializes) {
+  ApproxMemory mem;
+  mem.set_codec(tiny_slc());
+  const auto regions = fill_two_regions(mem);
+  mem.commit_all();
+  for (const RegionId r : regions) EXPECT_TRUE(mem.commit_pending(r));
+  mem.commit_async(regions[0]);  // settles the first commit, queues a second
+  mem.flush();
+  EXPECT_EQ(mem.stats().blocks, 144u);  // 3 commits x 48 blocks
 }
 
 TEST(BlockCodec, RawReportsMaxBursts) {

@@ -111,6 +111,103 @@ TEST(CodecEngine, AnalyzeBytesPadsTail) {
     EXPECT_EQ(res.blocks[i].bit_size, comp->compressed_bits(blocks[i].view()));
 }
 
+// --- async submission API ---------------------------------------------------
+
+TEST(CodecEngine, FutureBasics) {
+  CodecFuture<void> empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_FALSE(empty.ready());
+  EXPECT_THROW(empty.wait(), std::logic_error);
+
+  CodecEngine engine(2);
+  // count == 0: ready immediately, wait returns without touching the pool.
+  auto zero = engine.submit(0, [](size_t, size_t, unsigned) { FAIL() << "must not run"; });
+  EXPECT_TRUE(zero.valid());
+  EXPECT_TRUE(zero.ready());
+  zero.wait();
+  EXPECT_FALSE(zero.valid());  // one-shot
+
+  std::atomic<size_t> total{0};
+  auto fut = engine.submit(100, [&](size_t begin, size_t end, unsigned) { total += end - begin; });
+  fut.wait();
+  EXPECT_EQ(total.load(), 100u);
+}
+
+// Multiple jobs in flight on one pool: each job's result must be identical
+// to a solo sequential analyze/compress of the same stream.
+TEST(CodecEngine, ConcurrentSubmitsMatchSequentialAnalyze) {
+  const auto training = quantized_walk(31, 256);
+  const auto comp = CodecRegistry::instance().create("E2MC", test_options(training));
+  std::vector<std::vector<Block>> streams;
+  for (uint64_t s = 0; s < 4; ++s) streams.push_back(to_blocks(quantized_walk(40 + s, 150)));
+
+  CodecEngine engine(4);
+  std::vector<CodecFuture<CodecEngine::StreamAnalysis>> analyses;
+  std::vector<CodecFuture<std::vector<CompressedBlock>>> payloads;
+  for (const auto& stream : streams) {
+    analyses.push_back(engine.submit_analyze(*comp, stream, 32));
+    payloads.push_back(engine.submit_compress(*comp, stream));
+  }
+
+  CodecEngine reference(1);
+  for (size_t s = 0; s < streams.size(); ++s) {
+    const auto got = analyses[s].wait();
+    const auto want = reference.analyze_stream(*comp, streams[s], 32);
+    ASSERT_EQ(got.blocks.size(), want.blocks.size());
+    for (size_t i = 0; i < got.blocks.size(); ++i)
+      EXPECT_EQ(got.blocks[i].bit_size, want.blocks[i].bit_size) << "stream " << s << " block " << i;
+    EXPECT_EQ(got.ratios.raw_ratio(), want.ratios.raw_ratio()) << "stream " << s;
+    EXPECT_EQ(got.ratios.effective_ratio(), want.ratios.effective_ratio()) << "stream " << s;
+    EXPECT_EQ(got.lossy_blocks, want.lossy_blocks);
+    EXPECT_EQ(got.truncated_symbols, want.truncated_symbols);
+
+    const auto got_payloads = payloads[s].wait();
+    const auto want_payloads = reference.compress_stream(*comp, streams[s]);
+    ASSERT_EQ(got_payloads.size(), want_payloads.size());
+    for (size_t i = 0; i < got_payloads.size(); ++i)
+      EXPECT_EQ(got_payloads[i].payload, want_payloads[i].payload) << "stream " << s;
+  }
+}
+
+// An exception is confined to its job: concurrent jobs complete normally,
+// the failed future rethrows, and the pool stays usable.
+TEST(CodecEngine, ExceptionInOneJobDoesNotPoisonOthers) {
+  CodecEngine engine(2);
+  std::atomic<size_t> good_total{0};
+  auto bad = engine.submit(64, [&](size_t begin, size_t, unsigned) {
+    if (begin == 0) throw std::runtime_error("boom");
+  });
+  auto good =
+      engine.submit(64, [&](size_t begin, size_t end, unsigned) { good_total += end - begin; });
+
+  good.wait();
+  EXPECT_EQ(good_total.load(), 64u);
+  EXPECT_THROW(bad.wait(), std::runtime_error);
+
+  // The pool must stay usable afterwards.
+  std::atomic<size_t> total{0};
+  engine.parallel_for(10, [&](size_t begin, size_t end, unsigned) { total += end - begin; });
+  EXPECT_EQ(total.load(), 10u);
+}
+
+// submit_job's finalize runs once, on the waiting thread, after the drain —
+// the merge point the determinism contract hangs on.
+TEST(CodecEngine, SubmitJobFinalizeMergesPerWorkerState) {
+  CodecEngine engine(4);
+  auto per_worker = std::make_shared<std::vector<uint64_t>>(engine.num_threads(), 0);
+  auto fut = engine.submit_job<uint64_t>(
+      1000,
+      [per_worker](size_t begin, size_t end, unsigned worker) {
+        for (size_t i = begin; i < end; ++i) (*per_worker)[worker] += i;
+      },
+      [per_worker]() {
+        uint64_t total = 0;
+        for (const uint64_t w : *per_worker) total += w;
+        return total;
+      });
+  EXPECT_EQ(fut.wait(), 1000u * 999u / 2);
+}
+
 // ApproxMemory::commit shards through the engine; stats and mutated contents
 // must not depend on the worker count.
 TEST(CodecEngine, CommitInvariantAcrossEngines) {

@@ -2,6 +2,7 @@
 // bandwidth behaviours the paper's speedups rest on.
 #include <gtest/gtest.h>
 
+#include "compress/block_codec.h"
 #include "sim/gpu_sim.h"
 
 namespace slc {
@@ -35,6 +36,35 @@ TEST(GpuSim, AllAccessesAccounted) {
   EXPECT_EQ(s.accesses, 5000u);
   EXPECT_EQ(s.reads + s.writes, 5000u);
   EXPECT_GT(s.cycles, 0u);
+}
+
+// run(ApproxMemory&) is the pipelined-run entry point: it must flush the
+// in-flight async commits before replaying, so the replayed trace matches a
+// replay of the explicitly flushed trace exactly.
+TEST(GpuSim, RunFromMemoryFlushesPendingCommitsBeforeReplay) {
+  auto build = [] {
+    ApproxMemory mem;
+    mem.set_codec(std::make_shared<RawBlockCodec>(32));
+    const RegionId r = mem.alloc("x", 64 * kBlockBytes, /*safe=*/true, 16);
+    mem.commit_async(r);
+    mem.begin_kernel("k", 1.0);
+    mem.trace_read(r);
+    mem.commit_async(r);  // left in flight on purpose
+    return mem;
+  };
+
+  ApproxMemory via_trace = build();
+  via_trace.flush();
+  GpuSim ref_sim(GpuSimConfig{});
+  const SimStats want = ref_sim.run(via_trace.trace());
+
+  ApproxMemory mem = build();
+  GpuSim sim(GpuSimConfig{});
+  const SimStats got = sim.run(mem);  // flushes, then replays
+  EXPECT_FALSE(mem.commit_pending(0));
+  EXPECT_EQ(got.accesses, want.accesses);
+  EXPECT_EQ(got.cycles, want.cycles);
+  EXPECT_EQ(got.dram_read_bursts, want.dram_read_bursts);
 }
 
 TEST(GpuSim, ReadsMissCachesOnFirstTouch) {

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Markdown lint + relative-link check for the repo's documentation.
+
+Checked files: README.md, ROADMAP.md, CHANGES.md and everything under
+docs/ (recursively). Generated reference dumps (PAPERS.md, SNIPPETS.md,
+PAPER.md, ISSUE.md) are link-check *targets* but are not themselves linted.
+No third-party dependencies — CI and local runs use the stock python3.
+
+Rules:
+  links    — every relative markdown link [text](target) must resolve to a
+             file or directory in the repo; #anchors must match a heading in
+             the target file (GitHub slug rules, best-effort).
+  headings — exactly one H1 per file, and heading levels never jump by more
+             than one (## -> #### is a lint error).
+  tabs     — no hard tabs (markdown renderers disagree about them).
+
+Exit status: 0 clean, 1 any finding (findings are listed one per line).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def md_files() -> list[Path]:
+    files = [p for p in (REPO / n for n in ("README.md", "ROADMAP.md", "CHANGES.md"))
+             if p.is_file()]
+    docs = REPO / "docs"
+    if docs.is_dir():
+        files += sorted(docs.rglob("*.md"))
+    return files
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug (best-effort: ASCII, no dedup counters)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def parse(path: Path) -> tuple[list[tuple[int, str]], list[tuple[int, int, str]], list[int]]:
+    """Returns (links, headings, hard_tab_lines); code fences are skipped."""
+    links: list[tuple[int, str]] = []
+    headings: list[tuple[int, int, str]] = []
+    tabs: list[int] = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        if "\t" in line:
+            tabs.append(lineno)
+        m = HEADING_RE.match(line)
+        if m:
+            headings.append((lineno, len(m.group(1)), m.group(2)))
+        for link in LINK_RE.finditer(line):
+            links.append((lineno, link.group(1)))
+    return links, headings, tabs
+
+
+def check_file(path: Path, anchors_of: dict[Path, set[str]]) -> list[str]:
+    findings: list[str] = []
+    rel = path.relative_to(REPO)
+    links, headings, tabs = parse(path)
+
+    for lineno in tabs:
+        findings.append(f"{rel}:{lineno}: hard tab")
+
+    h1s = [h for h in headings if h[1] == 1]
+    if len(h1s) != 1:
+        findings.append(f"{rel}: expected exactly one H1, found {len(h1s)}")
+    prev_level = 0
+    for lineno, level, text in headings:
+        if prev_level and level > prev_level + 1:
+            findings.append(
+                f"{rel}:{lineno}: heading level jumps from {prev_level} to {level} ({text!r})"
+            )
+        prev_level = level
+
+    for lineno, target in links:
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if slugify(target[1:]) not in anchors_of[path]:
+                findings.append(f"{rel}:{lineno}: broken anchor {target!r}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = (path.parent / file_part).resolve()
+        if not dest.exists():
+            findings.append(f"{rel}:{lineno}: broken link {target!r}")
+            continue
+        if not dest.is_relative_to(REPO):
+            findings.append(f"{rel}:{lineno}: link escapes the repo {target!r}")
+            continue
+        if anchor:
+            dest_anchors = anchors_of.get(dest)
+            if dest_anchors is None and dest.suffix == ".md":
+                dest_anchors = {slugify(h[2]) for h in parse(dest)[1]}
+            if dest_anchors is not None and slugify(anchor) not in dest_anchors:
+                findings.append(f"{rel}:{lineno}: broken anchor {target!r}")
+    return findings
+
+
+def main() -> int:
+    files = md_files()
+    anchors_of = {p: {slugify(h[2]) for h in parse(p)[1]} for p in files}
+    findings: list[str] = []
+    for path in files:
+        findings += check_file(path, anchors_of)
+    for f in findings:
+        print(f)
+    print(f"checked {len(files)} markdown files: "
+          f"{'OK' if not findings else f'{len(findings)} finding(s)'}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
