@@ -1,0 +1,209 @@
+// CodecServer scheduling: mixed bulk + latency-sensitive load through the
+// multi-stream front-end, priority scheduling vs plain FIFO.
+//
+// Scenario (per mode): a bulk stream floods the server with large fig-ratio
+// style analyze requests (the offline sweep workload) while a
+// latency-sensitive stream submits small TSLC-OPT commit-sized requests and
+// waits each one. Under FIFO (both streams at the same priority) a latency
+// request queues behind the whole bulk backlog; with priority scheduling the
+// engine's claim loop preempts bulk at shard granularity, so the latency
+// stream's p50/p99 collapse while bulk throughput is barely touched.
+//
+// The bench also pins the serving determinism contract: the identical
+// request sequence against a 1-thread and an N-thread engine — and against
+// FIFO vs priority scheduling — must produce byte-identical per-request
+// results and per-stream commit stats. Exits non-zero when determinism or
+// the priority-beats-FIFO property fails (CI runs this as a smoke test).
+//
+// Usage: server_throughput [benchmark] [scheme]
+//   defaults: SRAD2 E2MC (the bulk stream's codec; latency runs TSLC-OPT)
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/codec_server.h"
+
+using namespace slc;
+using namespace slc::bench;
+
+namespace {
+
+constexpr size_t kBulkRequestBlocks = 512;
+constexpr size_t kLatencyRequestBlocks = 16;
+constexpr size_t kWarmupBulkRequests = 16;
+constexpr size_t kLatencyIterations = 32;
+constexpr size_t kBulkRequestsPerIteration = 2;
+
+struct ScenarioResult {
+  StreamStats bulk_stats;
+  StreamStats latency_stats;
+  std::vector<CodecEngine::StreamAnalysis> bulk_results;    // submission order
+  std::vector<CodecEngine::StreamAnalysis> latency_results;
+  double seconds = 0.0;
+};
+
+/// Tiles the benchmark image into a pool large enough to slice any request
+/// from, so request contents are deterministic and non-degenerate.
+std::vector<uint8_t> build_pool(const std::vector<uint8_t>& image, size_t bytes) {
+  std::vector<uint8_t> pool(bytes);
+  for (size_t i = 0; i < bytes; ++i) pool[i] = image[i % image.size()];
+  return pool;
+}
+
+ScenarioResult run_scenario(bool prioritize, unsigned threads, const std::string& benchmark,
+                            const std::string& bulk_scheme) {
+  const CodecOptions opts = codec_options_for(benchmark, kDefaultMagBytes, 16);
+
+  CodecServer::Config cfg;
+  cfg.engine = std::make_shared<CodecEngine>(threads);
+  cfg.batch_blocks = 256;
+  cfg.max_inflight_blocks = 0;  // unbounded: this bench compares scheduling
+  CodecServer server(cfg);
+
+  StreamConfig bulk_cfg;
+  bulk_cfg.name = "bulk";
+  bulk_cfg.codec = bulk_scheme;
+  bulk_cfg.options = opts;
+  bulk_cfg.priority = StreamPriority::kBulk;
+  StreamConfig lat_cfg;
+  lat_cfg.name = "latency";
+  lat_cfg.codec = "TSLC-OPT";
+  lat_cfg.options = opts;
+  lat_cfg.priority = prioritize ? StreamPriority::kLatency : StreamPriority::kBulk;
+  const StreamId bulk = server.open_stream(bulk_cfg);
+  const StreamId lat = server.open_stream(lat_cfg);
+
+  const size_t bulk_bytes = kBulkRequestBlocks * kBlockBytes;
+  const size_t lat_bytes = kLatencyRequestBlocks * kBlockBytes;
+  const std::vector<uint8_t> pool =
+      build_pool(workload_image_cached(benchmark), 8 * bulk_bytes + lat_bytes);
+
+  auto bulk_slice = [&](size_t i) {
+    return std::span<const uint8_t>(pool.data() + (i % 8) * bulk_bytes, bulk_bytes);
+  };
+  auto lat_slice = [&](size_t i) {
+    return std::span<const uint8_t>(pool.data() + (i % 7) * lat_bytes, lat_bytes);
+  };
+
+  std::vector<ServerTicket> bulk_tickets;
+  ScenarioResult out;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Flood the bulk stream, then interleave: keep refilling the backlog while
+  // the latency stream submits small requests and waits each one — the
+  // serving pattern a shared compression tier actually sees.
+  size_t bulk_i = 0;
+  for (size_t i = 0; i < kWarmupBulkRequests; ++i)
+    bulk_tickets.push_back(server.submit(bulk, bulk_slice(bulk_i++)));
+  for (size_t it = 0; it < kLatencyIterations; ++it) {
+    for (size_t i = 0; i < kBulkRequestsPerIteration; ++i)
+      bulk_tickets.push_back(server.submit(bulk, bulk_slice(bulk_i++)));
+    auto ticket = server.submit(lat, lat_slice(it));
+    out.latency_results.push_back(ticket.wait());
+  }
+  server.drain();
+  out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  for (auto& t : bulk_tickets) out.bulk_results.push_back(t.wait());
+  out.bulk_stats = server.stream_stats(bulk);
+  out.latency_stats = server.stream_stats(lat);
+  return out;
+}
+
+bool results_identical(const std::vector<CodecEngine::StreamAnalysis>& a,
+                       const std::vector<CodecEngine::StreamAnalysis>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t r = 0; r < a.size(); ++r) {
+    if (a[r].blocks.size() != b[r].blocks.size()) return false;
+    if (a[r].ratios.raw_ratio() != b[r].ratios.raw_ratio()) return false;
+    if (a[r].ratios.effective_ratio() != b[r].ratios.effective_ratio()) return false;
+    if (a[r].lossy_blocks != b[r].lossy_blocks) return false;
+    if (a[r].truncated_symbols != b[r].truncated_symbols) return false;
+    for (size_t i = 0; i < a[r].blocks.size(); ++i)
+      if (a[r].blocks[i].bit_size != b[r].blocks[i].bit_size) return false;
+  }
+  return true;
+}
+
+bool scenarios_identical(const ScenarioResult& a, const ScenarioResult& b) {
+  return results_identical(a.bulk_results, b.bulk_results) &&
+         results_identical(a.latency_results, b.latency_results) &&
+         a.bulk_stats.commit == b.bulk_stats.commit &&
+         a.latency_stats.commit == b.latency_stats.commit;
+}
+
+std::string ms(double seconds, int prec = 3) { return TextTable::fmt(seconds * 1e3, prec); }
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const std::string benchmark = argc > 1 ? argv[1] : "SRAD2";
+  const std::string scheme = argc > 2 ? argv[2] : "E2MC";
+
+  print_banner("CodecServer scheduling — priority vs FIFO under mixed load",
+               "server layer validation (no paper figure)");
+
+  const unsigned threads = std::max(2u, std::thread::hardware_concurrency());
+  const size_t bulk_total =
+      (kWarmupBulkRequests + kLatencyIterations * kBulkRequestsPerIteration) * kBulkRequestBlocks;
+  std::printf(
+      "bulk stream: %s, %zu blocks across %zu requests; latency stream: TSLC-OPT,\n"
+      "%zu requests x %zu blocks, each waited synchronously; engine: %u worker(s)\n\n",
+      scheme.c_str(), bulk_total,
+      kWarmupBulkRequests + kLatencyIterations * kBulkRequestsPerIteration, kLatencyIterations,
+      kLatencyRequestBlocks, threads);
+
+  const ScenarioResult fifo = run_scenario(/*prioritize=*/false, threads, benchmark, scheme);
+  const ScenarioResult prio = run_scenario(/*prioritize=*/true, threads, benchmark, scheme);
+
+  TextTable t({"Scheduling", "lat p50 (ms)", "lat p99 (ms)", "lat max (ms)", "bulk Mblk/s",
+               "wall (s)"});
+  for (const auto& [label, r] : {std::pair<const char*, const ScenarioResult&>{"FIFO", fifo},
+                                 {"priority", prio}}) {
+    t.add_row({label, ms(r.latency_stats.latency.percentile(50)),
+               ms(r.latency_stats.latency.percentile(99)), ms(r.latency_stats.latency.max()),
+               TextTable::fmt(static_cast<double>(r.bulk_stats.commit.blocks) / r.seconds / 1e6, 3),
+               TextTable::fmt(r.seconds, 3)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  const double fifo_p99 = fifo.latency_stats.latency.percentile(99);
+  const double prio_p99 = prio.latency_stats.latency.percentile(99);
+  std::printf("latency-stream p99: %s ms (FIFO) -> %s ms (priority), %.1fx better\n",
+              ms(fifo_p99).c_str(), ms(prio_p99).c_str(),
+              prio_p99 > 0 ? fifo_p99 / prio_p99 : 0.0);
+  std::printf("Priority preempts bulk at shard granularity, so the gap grows with the\n");
+  std::printf("backlog; a 1-core host still reorders claims but overlaps nothing.\n\n");
+
+  // Scheduling must never change results: FIFO and priority runs of the same
+  // request sequence are byte-identical.
+  if (!scenarios_identical(fifo, prio)) {
+    std::printf("FATAL: priority scheduling changed per-request results\n");
+    return 1;
+  }
+
+  // Serving determinism: the same scenario against a 1-thread engine.
+  const ScenarioResult one = run_scenario(/*prioritize=*/true, 1, benchmark, scheme);
+  const bool deterministic = scenarios_identical(one, prio);
+  std::printf("per-stream results identical for 1 vs %u engine threads: %s\n", threads,
+              deterministic ? "yes" : "NO");
+  if (!deterministic) {
+    std::printf("FATAL: serving results depend on the engine thread count\n");
+    return 1;
+  }
+  // The gate requires a real win, not merely "not worse": a broken priority
+  // path degenerates to FIFO (ratio ~1.0) and must fail. The measured effect
+  // is an order of magnitude, so the 0.8 margin absorbs loaded-runner noise.
+  if (prio_p99 >= fifo_p99 * 0.8) {
+    std::printf("FATAL: priority scheduling did not beat FIFO for the latency stream\n");
+    return 1;
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

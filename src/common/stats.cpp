@@ -48,6 +48,38 @@ double Histogram::fraction(int64_t bucket) const {
   return total_ ? static_cast<double>(at(bucket)) / static_cast<double>(total_) : 0.0;
 }
 
+void PercentileTracker::record(double x) { samples_.push_back(x); }
+
+void PercentileTracker::merge(const PercentileTracker& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+}
+
+double PercentileTracker::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double PercentileTracker::max() const {
+  return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double PercentileTracker::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  // Nearest rank: the smallest sample with at least p% of samples <= it.
+  const auto n = static_cast<double>(samples_.size());
+  size_t rank = static_cast<size_t>(std::ceil(clamped / 100.0 * n));
+  if (rank == 0) rank = 1;
+  const size_t idx = std::min(rank, samples_.size()) - 1;
+  // Select on a scratch copy: const stays read-only, so concurrent
+  // percentile() calls on a shared tracker are safe.
+  std::vector<double> scratch(samples_);
+  std::nth_element(scratch.begin(), scratch.begin() + static_cast<ptrdiff_t>(idx), scratch.end());
+  return scratch[idx];
+}
+
 TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
 
 void TextTable::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
@@ -59,11 +91,14 @@ std::string TextTable::fmt(double v, int prec) {
 }
 
 std::string TextTable::to_string() const {
-  std::vector<size_t> width(header_.size(), 0);
+  // Width array spans the widest row, not just the header: a row with more
+  // cells than the header still renders every cell at its measured width.
+  size_t n_cols = header_.size();
+  for (const auto& row : rows_) n_cols = std::max(n_cols, row.size());
+  std::vector<size_t> width(n_cols, 0);
   for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
   for (const auto& row : rows_)
-    for (size_t c = 0; c < row.size() && c < width.size(); ++c)
-      width[c] = std::max(width[c], row[c].size());
+    for (size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
 
   std::ostringstream os;
   auto emit_row = [&](const std::vector<std::string>& row) {

@@ -53,6 +53,27 @@ class Histogram {
   uint64_t total_ = 0;
 };
 
+/// Collects raw samples and answers percentile queries (nearest-rank) —
+/// the latency bookkeeping behind the CodecServer's per-stream p50/p99.
+/// Samples are kept verbatim so merging trackers is exact. Const queries
+/// are genuinely read-only (percentile() selects on a scratch copy), so
+/// concurrent readers need no external lock.
+class PercentileTracker {
+ public:
+  void record(double x);
+  /// Folds another tracker's samples into this one.
+  void merge(const PercentileTracker& other);
+
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  double max() const;
+  /// Nearest-rank percentile, `p` in [0, 100]. Returns 0 when empty.
+  double percentile(double p) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
 /// Fixed-width text table printer for bench output (keeps every bench's
 /// stdout aligned and diff-able).
 class TextTable {

@@ -3,21 +3,100 @@
 #include <algorithm>
 
 namespace slc {
+namespace detail {
+
+void EngineJob::finish_shard(size_t items, std::exception_ptr thrown) {
+  std::function<void(size_t, size_t, unsigned)> release;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (thrown && !error_) error_ = thrown;
+    completed_ += items;
+    if (completed_ < count || finished_) return;
+    finished_ = true;
+    // Release captures as soon as the job drained; destroy outside the lock.
+    release = std::move(body);
+    body = nullptr;
+  }
+  cv_.notify_all();
+}
+
+void EngineJob::abandon(std::exception_ptr reason) {
+  std::function<void(size_t, size_t, unsigned)> release;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (finished_) return;
+    if (!error_) error_ = std::move(reason);
+    finished_ = true;
+    release = std::move(body);
+    body = nullptr;
+  }
+  cv_.notify_all();
+}
+
+void EngineJob::wait() {
+  std::unique_lock<std::mutex> lk(m_);
+  cv_.wait(lk, [&] { return finished_; });
+  if (error_) {
+    const std::exception_ptr e = error_;
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+bool EngineJob::ready() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return finished_;
+}
+
+bool EngineJob::cancelled() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return error_ != nullptr;
+}
+
+}  // namespace detail
 
 CodecEngine::CodecEngine(unsigned num_threads) {
   unsigned n = num_threads != 0 ? num_threads : std::thread::hardware_concurrency();
-  n = std::max(1u, n);
-  workers_.reserve(n);
-  for (unsigned i = 0; i < n; ++i) workers_.emplace_back([this, i] { worker_loop(i); });
+  n_threads_ = std::max(1u, n);
+  workers_.reserve(n_threads_);
+  for (unsigned i = 0; i < n_threads_; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
-CodecEngine::~CodecEngine() {
+CodecEngine::~CodecEngine() { shutdown(); }
+
+void CodecEngine::shutdown() {
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    std::unique_lock<std::mutex> lk(mutex_);
+    if (stop_) {
+      // A later caller (e.g. the destructor after an explicit shutdown, or
+      // a concurrent one) must not return — and let the engine be freed —
+      // while the first caller is still joining workers.
+      shutdown_cv_.wait(lk, [&] { return shutdown_done_; });
+      return;
+    }
     stop_ = true;
   }
   work_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  // The pool is gone, so jobs still holding unclaimed shards can never
+  // drain. Mark them finished with a stored exception: a future that
+  // outlived the engine then throws from wait() instead of deadlocking.
+  std::deque<std::shared_ptr<detail::EngineJob>> leftover;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    leftover.swap(queue_);
+  }
+  for (const auto& job : leftover)
+    job->abandon(std::make_exception_ptr(
+        std::runtime_error("CodecEngine shut down with the job still queued")));
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    shutdown_done_ = true;
+    // Notify under the lock: a woken waiter can only proceed (and possibly
+    // destroy the engine) after we release it, with nothing left to touch.
+    shutdown_cv_.notify_all();
+  }
 }
 
 std::shared_ptr<CodecEngine> CodecEngine::shared_default() {
@@ -26,24 +105,35 @@ std::shared_ptr<CodecEngine> CodecEngine::shared_default() {
 }
 
 std::shared_ptr<detail::EngineJob> CodecEngine::enqueue(
-    size_t count, std::function<void(size_t, size_t, unsigned)> body) {
+    size_t count, std::function<void(size_t, size_t, unsigned)> body, int priority) {
   auto job = std::make_shared<detail::EngineJob>();
   job->count = count;
   job->body = std::move(body);
+  job->priority = priority;
   if (count == 0) {
-    job->finished = true;
+    job->finish_shard(0, nullptr);
     return job;
   }
   // Dynamic work queue: ~8 shards per worker balances load without paying a
   // queue round-trip per block. Shard size never affects results, only how
   // the stream is cut across workers.
-  const size_t target_shards = workers_.size() * 8;
+  const size_t target_shards = static_cast<size_t>(num_threads()) * 8;
   job->shard = std::clamp<size_t>((count + target_shards - 1) / target_shards, 1, 4096);
+  bool accepted = false;
   {
     std::lock_guard<std::mutex> lk(mutex_);
-    queue_.push_back(job);
+    if (!stop_) {
+      queue_.push_back(job);
+      accepted = true;
+    }
   }
-  work_cv_.notify_all();
+  if (accepted) {
+    work_cv_.notify_all();
+  } else {
+    // Submitted after shutdown: nothing will ever run it.
+    job->abandon(std::make_exception_ptr(
+        std::runtime_error("CodecEngine::submit after shutdown")));
+  }
   return job;
 }
 
@@ -52,67 +142,53 @@ void CodecEngine::worker_loop(unsigned id) {
   for (;;) {
     work_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
     if (stop_) return;
-    const std::shared_ptr<detail::EngineJob> job = queue_.front();
+    // Claim from the highest-priority job with unclaimed shards; ties drain
+    // FIFO. Priority only reorders claims across jobs — a job's own result
+    // is shard-order-independent by the determinism contract.
+    auto best = queue_.begin();
+    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it)
+      if ((*it)->priority > (*best)->priority) best = it;
+    const std::shared_ptr<detail::EngineJob> job = *best;
     const size_t begin = job->next;
     const size_t end = std::min(job->count, begin + job->shard);
     job->next = end;
-    if (job->next >= job->count) queue_.pop_front();
+    if (job->next >= job->count) queue_.erase(best);
+    lk.unlock();
     // A shard that already saw this job fail is cancelled, not run: the
     // first exception wins and the job drains as fast as workers can claim.
-    const bool cancelled = job->error != nullptr;
-    lk.unlock();
     std::exception_ptr thrown;
-    if (!cancelled) {
+    if (!job->cancelled()) {
       try {
         job->body(begin, end, id);
       } catch (...) {
         thrown = std::current_exception();
       }
     }
+    job->finish_shard(end - begin, thrown);
     lk.lock();
-    if (thrown && !job->error) job->error = thrown;
-    job->completed += end - begin;
-    if (job->completed == job->count) {
-      job->finished = true;
-      job->body = nullptr;  // release captures as soon as the job drained
-      done_cv_.notify_all();
-    }
   }
-}
-
-void CodecEngine::wait_job(detail::EngineJob& job) {
-  std::unique_lock<std::mutex> lk(mutex_);
-  done_cv_.wait(lk, [&] { return job.finished; });
-  if (job.error) {
-    const std::exception_ptr e = job.error;
-    lk.unlock();
-    std::rethrow_exception(e);
-  }
-}
-
-bool CodecEngine::job_ready(const detail::EngineJob& job) const {
-  std::lock_guard<std::mutex> lk(mutex_);
-  return job.finished;
 }
 
 CodecFuture<void> CodecEngine::submit(size_t count,
-                                      std::function<void(size_t, size_t, unsigned)> body) {
-  return submit_job<void>(count, std::move(body), {});
+                                      std::function<void(size_t, size_t, unsigned)> body,
+                                      int priority) {
+  return submit_job<void>(count, std::move(body), {}, priority);
 }
 
 void CodecEngine::parallel_for(size_t count,
                                const std::function<void(size_t, size_t, unsigned)>& body) {
   if (count == 0) return;
   // Reference the caller's body instead of copying it: the job cannot
-  // outlive this frame because wait_job blocks until it drained.
-  const auto job = enqueue(count, [&body](size_t b, size_t e, unsigned w) { body(b, e, w); });
-  wait_job(*job);
+  // outlive this frame because wait() blocks until it drained.
+  const auto job =
+      enqueue(count, [&body](size_t b, size_t e, unsigned w) { body(b, e, w); }, 0);
+  job->wait();
 }
 
 CodecFuture<CodecEngine::StreamAnalysis> CodecEngine::submit_analyze_indexed(
     size_t n_blocks, size_t mag_bytes,
     std::function<void(size_t, size_t, BlockAnalysis*)> produce,
-    std::function<size_t(size_t)> original_bits) {
+    std::function<size_t(size_t)> original_bits, int priority) {
   struct WorkerStats {
     RatioAccumulator ratios;
     uint64_t lossy = 0;
@@ -152,12 +228,14 @@ CodecFuture<CodecEngine::StreamAnalysis> CodecEngine::submit_analyze_indexed(
           ctx->out.truncated_symbols += ws.truncated;
         }
         return std::move(ctx->out);
-      });
+      },
+      priority);
 }
 
 CodecFuture<CodecEngine::StreamAnalysis> CodecEngine::submit_analyze(const Compressor& comp,
                                                                      std::span<const Block> blocks,
-                                                                     size_t mag_bytes) {
+                                                                     size_t mag_bytes,
+                                                                     int priority) {
   return submit_analyze_indexed(
       blocks.size(), mag_bytes,
       [&comp, blocks](size_t begin, size_t end, BlockAnalysis* dst) {
@@ -166,11 +244,11 @@ CodecFuture<CodecEngine::StreamAnalysis> CodecEngine::submit_analyze(const Compr
         std::vector<BlockAnalysis> shard = comp.analyze_batch(blocks.subspan(begin, end - begin));
         std::move(shard.begin(), shard.end(), dst);
       },
-      [blocks](size_t i) { return blocks[i].size() * 8; });
+      [blocks](size_t i) { return blocks[i].size() * 8; }, priority);
 }
 
 CodecFuture<std::vector<CompressedBlock>> CodecEngine::submit_compress(
-    const Compressor& comp, std::span<const Block> blocks) {
+    const Compressor& comp, std::span<const Block> blocks, int priority) {
   auto out = std::make_shared<std::vector<CompressedBlock>>(blocks.size());
   return submit_job<std::vector<CompressedBlock>>(
       blocks.size(),
@@ -178,7 +256,7 @@ CodecFuture<std::vector<CompressedBlock>> CodecEngine::submit_compress(
         std::vector<CompressedBlock> shard = comp.compress_batch(blocks.subspan(begin, end - begin));
         for (size_t i = 0; i < shard.size(); ++i) (*out)[begin + i] = std::move(shard[i]);
       },
-      [out]() { return std::move(*out); });
+      [out]() { return std::move(*out); }, priority);
 }
 
 CodecEngine::StreamAnalysis CodecEngine::analyze_stream(const Compressor& comp,
@@ -207,7 +285,7 @@ CodecEngine::StreamAnalysis CodecEngine::analyze_bytes(const Compressor& comp,
                  }
                }
              },
-             [block_bytes](size_t) { return block_bytes * 8; })
+             [block_bytes](size_t) { return block_bytes * 8; }, 0)
       .wait();
 }
 

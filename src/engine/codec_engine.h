@@ -1,10 +1,13 @@
 // CodecEngine: batched multi-threaded driver for the codec stack.
 //
-// A persistent std::thread worker pool pulls fixed-size shards off a FIFO
-// *job queue*: every submit()/parallel_for call enqueues one independent job
-// (its own [0, count) range, completion state and error slot), and workers
-// drain whichever jobs are pending — so multiple analyze/compress/commit
-// jobs can be in flight at once and the pool never idles between them.
+// A persistent std::thread worker pool pulls fixed-size shards off a
+// *priority job queue*: every submit()/parallel_for call enqueues one
+// independent job (its own [0, count) range, completion state and error
+// slot), and workers drain whichever jobs are pending — so multiple
+// analyze/compress/commit jobs can be in flight at once and the pool never
+// idles between them. Each shard claim goes to the highest-priority job with
+// unclaimed shards (FIFO among equal priorities), so a latency-sensitive job
+// preempts queued bulk work at shard granularity without cancelling it.
 //
 // Determinism contract (per job): shard->worker assignment is
 // nondeterministic, but bodies write only to index-aligned slots and keep
@@ -12,7 +15,8 @@
 // counters after the job drained, so a 1-thread and an N-thread run produce
 // byte-identical results — the property the tier-1 determinism test pins
 // down. Jobs never share accumulators, so concurrency across jobs cannot
-// change any job's result.
+// change any job's result; priority reorders *which job's shards run next*,
+// never anything inside a job's result.
 //
 // Two modes, matching the consumers:
 //   * full-payload  — compress_stream()/submit_compress(): every block's bit
@@ -21,7 +25,8 @@
 //                     sizes + ratios only (the simulator's and the ratio
 //                     benches' common case)
 // The synchronous entry points are thin wrappers: submit + wait. The generic
-// submit()/submit_job() underlie ApproxMemory::commit_async().
+// submit()/submit_job() underlie ApproxMemory::commit_async() and the
+// CodecServer's batch dispatch (src/server/).
 #pragma once
 
 #include <condition_variable>
@@ -44,15 +49,36 @@ namespace detail {
 
 /// One submitted job: an independent shard range plus its own completion and
 /// error state. Shared between the queue, the workers still running its
-/// shards, and the future holding it.
+/// shards, and the future holding it. Completion (`completed`/`finished`/
+/// `error`) is guarded by the job's own mutex so a future can wait on the
+/// job even after the engine that ran it is gone; the shard cursor (`next`)
+/// stays under the engine mutex with the queue.
 struct EngineJob {
   std::function<void(size_t begin, size_t end, unsigned worker_id)> body;
   size_t count = 0;
   size_t shard = 1;
-  size_t next = 0;       ///< next shard start (claimed under the engine mutex)
-  size_t completed = 0;  ///< items whose body returned (or were cancelled)
-  bool finished = false;
-  std::exception_ptr error;
+  size_t next = 0;  ///< next shard start (claimed under the engine mutex)
+  int priority = 0; ///< higher claims first; ties drain FIFO
+
+  /// Marks `items` of this job done (body returned or shard cancelled); the
+  /// first exception wins. The last shard releases the body's captures.
+  void finish_shard(size_t items, std::exception_ptr thrown);
+  /// Marks a never-to-be-drained job finished with `reason` so waiters
+  /// throw instead of hanging (engine shutdown with jobs still queued).
+  void abandon(std::exception_ptr reason);
+  /// Blocks until the job drained; rethrows its first shard exception.
+  void wait();
+  /// Non-blocking: has the job drained (result or exception ready)?
+  bool ready() const;
+  /// True when a claimed shard must be cancelled (a prior shard threw).
+  bool cancelled() const;
+
+ private:
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  size_t completed_ = 0;  ///< items whose body returned (or were cancelled)
+  bool finished_ = false;
+  std::exception_ptr error_;
 };
 
 }  // namespace detail
@@ -60,9 +86,10 @@ struct EngineJob {
 /// Ticket for a job submitted to a CodecEngine. Move-only; wait() is
 /// one-shot: it blocks until the job drained, rethrows the first exception a
 /// shard threw, and otherwise materializes the job's result (merging
-/// per-worker state). The future must be waited (or destroyed) before the
-/// engine it came from is destroyed, and inputs captured by the job (codec,
-/// block storage) must stay alive until wait() returns. Destroying a future
+/// per-worker state). Inputs captured by the job (codec, block storage) must
+/// stay alive until wait() returns. The future may outlive the engine: a job
+/// abandoned by engine shutdown is marked finished with a stored exception,
+/// so a late wait() throws instead of deadlocking. Destroying a future
 /// without waiting leaks no memory but abandons the result; the job still
 /// runs to completion.
 template <typename T>
@@ -77,7 +104,7 @@ class CodecFuture {
   /// True until wait() consumed this future (default-constructed: false).
   bool valid() const { return state_ != nullptr; }
   /// Non-blocking: has the job drained (result or exception ready)?
-  bool ready() const;
+  bool ready() const { return state_ && state_->job->ready(); }
   /// Blocks until the job drained, then returns its result (one-shot).
   /// Rethrows the first exception thrown by any shard of this job.
   T wait();
@@ -85,7 +112,6 @@ class CodecFuture {
  private:
   friend class CodecEngine;
   struct State {
-    CodecEngine* engine = nullptr;
     std::shared_ptr<detail::EngineJob> job;
     std::function<T()> finalize;  ///< runs on the waiting thread, post-drain
   };
@@ -95,16 +121,29 @@ class CodecFuture {
 
 class CodecEngine {
  public:
+  /// Priority landmarks for submit*(). Any int works (higher = sooner);
+  /// these name the two ends the CodecServer schedules between.
+  static constexpr int kPriorityBulk = 0;
+  static constexpr int kPriorityLatency = 100;
+
   /// `num_threads` = 0 picks std::thread::hardware_concurrency() (min 1).
   explicit CodecEngine(unsigned num_threads = 0);
-  /// Joins the pool. Every future obtained from this engine must have been
-  /// waited (or dropped) before destruction; jobs still queued are abandoned.
+  /// shutdown(): joins the pool; jobs still queued are abandoned — their
+  /// futures' wait() throws std::runtime_error instead of deadlocking.
   ~CodecEngine();
 
   CodecEngine(const CodecEngine&) = delete;
   CodecEngine& operator=(const CodecEngine&) = delete;
 
-  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+  /// Configured worker count; immutable after construction (still reported
+  /// after shutdown), so it is safe to read concurrently with shutdown().
+  unsigned num_threads() const { return n_threads_; }
+
+  /// Stops accepting work, joins the pool and abandons jobs still queued
+  /// (their futures throw on wait()). Idempotent — later callers block
+  /// until the first caller finished joining. The destructor calls it.
+  /// Jobs whose shards were all claimed before the stop drain normally.
+  void shutdown();
 
   /// Process-wide default engine (hardware concurrency), shared so consumers
   /// do not each spin up a pool. ApproxMemory uses this unless given one.
@@ -121,7 +160,8 @@ class CodecEngine {
   /// Enqueues body(begin, end, worker_id) over disjoint shards covering
   /// [0, count) and returns immediately.
   CodecFuture<void> submit(size_t count,
-                           std::function<void(size_t begin, size_t end, unsigned worker_id)> body);
+                           std::function<void(size_t begin, size_t end, unsigned worker_id)> body,
+                           int priority = 0);
 
   /// Generalized submit: `finalize` runs once on the thread that waits, after
   /// every shard completed — the place to merge per-worker accumulators into
@@ -129,7 +169,7 @@ class CodecEngine {
   template <typename T>
   CodecFuture<T> submit_job(size_t count,
                             std::function<void(size_t begin, size_t end, unsigned worker_id)> body,
-                            std::function<T()> finalize);
+                            std::function<T()> finalize, int priority = 0);
 
   /// Size-only sweep of a block stream: per-block analyses plus the merged
   /// raw/effective ratio bookkeeping at `mag_bytes`.
@@ -143,10 +183,12 @@ class CodecEngine {
   /// Async size-only sweep. `comp` and the storage behind `blocks` must stay
   /// alive until wait().
   CodecFuture<StreamAnalysis> submit_analyze(const Compressor& comp, std::span<const Block> blocks,
-                                             size_t mag_bytes = kDefaultMagBytes);
+                                             size_t mag_bytes = kDefaultMagBytes,
+                                             int priority = 0);
   /// Async full-payload sweep; same lifetime contract as submit_analyze.
   CodecFuture<std::vector<CompressedBlock>> submit_compress(const Compressor& comp,
-                                                            std::span<const Block> blocks);
+                                                            std::span<const Block> blocks,
+                                                            int priority = 0);
 
   // --- synchronous wrappers (submit + wait) --------------------------------
 
@@ -168,17 +210,11 @@ class CodecEngine {
                                                std::span<const Block> blocks);
 
  private:
-  template <typename U>
-  friend class CodecFuture;
-
   void worker_loop(unsigned id);
 
   /// Creates a job, sizes its shards and (count > 0) puts it on the queue.
   std::shared_ptr<detail::EngineJob> enqueue(
-      size_t count, std::function<void(size_t, size_t, unsigned)> body);
-  /// Blocks until `job` drained; rethrows its first shard exception.
-  void wait_job(detail::EngineJob& job);
-  bool job_ready(const detail::EngineJob& job) const;
+      size_t count, std::function<void(size_t, size_t, unsigned)> body, int priority);
 
   /// Shared core of the analyze entry points: `produce` fills the analyses
   /// for one shard into the index-aligned slots, `original_bits` sizes block
@@ -186,38 +222,34 @@ class CodecEngine {
   CodecFuture<StreamAnalysis> submit_analyze_indexed(
       size_t n_blocks, size_t mag_bytes,
       std::function<void(size_t begin, size_t end, BlockAnalysis* out)> produce,
-      std::function<size_t(size_t)> original_bits);
+      std::function<size_t(size_t)> original_bits, int priority);
 
-  std::vector<std::thread> workers_;
+  unsigned n_threads_ = 1;           // fixed at construction
+  std::vector<std::thread> workers_;  // touched only by the ctor + first shutdown()
 
-  mutable std::mutex mutex_;          // guards queue_ + per-job shard state
-  std::condition_variable work_cv_;   // wakes workers on a new job / stop
-  std::condition_variable done_cv_;   // wakes waiters when any job drains
+  mutable std::mutex mutex_;         // guards queue_ + per-job shard cursors
+  std::condition_variable work_cv_;  // wakes workers on a new job / stop
+  std::condition_variable shutdown_cv_;  // later shutdown() callers wait here
   bool stop_ = false;
+  bool shutdown_done_ = false;
   std::deque<std::shared_ptr<detail::EngineJob>> queue_;  // jobs with unclaimed shards
 };
 
 template <typename T>
 CodecFuture<T> CodecEngine::submit_job(size_t count,
                                        std::function<void(size_t, size_t, unsigned)> body,
-                                       std::function<T()> finalize) {
+                                       std::function<T()> finalize, int priority) {
   auto state = std::make_shared<typename CodecFuture<T>::State>();
-  state->engine = this;
-  state->job = enqueue(count, std::move(body));
+  state->job = enqueue(count, std::move(body), priority);
   state->finalize = std::move(finalize);
   return CodecFuture<T>(std::move(state));
-}
-
-template <typename T>
-bool CodecFuture<T>::ready() const {
-  return state_ && state_->engine->job_ready(*state_->job);
 }
 
 template <typename T>
 T CodecFuture<T>::wait() {
   if (!state_) throw std::logic_error("CodecFuture::wait on an empty future");
   auto state = std::move(state_);  // one-shot: consume before any throw
-  state->engine->wait_job(*state->job);
+  state->job->wait();
   if constexpr (std::is_void_v<T>) {
     if (state->finalize) state->finalize();
   } else {

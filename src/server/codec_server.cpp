@@ -1,0 +1,329 @@
+#include "server/codec_server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+namespace slc {
+
+namespace {
+
+int to_engine_priority(StreamPriority p) {
+  switch (p) {
+    case StreamPriority::kBulk:
+      return CodecEngine::kPriorityBulk;
+    case StreamPriority::kNormal:
+      return (CodecEngine::kPriorityBulk + CodecEngine::kPriorityLatency) / 2;
+    case StreamPriority::kLatency:
+      return CodecEngine::kPriorityLatency;
+  }
+  return CodecEngine::kPriorityBulk;
+}
+
+}  // namespace
+
+/// One dispatched batch: the concatenated blocks of the requests it carries,
+/// index-aligned analysis slots, and a shard-completion counter. Exceptions
+/// are caught inside the shard body (never surfaced to the engine) so the
+/// counter always reaches the block count and the batch always completes —
+/// errors are delivered per request instead.
+struct CodecServer::Batch {
+  CodecServer* server = nullptr;
+  StreamId stream = 0;
+  std::shared_ptr<const Compressor> codec;
+  size_t mag_bytes = kDefaultMagBytes;
+  std::vector<Block> blocks;
+  std::vector<BlockAnalysis> analyses;
+  std::vector<std::shared_ptr<detail::ServerRequest>> requests;
+  std::atomic<size_t> done{0};
+
+  std::mutex error_m;
+  std::exception_ptr error;  ///< first shard exception, if any
+};
+
+// --- ServerTicket -----------------------------------------------------------
+
+bool ServerTicket::ready() const {
+  if (!req_) return false;
+  std::lock_guard<std::mutex> lk(req_->m);
+  return req_->done;
+}
+
+CodecEngine::StreamAnalysis ServerTicket::wait() {
+  if (!req_) throw std::logic_error("ServerTicket::wait on an empty ticket");
+  auto req = std::move(req_);  // one-shot: consume before any throw
+  // The request may still be coalescing in its stream's pending batch; a
+  // waiter must force dispatch or it would block until someone else fills
+  // the batch. Skip the flush when already complete so waiting a finished
+  // ticket does not dispatch the stream's unrelated half-full batch.
+  // (Called without holding req->m: the server lock nests outside it.)
+  bool done;
+  {
+    std::lock_guard<std::mutex> dlk(req->m);
+    done = req->done;
+  }
+  if (!done && server_) server_->flush_stream(stream_);
+  std::unique_lock<std::mutex> lk(req->m);
+  req->cv.wait(lk, [&] { return req->done; });
+  if (req->error) {
+    const std::exception_ptr e = req->error;
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+  return std::move(req->result);
+}
+
+// --- CodecServer ------------------------------------------------------------
+
+CodecServer::CodecServer() : CodecServer(Config{}) {}
+
+CodecServer::CodecServer(Config cfg) : cfg_(std::move(cfg)) {
+  engine_ = cfg_.engine ? cfg_.engine : CodecEngine::shared_default();
+  if (cfg_.batch_blocks == 0) cfg_.batch_blocks = 1;
+}
+
+CodecServer::~CodecServer() { drain(); }
+
+StreamId CodecServer::open_stream(StreamConfig cfg) {
+  auto stream = std::make_unique<Stream>();
+  // Registry lookup first: an unknown codec or missing training data must
+  // fail open_stream, not the first request.
+  stream->codec = CodecRegistry::instance().create(cfg.codec, cfg.options);
+  stream->engine_priority = to_engine_priority(cfg.priority);
+  stream->cfg = std::move(cfg);
+  std::lock_guard<std::mutex> lk(lock_);
+  streams_.push_back(std::move(stream));
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+size_t CodecServer::num_streams() const {
+  std::lock_guard<std::mutex> lk(lock_);
+  return streams_.size();
+}
+
+const std::string& CodecServer::stream_name(StreamId s) const {
+  std::lock_guard<std::mutex> lk(lock_);
+  return streams_.at(s)->cfg.name;
+}
+
+ServerTicket CodecServer::submit(StreamId s, std::span<const uint8_t> data) {
+  return submit_blocks(s, to_blocks(data));
+}
+
+ServerTicket CodecServer::submit(StreamId s, std::span<const Block> blocks) {
+  return submit_blocks(s, std::vector<Block>(blocks.begin(), blocks.end()));
+}
+
+ServerTicket CodecServer::submit_blocks(StreamId s, std::vector<Block>&& blocks) {
+  auto req = std::make_shared<detail::ServerRequest>();
+  req->submitted = std::chrono::steady_clock::now();
+  req->n_blocks = blocks.size();
+
+  std::unique_lock<std::mutex> lk(lock_);
+  Stream& st = *streams_.at(s);
+
+  if (blocks.empty()) {
+    // Nothing to schedule; complete inline so the request can never be
+    // stranded in an empty batch.
+    st.stats.requests += 1;
+    st.stats.latency.record(0.0);
+    req->result.ratios = RatioAccumulator(st.cfg.options.mag_bytes);
+    std::lock_guard<std::mutex> rlk(req->m);
+    req->done = true;
+    return ServerTicket(this, s, std::move(req));
+  }
+
+  const size_t n = blocks.size();
+  if (cfg_.max_inflight_blocks != 0) {
+    // Backpressure: admit once dispatched + queued blocks leave room. The
+    // empty-server escape admits a request larger than the whole budget
+    // (dispatched immediately below) instead of deadlocking. Admission is a
+    // FIFO turnstile — each submitter waits its turn — so an oversized
+    // request cannot be starved by a steady stream of small ones: younger
+    // submitters queue behind it while the server drains to empty.
+    const uint64_t turn = admit_tail_++;
+    auto fits = [&] {
+      return inflight_blocks_ + pending_blocks_total_ + n <= cfg_.max_inflight_blocks ||
+             inflight_blocks_ + pending_blocks_total_ == 0;
+    };
+    auto admitted = [&] { return admit_head_ == turn && fits(); };
+    while (!admitted()) {
+      // Queued-but-undispatched batches never retire on their own; push
+      // them out on every re-check — a submit admitted ahead of us may
+      // have parked new pending blocks — so the wait is always on engine
+      // progress.
+      if (!fits()) {
+        for (StreamId sid = 0; sid < streams_.size(); ++sid) dispatch_locked(sid, lk);
+      }
+      if (admitted()) break;
+      backpressure_cv_.wait(lk);
+    }
+    admit_head_ += 1;
+    backpressure_cv_.notify_all();  // hand the turnstile to the next waiter
+  }
+
+  req->offset = st.pending_blocks.size();
+  st.pending_blocks.insert(st.pending_blocks.end(), std::make_move_iterator(blocks.begin()),
+                           std::make_move_iterator(blocks.end()));
+  st.pending.push_back(req);
+  pending_blocks_total_ += n;
+  // Over budget is only reachable through the empty-server escape (an
+  // oversized request): dispatch at once so the bound is restored as soon
+  // as the batch retires.
+  const bool over_budget = cfg_.max_inflight_blocks != 0 &&
+                           inflight_blocks_ + pending_blocks_total_ > cfg_.max_inflight_blocks;
+  if (st.pending_blocks.size() >= cfg_.batch_blocks || over_budget) dispatch_locked(s, lk);
+  return ServerTicket(this, s, std::move(req));
+}
+
+void CodecServer::dispatch_locked(StreamId s, std::unique_lock<std::mutex>& lk) {
+  Stream& st = *streams_.at(s);
+  if (st.pending.empty()) return;
+
+  auto batch = std::make_shared<Batch>();
+  batch->server = this;
+  batch->stream = s;
+  batch->codec = st.codec;
+  batch->mag_bytes = st.cfg.options.mag_bytes;
+  batch->blocks = std::move(st.pending_blocks);
+  batch->requests = std::move(st.pending);
+  st.pending_blocks.clear();
+  st.pending.clear();
+  batch->analyses.resize(batch->blocks.size());
+
+  pending_blocks_total_ -= batch->blocks.size();
+  inflight_blocks_ += batch->blocks.size();
+  inflight_batches_ += 1;
+  st.stats.batches += 1;
+
+  // One engine job per batch at the stream's priority. Completion is driven
+  // by the last shard (the body counts blocks), which scatters results and
+  // releases the budget — so fire-and-forget clients still retire their
+  // backpressure debt; the future only matters for the abandonment check.
+  auto fut = engine_->submit(
+      batch->blocks.size(),
+      [batch](size_t begin, size_t end, unsigned) {
+        batch->server->run_shard(*batch, begin, end);
+        const size_t finished = batch->done.fetch_add(end - begin) + (end - begin);
+        if (finished == batch->blocks.size()) batch->server->complete_batch(batch);
+      },
+      st.engine_priority);
+  if (fut.ready() && batch->done.load() < batch->blocks.size()) {
+    // Ready with no shard run: the engine abandoned the job at enqueue (it
+    // was shut down). Fail the batch inline so tickets throw the stored
+    // exception instead of the server hanging in drain()/~CodecServer.
+    try {
+      fut.wait();
+      std::lock_guard<std::mutex> elk(batch->error_m);
+      batch->error = std::make_exception_ptr(
+          std::runtime_error("CodecServer: engine rejected the batch"));
+    } catch (...) {
+      std::lock_guard<std::mutex> elk(batch->error_m);
+      batch->error = std::current_exception();
+    }
+    lk.unlock();  // complete_batch takes lock_ (and request mutexes) itself
+    complete_batch(batch);
+    lk.lock();
+  }
+}
+
+void CodecServer::run_shard(Batch& batch, size_t begin, size_t end) const {
+  try {
+    std::vector<BlockAnalysis> shard = batch.codec->analyze_batch(
+        std::span<const Block>(batch.blocks).subspan(begin, end - begin));
+    std::move(shard.begin(), shard.end(), batch.analyses.begin() + static_cast<ptrdiff_t>(begin));
+  } catch (...) {
+    // Keep the exception out of the engine so the batch still drains and
+    // completes; it is delivered per request by complete_batch.
+    std::lock_guard<std::mutex> lk(batch.error_m);
+    if (!batch.error) batch.error = std::current_exception();
+  }
+}
+
+void CodecServer::complete_batch(const std::shared_ptr<Batch>& batch) {
+  const auto now = std::chrono::steady_clock::now();
+
+  // Scatter per-request results sequentially — same bytes no matter which
+  // worker runs this hook. Delivery (request mutex + cv) happens after the
+  // result is fully built.
+  for (const auto& req : batch->requests) {
+    CodecEngine::StreamAnalysis res;
+    res.ratios = RatioAccumulator(batch->mag_bytes);
+    if (!batch->error) {
+      res.blocks.assign(batch->analyses.begin() + static_cast<ptrdiff_t>(req->offset),
+                        batch->analyses.begin() + static_cast<ptrdiff_t>(req->offset + req->n_blocks));
+      for (size_t j = 0; j < res.blocks.size(); ++j) {
+        const BlockAnalysis& a = res.blocks[j];
+        res.ratios.add(batch->blocks[req->offset + j].size() * 8, a.bit_size);
+        res.lossy_blocks += a.lossy ? 1 : 0;
+        res.truncated_symbols += a.truncated_symbols;
+      }
+    }
+    std::lock_guard<std::mutex> rlk(req->m);
+    req->error = batch->error;
+    req->result = std::move(res);
+    req->done = true;
+  }
+  for (const auto& req : batch->requests) req->cv.notify_all();
+
+  {
+    std::lock_guard<std::mutex> lk(lock_);
+    Stream& st = *streams_.at(batch->stream);
+    for (const auto& req : batch->requests) {
+      st.stats.requests += 1;
+      st.stats.latency.record(std::chrono::duration<double>(now - req->submitted).count());
+    }
+    if (!batch->error) {
+      CommitStats& cs = st.stats.commit;
+      for (size_t i = 0; i < batch->analyses.size(); ++i) {
+        const BlockAnalysis& a = batch->analyses[i];
+        cs.blocks += 1;
+        cs.lossy_blocks += a.lossy ? 1 : 0;
+        cs.uncompressed_blocks += a.is_compressed ? 0 : 1;
+        cs.bursts += bursts_for_bits(a.bit_size, batch->mag_bytes, batch->blocks[i].size());
+        cs.truncated_symbols += a.truncated_symbols;
+        cs.original_bits += batch->blocks[i].size() * 8;
+        cs.lossless_bits += a.lossless_bits;
+        cs.final_bits += a.bit_size;
+      }
+    }
+    inflight_blocks_ -= batch->blocks.size();
+    inflight_batches_ -= 1;
+    // Notify while still holding the lock: a woken drain() can only pass its
+    // predicate after we release it, so this worker is done touching the
+    // server before ~CodecServer can possibly run.
+    backpressure_cv_.notify_all();
+    drain_cv_.notify_all();
+  }
+}
+
+void CodecServer::flush_stream(StreamId s) {
+  std::unique_lock<std::mutex> lk(lock_);
+  dispatch_locked(s, lk);
+}
+
+void CodecServer::drain() {
+  std::unique_lock<std::mutex> lk(lock_);
+  for (StreamId s = 0; s < streams_.size(); ++s) dispatch_locked(s, lk);
+  drain_cv_.wait(lk, [&] { return inflight_batches_ == 0; });
+}
+
+StreamStats CodecServer::stream_stats(StreamId s) const {
+  std::lock_guard<std::mutex> lk(lock_);
+  return streams_.at(s)->stats;
+}
+
+StreamStats CodecServer::aggregate_stats() const {
+  std::lock_guard<std::mutex> lk(lock_);
+  StreamStats out;
+  for (const auto& st : streams_) out.merge(st->stats);
+  return out;
+}
+
+size_t CodecServer::inflight_blocks() const {
+  std::lock_guard<std::mutex> lk(lock_);
+  return inflight_blocks_;
+}
+
+}  // namespace slc

@@ -1,0 +1,240 @@
+// CodecServer: multi-stream serving front-end over the CodecEngine.
+//
+// A server manages N independent client *streams*. Each stream names its
+// codec in the CodecRegistry, carries its own CodecOptions (MAG, lossy
+// threshold — the stream's error budget — and training sample) and a
+// scheduling priority, and owns a FIFO of byte-stream / block-stream
+// requests. The server:
+//
+//   * coalesces small requests into engine-sized batches (one engine job per
+//     batch, `Config::batch_blocks` blocks), so a thousand 1 KB requests do
+//     not pay a thousand queue round-trips;
+//   * maps stream priority onto the engine's priority-aware shard claim, so
+//     a latency-sensitive stream's batch preempts queued bulk analysis at
+//     shard granularity without cancelling it;
+//   * enforces a bounded in-flight budget (`Config::max_inflight_blocks`):
+//     submit() blocks — backpressure — until enough queued work retired;
+//   * tracks per-stream and aggregate CommitStats plus request-latency
+//     percentiles (PercentileTracker, p50/p99).
+//
+// Stream lifecycle: open_stream() -> submit() xN (tickets) -> wait()/drain().
+// Streams live as long as the server; there is no close — drain() is the
+// barrier, and the destructor drains.
+//
+// Determinism: a request's StreamAnalysis and a stream's CommitStats are
+// byte-identical for any engine thread count. Per-block analysis does not
+// depend on which batch carried it; analyses land in index-aligned slots;
+// the scatter to per-request results and the stats fold walk blocks in
+// order on a single thread; cross-batch merges add integer counters, which
+// commute. Batch *boundaries* (StreamStats::batches) follow the client's
+// call order only while no backpressure wait intervenes — a blocked
+// submit() force-dispatches partial batches at engine-completion-dependent
+// moments — and the latency percentiles are wall clock; neither is covered
+// by the guarantee.
+//
+// Threading: any thread may call any member; the server is internally
+// locked. Tickets may be waited from any thread. The engine passed in (or
+// the shared default) must outlive the server and must not be shut down
+// while requests are in flight.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "compress/codec_registry.h"
+#include "engine/codec_engine.h"
+#include "workloads/approx_memory.h"
+
+namespace slc {
+
+class CodecServer;
+
+/// Scheduling class of a stream, mapped onto the engine's job priority.
+enum class StreamPriority {
+  kBulk,     ///< throughput work (ratio sweeps, offline analysis)
+  kNormal,   ///< default
+  kLatency,  ///< latency-sensitive (interactive commits); preempts bulk
+};
+
+/// Everything needed to open a stream. `options.threshold_bytes` is the
+/// stream's error budget for lossy codecs; `options.training_data` is only
+/// read while open_stream() constructs the codec.
+struct StreamConfig {
+  std::string name;
+  std::string codec = "E2MC";  ///< CodecRegistry name
+  CodecOptions options{};
+  StreamPriority priority = StreamPriority::kNormal;
+};
+
+using StreamId = uint32_t;
+
+/// Per-stream (or aggregate) serving counters. `commit` is deterministic;
+/// `latency` is wall-clock (seconds from submit() to batch completion).
+struct StreamStats {
+  CommitStats commit;
+  uint64_t requests = 0;
+  uint64_t batches = 0;
+  PercentileTracker latency;
+
+  void merge(const StreamStats& o) {
+    commit.merge(o.commit);
+    requests += o.requests;
+    batches += o.batches;
+    latency.merge(o.latency);
+  }
+};
+
+namespace detail {
+
+/// One queued request: its slice of the batch it rides in, and its own
+/// completion state (the batch's last shard delivers into it).
+struct ServerRequest {
+  size_t offset = 0;    ///< first block inside the dispatched batch
+  size_t n_blocks = 0;
+  std::chrono::steady_clock::time_point submitted{};
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  CodecEngine::StreamAnalysis result;
+  std::exception_ptr error;
+};
+
+}  // namespace detail
+
+/// Ticket for one submitted request. Move-only; wait() is one-shot: it
+/// forces dispatch of the request's batch if still coalescing, blocks until
+/// the batch completed, and returns this request's analysis (or rethrows
+/// the codec exception that failed its batch). The ticket must not outlive
+/// the server.
+class ServerTicket {
+ public:
+  ServerTicket() = default;
+  ServerTicket(ServerTicket&&) noexcept = default;
+  ServerTicket& operator=(ServerTicket&&) noexcept = default;
+  ServerTicket(const ServerTicket&) = delete;
+  ServerTicket& operator=(const ServerTicket&) = delete;
+
+  /// True until wait() consumed this ticket (default-constructed: false).
+  bool valid() const { return req_ != nullptr; }
+  /// Non-blocking: has the request's batch completed?
+  bool ready() const;
+  /// Blocks until this request completed; one-shot.
+  CodecEngine::StreamAnalysis wait();
+
+ private:
+  friend class CodecServer;
+  ServerTicket(CodecServer* server, StreamId stream, std::shared_ptr<detail::ServerRequest> req)
+      : server_(server), stream_(stream), req_(std::move(req)) {}
+
+  CodecServer* server_ = nullptr;
+  StreamId stream_ = 0;
+  std::shared_ptr<detail::ServerRequest> req_;
+};
+
+class CodecServer {
+ public:
+  struct Config {
+    /// Engine batches run on; null picks CodecEngine::shared_default().
+    std::shared_ptr<CodecEngine> engine;
+    /// Coalescing target: a stream's pending requests dispatch as one engine
+    /// job once they cover this many blocks (or on wait()/flush/drain).
+    size_t batch_blocks = 256;
+    /// Backpressure budget: submit() blocks while admitting the request
+    /// would push dispatched-plus-queued blocks past this. 0 = unbounded.
+    /// Admission is FIFO (so no request can be starved); a request larger
+    /// than the whole budget is admitted — and dispatched immediately —
+    /// once the server drains empty, rather than deadlocking. Fairness has
+    /// a flip side: while such an oversized request waits at the head of
+    /// the admission queue, every younger submit (including a kLatency
+    /// stream's) waits behind the drain. Size the budget at or above the
+    /// largest request you serve — priority preemption then applies from
+    /// the moment of dispatch and admission never head-of-line blocks.
+    size_t max_inflight_blocks = 16384;
+  };
+
+  CodecServer();  ///< default Config (shared engine, default batching)
+  explicit CodecServer(Config cfg);
+  /// Drains every stream, then releases the engine reference.
+  ~CodecServer();
+
+  CodecServer(const CodecServer&) = delete;
+  CodecServer& operator=(const CodecServer&) = delete;
+
+  /// Opens a stream: resolves `cfg.codec` in the registry (throws
+  /// std::out_of_range on an unknown name, std::invalid_argument when the
+  /// scheme needs training data the options lack) and constructs its codec.
+  StreamId open_stream(StreamConfig cfg);
+
+  size_t num_streams() const;
+  const std::string& stream_name(StreamId s) const;
+
+  /// Queues a byte-stream request on `s` (copied; sliced into 128 B blocks,
+  /// ragged tail zero-padded like to_blocks). Blocks on backpressure. An
+  /// empty request completes immediately.
+  ServerTicket submit(StreamId s, std::span<const uint8_t> data);
+  /// Queues a block-stream request on `s` (blocks are copied).
+  ServerTicket submit(StreamId s, std::span<const Block> blocks);
+
+  /// Dispatches `s`'s partially-filled batch now (no-op when empty).
+  void flush_stream(StreamId s);
+  /// Barrier: dispatches every partial batch and blocks until all in-flight
+  /// batches completed. Request errors stay with their tickets.
+  void drain();
+
+  /// Counters over completed requests. Call drain() first for run totals.
+  StreamStats stream_stats(StreamId s) const;
+  /// All streams' counters merged.
+  StreamStats aggregate_stats() const;
+
+  /// Dispatched-but-unfinished blocks (the backpressure level).
+  size_t inflight_blocks() const;
+
+  CodecEngine& engine() const { return *engine_; }
+
+ private:
+  friend class ServerTicket;
+  struct Batch;
+  struct Stream {
+    StreamConfig cfg;
+    std::shared_ptr<const Compressor> codec;
+    int engine_priority = 0;
+    std::vector<Block> pending_blocks;  ///< coalesced, owned until dispatch
+    std::vector<std::shared_ptr<detail::ServerRequest>> pending;
+    StreamStats stats;
+  };
+
+  /// Shared core of the submit overloads; takes ownership of the blocks.
+  ServerTicket submit_blocks(StreamId s, std::vector<Block>&& blocks);
+  /// `lk` must hold lock_. Packages the stream's pending requests into one
+  /// batch and submits it as a single engine job at the stream's priority.
+  /// If the engine abandoned the job at enqueue (shut down), the batch is
+  /// failed inline — lock_ is briefly released to deliver the tickets.
+  void dispatch_locked(StreamId s, std::unique_lock<std::mutex>& lk);
+  /// Runs on the engine worker that finishes a batch's last shard: scatters
+  /// per-request results, folds stream stats, releases backpressure.
+  void complete_batch(const std::shared_ptr<Batch>& batch);
+  void run_shard(Batch& batch, size_t begin, size_t end) const;
+
+  Config cfg_;
+  std::shared_ptr<CodecEngine> engine_;
+
+  mutable std::mutex lock_;
+  std::condition_variable backpressure_cv_;  ///< submit() waits budget here
+  std::condition_variable drain_cv_;         ///< drain() waits batches here
+  std::vector<std::unique_ptr<Stream>> streams_;
+  size_t inflight_blocks_ = 0;
+  size_t inflight_batches_ = 0;
+  size_t pending_blocks_total_ = 0;  ///< queued but not yet dispatched, all streams
+  uint64_t admit_head_ = 0;  ///< backpressure turnstile: next turn to admit
+  uint64_t admit_tail_ = 0;  ///< next turn to hand out
+};
+
+}  // namespace slc

@@ -102,8 +102,27 @@ void DramChannel::tick(uint64_t cycle) {
 
 uint64_t DramChannel::next_event_cycle(uint64_t now) const {
   if (reads_.empty() && writes_.empty()) return UINT64_MAX;
+  // Earliest cycle at which try_issue could schedule something: the first
+  // ready cycle among the banks *targeted* by queued requests (within the
+  // FR-FCFS window — banks no queued request addresses cannot unblock the
+  // channel, and an idle bank's ready_cycle of 0 must not pin the skip to
+  // now + 1). The bus-free cycle bounds the skip too: a transfer ending
+  // frees the pins even when every targeted bank is busy longer.
+  const uint64_t floor_cycle = now + 1;
   uint64_t nxt = UINT64_MAX;
-  for (const Bank& b : banks_) nxt = std::min(nxt, std::max(b.ready_cycle, now + 1));
+  auto consider_queue = [&](const std::deque<DramRequest>& q) {
+    size_t scanned = 0;
+    for (auto it = q.begin(); it != q.end() && scanned < cfg_.scheduler_window;
+         ++it, ++scanned) {
+      size_t b;
+      uint64_t row;
+      locate(it->addr, &b, &row);
+      nxt = std::min(nxt, std::max(banks_[b].ready_cycle, floor_cycle));
+    }
+  };
+  consider_queue(reads_);
+  consider_queue(writes_);
+  if (bus_free_cycle_ > now) nxt = std::min(nxt, bus_free_cycle_);
   return nxt;
 }
 

@@ -4,8 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "common/rng.h"
 #include "test_util.h"
@@ -94,6 +98,43 @@ TEST(CodecEngine, AnalyzeBytesMatchesAnalyzeStream) {
   for (size_t i = 0; i < from_bytes.blocks.size(); ++i)
     EXPECT_EQ(from_bytes.blocks[i].bit_size, from_blocks.blocks[i].bit_size);
   EXPECT_EQ(from_bytes.ratios.raw_ratio(), from_blocks.ratios.raw_ratio());
+}
+
+// Satellite regression: analyze_bytes' zero-padded tail must be
+// byte-identical to to_blocks(pad_tail = true) + analyze_stream for every
+// ragged size, including empty input.
+TEST(CodecEngine, AnalyzeBytesTailPaddingMatchesToBlocks) {
+  const auto training = quantized_walk(31, 256);
+  const auto comp = CodecRegistry::instance().create("E2MC", test_options(training));
+  const auto base = quantized_walk(36, 6);
+
+  CodecEngine engine(3);
+  for (const size_t bytes :
+       {size_t{0}, size_t{1}, size_t{40}, kBlockBytes - 1, kBlockBytes, kBlockBytes + 1,
+        5 * kBlockBytes + 17, 6 * kBlockBytes}) {
+    ASSERT_LE(bytes, base.size());
+    const std::span<const uint8_t> data(base.data(), bytes);
+    const auto blocks = to_blocks(data, kBlockBytes, /*pad_tail=*/true);
+
+    const auto from_bytes = engine.analyze_bytes(*comp, data, 32);
+    const auto from_blocks = engine.analyze_stream(*comp, blocks, 32);
+
+    ASSERT_EQ(from_bytes.blocks.size(), from_blocks.blocks.size()) << bytes << " bytes";
+    for (size_t i = 0; i < from_bytes.blocks.size(); ++i) {
+      const BlockAnalysis& a = from_bytes.blocks[i];
+      const BlockAnalysis& b = from_blocks.blocks[i];
+      EXPECT_EQ(a.bit_size, b.bit_size) << bytes << " bytes, block " << i;
+      EXPECT_EQ(a.is_compressed, b.is_compressed) << bytes << " bytes, block " << i;
+      EXPECT_EQ(a.lossy, b.lossy) << bytes << " bytes, block " << i;
+      EXPECT_EQ(a.lossless_bits, b.lossless_bits) << bytes << " bytes, block " << i;
+      EXPECT_EQ(a.truncated_symbols, b.truncated_symbols) << bytes << " bytes, block " << i;
+    }
+    EXPECT_EQ(from_bytes.ratios.blocks(), from_blocks.ratios.blocks()) << bytes;
+    EXPECT_EQ(from_bytes.ratios.raw_ratio(), from_blocks.ratios.raw_ratio()) << bytes;
+    EXPECT_EQ(from_bytes.ratios.effective_ratio(), from_blocks.ratios.effective_ratio()) << bytes;
+    EXPECT_EQ(from_bytes.lossy_blocks, from_blocks.lossy_blocks) << bytes;
+    EXPECT_EQ(from_bytes.truncated_symbols, from_blocks.truncated_symbols) << bytes;
+  }
 }
 
 TEST(CodecEngine, AnalyzeBytesPadsTail) {
@@ -240,6 +281,81 @@ TEST(CodecEngine, CommitInvariantAcrossEngines) {
     EXPECT_EQ(stats_seq.final_bits, s->final_bits);
     EXPECT_EQ(stats_seq.truncated_symbols, s->truncated_symbols);
   }
+}
+
+// --- shutdown + priority ----------------------------------------------------
+
+// A job still queued when the engine shuts down must be marked finished with
+// a stored exception: a future that outlives the engine throws from wait()
+// instead of deadlocking.
+TEST(CodecEngine, ShutdownAbandonsQueuedJobsAndFutureOutlivesEngine) {
+  auto engine = std::make_unique<CodecEngine>(1);
+  std::atomic<bool> started{false}, release{false};
+
+  // The gate job occupies the only worker, so everything submitted behind it
+  // stays on the queue for as long as we hold the gate closed.
+  auto gate = engine->submit(1, [&](size_t, size_t, unsigned) {
+    started = true;
+    while (!release) std::this_thread::yield();
+  });
+  auto orphan = engine->submit(1, [](size_t, size_t, unsigned) {});
+  while (!started) std::this_thread::yield();
+
+  std::thread stopper([&] { engine->shutdown(); });
+  // Wait until the stop is visible: once it is, a fresh submit is abandoned
+  // at enqueue (ready immediately, wait() throws). Probes queued before the
+  // stop are abandoned by shutdown; dropping their futures is fine.
+  for (;;) {
+    auto probe = engine->submit(1, [](size_t, size_t, unsigned) {});
+    if (probe.ready()) {
+      EXPECT_THROW(probe.wait(), std::runtime_error);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  release = true;
+  stopper.join();
+
+  gate.wait();  // fully claimed before the stop: drains normally
+  engine.reset();
+  // The future outlives the engine; its job was abandoned, so wait() throws.
+  EXPECT_TRUE(orphan.ready());
+  EXPECT_THROW(orphan.wait(), std::runtime_error);
+}
+
+// With one worker held by a gate job, the claim loop must pick the
+// higher-priority job first once the gate opens, FIFO among equals.
+TEST(CodecEngine, PriorityClaimsBeforeFifo) {
+  CodecEngine engine(1);
+  std::atomic<bool> started{false}, release{false};
+  auto gate = engine.submit(1, [&](size_t, size_t, unsigned) {
+    started = true;
+    while (!release) std::this_thread::yield();
+  });
+  while (!started) std::this_thread::yield();
+
+  std::mutex order_m;
+  std::vector<int> order;
+  auto record = [&](int tag) {
+    std::lock_guard<std::mutex> lk(order_m);
+    order.push_back(tag);
+  };
+  auto bulk_a = engine.submit(1, [&](size_t, size_t, unsigned) { record(0); },
+                              CodecEngine::kPriorityBulk);
+  auto bulk_b = engine.submit(1, [&](size_t, size_t, unsigned) { record(1); },
+                              CodecEngine::kPriorityBulk);
+  auto urgent = engine.submit(1, [&](size_t, size_t, unsigned) { record(2); },
+                              CodecEngine::kPriorityLatency);
+
+  release = true;
+  gate.wait();
+  bulk_a.wait();
+  bulk_b.wait();
+  urgent.wait();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 2) << "the latency job must be claimed first";
+  EXPECT_EQ(order[1], 0) << "equal priorities drain FIFO";
+  EXPECT_EQ(order[2], 1);
 }
 
 }  // namespace

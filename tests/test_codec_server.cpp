@@ -1,0 +1,425 @@
+// CodecServer: stream lifecycle, request coalescing, priority coexistence,
+// backpressure, per-request error delivery, and the determinism guarantee —
+// per-stream results are byte-identical for 1 and N engine threads.
+//
+// This file registers two test-only codecs (TEST-SLOW, TEST-THROW), so it
+// lives in its own test binary: the registry is process-global and the main
+// suite asserts the exact production name lists.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "server/codec_server.h"
+#include "test_util.h"
+
+namespace slc {
+namespace {
+
+using test::quantized_walk;
+using test::test_options;
+
+// --- test-only codecs -------------------------------------------------------
+
+/// Stores nothing, compresses nothing, but takes a configurable while per
+/// block — the knob the backpressure test needs to keep work in flight.
+class SlowCodec : public Compressor {
+ public:
+  std::string name() const override { return "TEST-SLOW"; }
+  CompressedBlock compress(BlockView block) const override {
+    CompressedBlock cb;
+    cb.bit_size = block.size() * 8;
+    cb.is_compressed = false;
+    return cb;
+  }
+  Block decompress(const CompressedBlock&, size_t block_bytes) const override {
+    return Block(block_bytes);
+  }
+  BlockAnalysis analyze(BlockView block) const override {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    BlockAnalysis a;
+    a.bit_size = block.size() * 8;
+    a.lossless_bits = a.bit_size;
+    return a;
+  }
+};
+
+/// Every analysis throws — exercises per-request error delivery.
+class ThrowingCodec : public Compressor {
+ public:
+  std::string name() const override { return "TEST-THROW"; }
+  CompressedBlock compress(BlockView) const override {
+    throw std::runtime_error("TEST-THROW compress");
+  }
+  Block decompress(const CompressedBlock&, size_t) const override {
+    throw std::runtime_error("TEST-THROW decompress");
+  }
+  BlockAnalysis analyze(BlockView) const override {
+    throw std::runtime_error("TEST-THROW analyze");
+  }
+};
+
+const CodecRegistrar slow_registrar{CodecInfo{
+    .name = "TEST-SLOW",
+    .scheme = "test fixture",
+    .paper = "n/a",
+    .order = 999,
+    .lossy = false,
+    .needs_training = false,
+    .compress_latency = 0,
+    .decompress_latency = 0,
+    .make = [](const CodecOptions&) { return std::make_shared<SlowCodec>(); },
+    .make_block_codec = nullptr}};
+
+const CodecRegistrar throw_registrar{CodecInfo{
+    .name = "TEST-THROW",
+    .scheme = "test fixture",
+    .paper = "n/a",
+    .order = 999,
+    .lossy = false,
+    .needs_training = false,
+    .compress_latency = 0,
+    .decompress_latency = 0,
+    .make = [](const CodecOptions&) { return std::make_shared<ThrowingCodec>(); },
+    .make_block_codec = nullptr}};
+
+StreamConfig e2mc_stream(std::string name, std::span<const uint8_t> training,
+                         StreamPriority prio = StreamPriority::kNormal) {
+  StreamConfig cfg;
+  cfg.name = std::move(name);
+  cfg.codec = "E2MC";
+  cfg.options = test_options(training);
+  cfg.priority = prio;
+  return cfg;
+}
+
+// --- tests ------------------------------------------------------------------
+
+TEST(CodecServer, OpenStreamValidatesAgainstRegistry) {
+  CodecServer server;
+  StreamConfig bad;
+  bad.codec = "NO-SUCH-CODEC";
+  EXPECT_THROW(server.open_stream(bad), std::out_of_range);
+
+  StreamConfig untrained;
+  untrained.codec = "E2MC";  // needs training data the options lack
+  EXPECT_THROW(server.open_stream(untrained), std::invalid_argument);
+
+  const auto training = quantized_walk(31, 256);
+  const StreamId s = server.open_stream(e2mc_stream("ok", training));
+  EXPECT_EQ(server.num_streams(), 1u);
+  EXPECT_EQ(server.stream_name(s), "ok");
+}
+
+// A request's analysis must match the engine's analyze_bytes of the same
+// data through the same scheme, ragged tail included.
+TEST(CodecServer, RequestMatchesEngineAnalyzeBytes) {
+  const auto training = quantized_walk(31, 256);
+  auto data = quantized_walk(42, 5);
+  data.resize(data.size() - 77);  // ragged tail
+
+  CodecServer server;
+  const StreamId s = server.open_stream(e2mc_stream("req", training));
+  auto ticket = server.submit(s, data);
+  const auto got = ticket.wait();  // forces dispatch of the partial batch
+
+  const auto comp = CodecRegistry::instance().create("E2MC", test_options(training));
+  CodecEngine reference(1);
+  const auto want = reference.analyze_bytes(*comp, data, 32);
+
+  ASSERT_EQ(got.blocks.size(), want.blocks.size());
+  for (size_t i = 0; i < got.blocks.size(); ++i)
+    EXPECT_EQ(got.blocks[i].bit_size, want.blocks[i].bit_size) << "block " << i;
+  EXPECT_EQ(got.ratios.raw_ratio(), want.ratios.raw_ratio());
+  EXPECT_EQ(got.ratios.effective_ratio(), want.ratios.effective_ratio());
+  EXPECT_EQ(got.lossy_blocks, want.lossy_blocks);
+  EXPECT_EQ(got.truncated_symbols, want.truncated_symbols);
+}
+
+TEST(CodecServer, CoalescesSmallRequestsIntoBatches) {
+  const auto training = quantized_walk(31, 256);
+  CodecServer::Config cfg;
+  cfg.batch_blocks = 8;
+  CodecServer server(cfg);
+  const StreamId s = server.open_stream(e2mc_stream("coalesce", training));
+
+  std::vector<ServerTicket> tickets;
+  const auto data = quantized_walk(43, 2);  // 2 blocks per request
+  for (int i = 0; i < 6; ++i) tickets.push_back(server.submit(s, data));
+  server.drain();
+
+  const StreamStats st = server.stream_stats(s);
+  EXPECT_EQ(st.requests, 6u);
+  EXPECT_EQ(st.commit.blocks, 12u);
+  // 12 blocks at threshold 8: one batch at the fourth submit, one on drain.
+  EXPECT_EQ(st.batches, 2u);
+  EXPECT_EQ(st.latency.count(), 6u);
+
+  for (auto& t : tickets) {
+    const auto res = t.wait();
+    EXPECT_EQ(res.blocks.size(), 2u);
+  }
+}
+
+TEST(CodecServer, EmptyRequestCompletesImmediately) {
+  const auto training = quantized_walk(31, 256);
+  CodecServer server;
+  const StreamId s = server.open_stream(e2mc_stream("empty", training));
+  auto ticket = server.submit(s, std::span<const uint8_t>{});
+  EXPECT_TRUE(ticket.ready());
+  const auto res = ticket.wait();
+  EXPECT_TRUE(res.blocks.empty());
+  EXPECT_EQ(server.stream_stats(s).requests, 1u);
+  EXPECT_FALSE(ticket.valid());  // one-shot
+}
+
+TEST(CodecServer, BackpressureBoundsInflightBlocks) {
+  CodecServer::Config cfg;
+  cfg.engine = std::make_shared<CodecEngine>(2);
+  cfg.batch_blocks = 16;
+  cfg.max_inflight_blocks = 64;
+  CodecServer server(cfg);
+
+  StreamConfig sc;
+  sc.name = "slow";
+  sc.codec = "TEST-SLOW";
+  const StreamId s = server.open_stream(sc);
+
+  const auto data = quantized_walk(44, 16);  // one full batch per request
+  for (int i = 0; i < 20; ++i) {
+    server.submit(s, data);  // fire-and-forget: budget must still retire
+    EXPECT_LE(server.inflight_blocks(), cfg.max_inflight_blocks);
+  }
+  server.drain();
+  EXPECT_EQ(server.inflight_blocks(), 0u);
+  const StreamStats st = server.stream_stats(s);
+  EXPECT_EQ(st.requests, 20u);
+  EXPECT_EQ(st.commit.blocks, 20u * 16u);
+}
+
+// An oversized request (bigger than the whole budget) is admitted once the
+// queue is empty instead of deadlocking.
+TEST(CodecServer, OversizedRequestDoesNotDeadlock) {
+  CodecServer::Config cfg;
+  cfg.batch_blocks = 8;
+  cfg.max_inflight_blocks = 4;
+  CodecServer server(cfg);
+  const auto training = quantized_walk(31, 256);
+  const StreamId s = server.open_stream(e2mc_stream("big", training));
+  auto ticket = server.submit(s, quantized_walk(45, 32));  // 32 > budget 4
+  const auto res = ticket.wait();
+  EXPECT_EQ(res.blocks.size(), 32u);
+}
+
+// Regression: over-budget requests below the coalescing threshold must not
+// pile into one batch that blows the budget several-fold — each is admitted
+// alone (server empty) and dispatched immediately.
+TEST(CodecServer, OversizedRequestsSerializeThroughBudget) {
+  CodecServer::Config cfg;
+  cfg.batch_blocks = 256;  // none of the requests reaches this on its own
+  cfg.max_inflight_blocks = 64;
+  CodecServer server(cfg);
+  const auto training = quantized_walk(31, 256);
+  const StreamId s = server.open_stream(e2mc_stream("oversized", training));
+
+  std::vector<ServerTicket> tickets;
+  for (uint64_t i = 0; i < 3; ++i) {
+    tickets.push_back(server.submit(s, quantized_walk(60 + i, 100)));  // 100 > budget 64
+    EXPECT_LE(server.inflight_blocks(), 100u) << "only one oversized batch may be in flight";
+  }
+  for (auto& t : tickets) EXPECT_EQ(t.wait().blocks.size(), 100u);
+  server.drain();
+  EXPECT_EQ(server.stream_stats(s).batches, 3u) << "one batch per oversized request";
+}
+
+// Regression: a stream's never-dispatched pending blocks must not wedge
+// another stream's admission — submit pushes stalled batches out before
+// waiting, so backpressure always waits on engine progress.
+TEST(CodecServer, CrossStreamBackpressureMakesProgress) {
+  CodecServer::Config cfg;
+  cfg.batch_blocks = 256;
+  cfg.max_inflight_blocks = 64;
+  CodecServer server(cfg);
+  const auto training = quantized_walk(31, 256);
+  const StreamId a = server.open_stream(e2mc_stream("a", training));
+  const StreamId b = server.open_stream(e2mc_stream("b", training));
+
+  server.submit(a, quantized_walk(70, 60));  // queued, under both thresholds
+  auto ticket = server.submit(b, quantized_walk(71, 10));  // 60 + 10 > 64
+  EXPECT_EQ(ticket.wait().blocks.size(), 10u);
+  server.drain();
+  EXPECT_EQ(server.stream_stats(a).commit.blocks, 60u);
+  EXPECT_EQ(server.stream_stats(b).commit.blocks, 10u);
+}
+
+// Regression: a waiter that loses the admission race to a submit whose
+// blocks stay parked (below batch threshold, within budget) must re-flush
+// pending batches on wakeup — with a one-shot flush it sleeps forever with
+// nothing in flight to notify it. The slow codec widens the race window;
+// pre-fix this hangs under the losing-waiter interleaving (ctest timeout).
+TEST(CodecServer, ConcurrentWaitersReflushPendingBatches) {
+  CodecServer::Config cfg;
+  cfg.engine = std::make_shared<CodecEngine>(2);
+  cfg.batch_blocks = 256;
+  cfg.max_inflight_blocks = 64;
+  CodecServer server(cfg);
+  StreamConfig sc;
+  sc.name = "slow";
+  sc.codec = "TEST-SLOW";
+  const StreamId s = server.open_stream(sc);
+
+  server.submit(s, quantized_walk(80, 64));  // parked pending, fills the budget
+  std::thread t1([&] { server.submit(s, quantized_walk(81, 10)); });
+  std::thread t2([&] { server.submit(s, quantized_walk(82, 60)); });
+  t1.join();
+  t2.join();
+  server.drain();
+  EXPECT_EQ(server.stream_stats(s).commit.blocks, 64u + 10u + 60u);
+}
+
+TEST(CodecServer, CodecErrorDeliveredPerRequestAndConfined) {
+  const auto training = quantized_walk(31, 256);
+  CodecServer server;
+  StreamConfig bad;
+  bad.name = "bad";
+  bad.codec = "TEST-THROW";
+  const StreamId sb = server.open_stream(bad);
+  const StreamId sg = server.open_stream(e2mc_stream("good", training));
+
+  auto bad_ticket = server.submit(sb, quantized_walk(46, 4));
+  auto good_ticket = server.submit(sg, quantized_walk(47, 4));
+  EXPECT_THROW(bad_ticket.wait(), std::runtime_error);
+  EXPECT_EQ(good_ticket.wait().blocks.size(), 4u);
+  server.drain();
+
+  const StreamStats bad_stats = server.stream_stats(sb);
+  EXPECT_EQ(bad_stats.requests, 1u);
+  EXPECT_EQ(bad_stats.commit.blocks, 0u) << "failed batches contribute no commit counters";
+  EXPECT_EQ(server.stream_stats(sg).commit.blocks, 4u);
+}
+
+// The acceptance-criteria property: identical per-request results and
+// per-stream deterministic stats for a 1-thread and an N-thread engine.
+TEST(CodecServer, PerStreamResultsThreadCountInvariant) {
+  const auto training = quantized_walk(31, 256);
+
+  auto run = [&](unsigned threads) {
+    CodecServer::Config cfg;
+    cfg.engine = std::make_shared<CodecEngine>(threads);
+    cfg.batch_blocks = 32;
+    CodecServer server(cfg);
+    const StreamId bulk =
+        server.open_stream(e2mc_stream("bulk", training, StreamPriority::kBulk));
+    const StreamId lat =
+        server.open_stream(e2mc_stream("lat", training, StreamPriority::kLatency));
+
+    std::vector<ServerTicket> tickets;
+    std::vector<StreamId> owners;
+    for (uint64_t i = 0; i < 12; ++i) {
+      const StreamId sid = i % 3 == 0 ? lat : bulk;
+      tickets.push_back(server.submit(sid, quantized_walk(100 + i, 5 + i % 7)));
+      owners.push_back(sid);
+    }
+    std::vector<CodecEngine::StreamAnalysis> results;
+    for (auto& t : tickets) results.push_back(t.wait());
+    server.drain();
+    return std::make_tuple(std::move(results), server.stream_stats(bulk).commit,
+                           server.stream_stats(lat).commit);
+  };
+
+  const auto [res1, bulk1, lat1] = run(1);
+  const auto [res4, bulk4, lat4] = run(4);
+
+  ASSERT_EQ(res1.size(), res4.size());
+  for (size_t r = 0; r < res1.size(); ++r) {
+    ASSERT_EQ(res1[r].blocks.size(), res4[r].blocks.size()) << "request " << r;
+    for (size_t i = 0; i < res1[r].blocks.size(); ++i)
+      EXPECT_EQ(res1[r].blocks[i].bit_size, res4[r].blocks[i].bit_size)
+          << "request " << r << " block " << i;
+    EXPECT_EQ(res1[r].ratios.raw_ratio(), res4[r].ratios.raw_ratio()) << "request " << r;
+    EXPECT_EQ(res1[r].ratios.effective_ratio(), res4[r].ratios.effective_ratio());
+    EXPECT_EQ(res1[r].lossy_blocks, res4[r].lossy_blocks);
+    EXPECT_EQ(res1[r].truncated_symbols, res4[r].truncated_symbols);
+  }
+  EXPECT_EQ(bulk1, bulk4);  // CommitStats all-field equality
+  EXPECT_EQ(lat1, lat4);
+}
+
+// Regression: a batch dispatched after the engine shut down is abandoned at
+// enqueue; the server must fail its tickets with the stored exception
+// instead of hanging forever in drain() / the destructor.
+TEST(CodecServer, SubmitAfterEngineShutdownFailsTicketsInsteadOfHanging) {
+  auto engine = std::make_shared<CodecEngine>(2);
+  CodecServer::Config cfg;
+  cfg.engine = engine;
+  cfg.batch_blocks = 4;
+  CodecServer server(cfg);
+  const auto training = quantized_walk(31, 256);
+  const StreamId s = server.open_stream(e2mc_stream("late", training));
+
+  engine->shutdown();
+  auto ticket = server.submit(s, quantized_walk(90, 8));  // >= batch: dispatches now
+  EXPECT_THROW(ticket.wait(), std::runtime_error);
+  server.drain();  // must return, not deadlock
+  const StreamStats st = server.stream_stats(s);
+  EXPECT_EQ(st.requests, 1u);
+  EXPECT_EQ(st.commit.blocks, 0u);
+  EXPECT_EQ(server.inflight_blocks(), 0u);
+}
+
+TEST(CodecServer, AggregateStatsSumStreams) {
+  const auto training = quantized_walk(31, 256);
+  CodecServer server;
+  const StreamId a = server.open_stream(e2mc_stream("a", training));
+  const StreamId b = server.open_stream(e2mc_stream("b", training));
+  server.submit(a, quantized_walk(48, 3));
+  server.submit(b, quantized_walk(49, 5));
+  server.drain();
+
+  const StreamStats agg = server.aggregate_stats();
+  EXPECT_EQ(agg.requests, 2u);
+  EXPECT_EQ(agg.commit.blocks, 8u);
+  EXPECT_EQ(agg.commit.blocks,
+            server.stream_stats(a).commit.blocks + server.stream_stats(b).commit.blocks);
+  EXPECT_EQ(agg.latency.count(), 2u);
+}
+
+// Streams of different codecs sharing one server stay isolated: each
+// stream's results match its codec's solo engine run.
+TEST(CodecServer, MixedCodecStreamsStayIsolated) {
+  const auto training = quantized_walk(31, 256);
+  const auto data = quantized_walk(50, 6);
+
+  CodecServer server;
+  StreamConfig bdi;
+  bdi.name = "bdi";
+  bdi.codec = "BDI";
+  bdi.options = test_options({});
+  const StreamId sb = server.open_stream(bdi);
+  const StreamId se = server.open_stream(e2mc_stream("e2mc", training));
+
+  auto tb = server.submit(sb, data);
+  auto te = server.submit(se, data);
+  const auto got_b = tb.wait();
+  const auto got_e = te.wait();
+
+  CodecEngine reference(1);
+  const auto want_b =
+      reference.analyze_bytes(*CodecRegistry::instance().create("BDI", test_options({})), data, 32);
+  const auto want_e = reference.analyze_bytes(
+      *CodecRegistry::instance().create("E2MC", test_options(training)), data, 32);
+  ASSERT_EQ(got_b.blocks.size(), want_b.blocks.size());
+  ASSERT_EQ(got_e.blocks.size(), want_e.blocks.size());
+  for (size_t i = 0; i < got_b.blocks.size(); ++i)
+    EXPECT_EQ(got_b.blocks[i].bit_size, want_b.blocks[i].bit_size);
+  for (size_t i = 0; i < got_e.blocks.size(); ++i)
+    EXPECT_EQ(got_e.blocks[i].bit_size, want_e.blocks[i].bit_size);
+}
+
+}  // namespace
+}  // namespace slc

@@ -151,6 +151,47 @@ TEST_F(DramFixture, MagScalesBeatCount) {
   EXPECT_GE(done[0].finish_cycle, cfg.t_rcd + cfg.t_cl + 4u);
 }
 
+// Regression: next_event_cycle used to min over *every* bank, and idle banks
+// sit at ready_cycle 0 — so a busy channel could never fast-forward past
+// now + 1. The next event must come from the banks queued requests actually
+// target (and the bus), letting a quiet channel skip ahead.
+TEST_F(DramFixture, NextEventSkipsAheadWhileTargetBankBusy) {
+  DramChannel ch(cfg, stats);
+  for (int i = 0; i < 2; ++i) {
+    DramRequest r;
+    r.addr = 0x1000 + static_cast<uint64_t>(i) * 128;  // same row, same bank
+    r.bursts = 4;
+    r.tag = static_cast<uint64_t>(i);
+    ch.push_read(r);
+  }
+  ch.tick(0);  // issues the first request; its bank is busy until the data phase ends
+  const uint64_t nxt = ch.next_event_cycle(0);
+  // First access: tRCD + tCL + 4 transfer cycles (4 bursts, 8 beats, 2/cycle).
+  const uint64_t busy_until = cfg.t_rcd + cfg.t_cl + 4u;
+  EXPECT_GT(nxt, 1u) << "a quiet channel must skip more than one cycle";
+  EXPECT_EQ(nxt, busy_until);
+  // The skip must not overshoot: the channel still completes both requests.
+  const auto done = drain(ch, 2);
+  EXPECT_EQ(done.size(), 2u);
+}
+
+TEST_F(DramFixture, NextEventIdleChannelHasNoEvent) {
+  DramChannel ch(cfg, stats);
+  EXPECT_EQ(ch.next_event_cycle(0), UINT64_MAX);
+  EXPECT_EQ(ch.next_event_cycle(12345), UINT64_MAX);
+}
+
+TEST_F(DramFixture, NextEventImmediateWhenTargetBankReady) {
+  DramChannel ch(cfg, stats);
+  DramRequest r;
+  r.addr = 0x1000;
+  r.bursts = 4;
+  ch.push_read(r);
+  // Nothing issued yet and the target bank is idle: the next event is the
+  // very next cycle.
+  EXPECT_EQ(ch.next_event_cycle(7), 8u);
+}
+
 TEST_F(DramFixture, BankConflictSlowerThanParallelBanks) {
   // Same bank, different rows -> serialized precharge/activate.
   SimStats s_conflict;

@@ -85,5 +85,49 @@ TEST(TextTable, FmtPrecision) {
   EXPECT_EQ(TextTable::fmt(1.0, 0), "1");
 }
 
+// Regression: rows wider than the header used to have their extra cells
+// silently dropped and their widths ignored; every cell must render, at a
+// width measured over the widest row.
+TEST(TextTable, RowsWiderThanHeaderRenderEveryCell) {
+  TextTable t({"A"});
+  t.add_row({"x", "yy"});
+  t.add_row({"zzz", "w", "tail"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("yy"), std::string::npos) << s;
+  EXPECT_NE(s.find("tail"), std::string::npos) << s;
+  // Column 0 is sized by "zzz" (3), not by the 1-char header.
+  EXPECT_NE(s.find("x    yy"), std::string::npos) << s;
+  EXPECT_NE(s.find("zzz  w"), std::string::npos) << s;
+}
+
+TEST(PercentileTracker, NearestRankPercentiles) {
+  PercentileTracker t;
+  for (int i = 100; i >= 1; --i) t.record(i);  // unsorted insert order
+  EXPECT_EQ(t.count(), 100u);
+  EXPECT_DOUBLE_EQ(t.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(t.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(t.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(t.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.max(), 100.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 50.5);
+}
+
+TEST(PercentileTracker, EmptyAndMerge) {
+  PercentileTracker empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.percentile(50), 0.0);
+  EXPECT_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.max(), 0.0);
+
+  PercentileTracker a, b;
+  a.record(1.0);
+  a.record(2.0);
+  b.record(10.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.percentile(100), 10.0);
+  EXPECT_DOUBLE_EQ(a.percentile(34), 2.0);
+}
+
 }  // namespace
 }  // namespace slc
