@@ -1,7 +1,14 @@
 #include "bench_util.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
+#include <sstream>
+
+#include "common/block.h"
 
 namespace slc::bench {
 
@@ -78,6 +85,131 @@ FullRunResult full_run(const std::string& benchmark, const std::string& scheme,
   out.energy = compute_energy(out.sim, cfg);
   out.seconds = out.sim.exec_seconds(cfg);
   out.edp = out.energy.edp(out.seconds);
+  return out;
+}
+
+// --- throughput measurements -------------------------------------------------
+
+Measurement& BenchReport::add(Measurement m) {
+  rows_.push_back(std::move(m));
+  return rows_.back();
+}
+
+TextTable BenchReport::table() const {
+  TextTable t({"Scheme", "Kernel", "Path", "Blocks", "Reps", "Mblk/s", "GB/s", "p50 (ms)",
+               "p99 (ms)", "Speedup"});
+  for (const Measurement& m : rows_) {
+    t.add_row({m.scheme, m.kernel, m.path, std::to_string(m.blocks), std::to_string(m.reps),
+               TextTable::fmt(m.blocks_per_sec / 1e6, 3), TextTable::fmt(m.gbps, 2),
+               TextTable::fmt(m.p50_ms, 3), TextTable::fmt(m.p99_ms, 3),
+               m.speedup > 0.0 ? TextTable::fmt(m.speedup, 2) + "x" : "-"});
+  }
+  return t;
+}
+
+namespace {
+// Minimal JSON string escaping; measurement names are plain identifiers but
+// quoting/backslashes must not be able to break the document.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string json_num(double v, int prec = 6) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+}  // namespace
+
+std::string BenchReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"" << json_escape(name_) << "\",\n  \"block_bytes\": " << kBlockBytes
+     << ",\n  \"measurements\": [\n";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const Measurement& m = rows_[i];
+    os << "    {\"scheme\": \"" << json_escape(m.scheme) << "\", \"kernel\": \""
+       << json_escape(m.kernel) << "\", \"path\": \"" << json_escape(m.path)
+       << "\", \"blocks\": " << m.blocks << ", \"reps\": " << m.reps
+       << ", \"blocks_per_sec\": " << json_num(m.blocks_per_sec, 1)
+       << ", \"gbps\": " << json_num(m.gbps, 4) << ", \"p50_ms\": " << json_num(m.p50_ms, 4)
+       << ", \"p99_ms\": " << json_num(m.p99_ms, 4)
+       << ", \"speedup\": " << json_num(m.speedup, 3) << "}"
+       << (i + 1 < rows_.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+bool BenchReport::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string body = to_json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+  return ok;
+}
+
+Measurement measure_kernel(std::string scheme, std::string kernel, std::string path,
+                           size_t blocks, size_t reps, const std::function<void()>& fn) {
+  Measurement m;
+  m.scheme = std::move(scheme);
+  m.kernel = std::move(kernel);
+  m.path = std::move(path);
+  m.blocks = blocks;
+  m.reps = reps;
+
+  fn();  // warmup (code paths touched, branch predictors and caches primed)
+  PercentileTracker times;
+  double total = 0.0;
+  for (size_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    times.record(s);
+    total += s;
+  }
+  if (total > 0.0) {
+    m.blocks_per_sec = static_cast<double>(blocks) * static_cast<double>(reps) / total;
+    m.gbps = m.blocks_per_sec * static_cast<double>(kBlockBytes) / 1e9;
+  }
+  m.p50_ms = times.percentile(50) * 1e3;
+  m.p99_ms = times.percentile(99) * 1e3;
+  return m;
+}
+
+size_t reps_for_target(double probe_seconds, double target_seconds, size_t min_reps,
+                       size_t max_reps) {
+  if (probe_seconds <= 0.0) return max_reps;
+  const double reps = target_seconds / probe_seconds;
+  return std::clamp(static_cast<size_t>(reps + 0.5), min_reps, max_reps);
+}
+
+std::string parse_json_flag(int& argc, char** argv, const std::string& default_path) {
+  std::string out;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      out = default_path;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      out = argv[i] + 7;
+      if (out.empty()) out = default_path;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
   return out;
 }
 

@@ -7,6 +7,7 @@
 // one-line change: add its name to the list (or iterate the registry).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -64,6 +65,63 @@ std::shared_ptr<const BlockCodec> make_codec(const std::string& scheme,
 FullRunResult full_run(const std::string& benchmark, const std::string& scheme,
                        size_t mag_bytes, size_t threshold_bytes,
                        WorkloadScale scale = WorkloadScale::kDefault);
+
+// --- throughput measurements -----------------------------------------------
+// One struct per measured configuration, shared by the human TextTable and
+// the machine-readable BENCH_*.json output, so the two can never report
+// different numbers (and the perf trajectory in CI diffs exactly what the
+// table shows).
+
+/// One measured kernel configuration.
+struct Measurement {
+  std::string scheme;   ///< registry codec name ("BDI", "E2MC", ...)
+  std::string kernel;   ///< what ran ("analyze", "compress", "commit", ...)
+  std::string path;     ///< implementation/config ("scalar", "batch", "threads=4")
+  size_t blocks = 0;    ///< blocks processed per repetition
+  size_t reps = 0;      ///< timed repetitions
+  double blocks_per_sec = 0.0;
+  double gbps = 0.0;    ///< uncompressed bytes/s, in GB/s
+  double p50_ms = 0.0;  ///< per-repetition wall time percentiles
+  double p99_ms = 0.0;
+  double speedup = 0.0; ///< vs this scheme's baseline path; 0 = not applicable
+};
+
+/// Collects Measurements and renders them both ways.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  Measurement& add(Measurement m);
+  const std::vector<Measurement>& measurements() const { return rows_; }
+
+  /// Human form: one TextTable row per measurement.
+  TextTable table() const;
+  /// Machine form consumed by tools/bench_compare.py:
+  /// {"bench": ..., "block_bytes": 128, "measurements": [{...}, ...]}.
+  std::string to_json() const;
+  /// Writes to_json() to `path`. Returns false (and prints to stderr) on
+  /// failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<Measurement> rows_;
+};
+
+/// Times `fn` (one call = one repetition over `blocks` blocks) `reps` times
+/// after one untimed warmup call; fills the rate and percentile fields.
+Measurement measure_kernel(std::string scheme, std::string kernel, std::string path,
+                           size_t blocks, size_t reps, const std::function<void()>& fn);
+
+/// Picks a repetition count so `reps * seconds_per_rep` lands near
+/// `target_seconds` (clamped to [min_reps, max_reps]); `probe_seconds` is one
+/// measured repetition.
+size_t reps_for_target(double probe_seconds, double target_seconds, size_t min_reps = 5,
+                       size_t max_reps = 200);
+
+/// Strips a `--json[=path]` flag from argv (adjusting argc). Returns the
+/// output path — `default_path` for a bare `--json` — or "" when absent.
+std::string parse_json_flag(int& argc, char** argv, const std::string& default_path);
 
 /// Prints the standard bench banner (paper reference + configuration).
 void print_banner(const std::string& title, const std::string& paper_ref);

@@ -1,104 +1,167 @@
-// Microbenchmark (google-benchmark): software throughput of every codec on
-// benchmark data. Not a paper figure — the paper's codecs are hardware — but
-// useful to size the simulator's own costs and catch regressions.
-#include <benchmark/benchmark.h>
+// Software codec throughput: batched kernels vs the per-block scalar loop,
+// per scheme, on benchmark data. Not a paper figure — the paper's codecs are
+// hardware — but this is the repo's perf trajectory for the batch kernels:
+// CI runs it with --json and diffs the result against a committed baseline
+// (tools/bench_compare.py), so a kernel regression fails the build.
+//
+// For every scheme the scalar path is the per-block virtual-dispatch loop
+// (exactly what Compressor's default batch implementation does) and the
+// batch path is the scheme's analyze_batch/compress_batch kernel over the
+// whole stream. The two must agree byte for byte — this driver exits
+// non-zero if they diverge, independent of the equivalence unit test.
+//
+// Usage: codec_throughput [benchmark] [--blocks N] [--json[=path]]
+//   defaults: SRAD2, 4096 blocks, JSON off (bare --json writes
+//   BENCH_codec.json). The stream tiles the benchmark's memory image.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
-#include "compress/bdi.h"
-#include "compress/cpack.h"
-#include "compress/fpc.h"
-#include "core/slc_codec.h"
 
 using namespace slc;
 using namespace slc::bench;
 
 namespace {
 
-std::vector<Block> sample_blocks() {
-  static const std::vector<Block> blocks = [] {
-    auto image = workload_memory_image("SRAD2", WorkloadScale::kTiny);
-    return to_blocks(image);
-  }();
-  return blocks;
+constexpr double kTargetSeconds = 0.15;  // per measured configuration
+
+bool analyses_equal(const BlockAnalysis& a, const BlockAnalysis& b) {
+  return a.bit_size == b.bit_size && a.is_compressed == b.is_compressed && a.lossy == b.lossy &&
+         a.lossless_bits == b.lossless_bits && a.truncated_symbols == b.truncated_symbols;
 }
 
-template <typename C>
-void compress_loop(benchmark::State& state, const C& comp) {
-  const auto blocks = sample_blocks();
-  size_t i = 0;
-  for (auto _ : state) {
-    const auto cb = comp.compress(blocks[i % blocks.size()].view());
-    benchmark::DoNotOptimize(cb.bit_size);
-    ++i;
-  }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(kBlockBytes));
+bool payloads_equal(const CompressedBlock& a, const CompressedBlock& b) {
+  return a.bit_size == b.bit_size && a.is_compressed == b.is_compressed && a.payload == b.payload;
 }
 
-void BM_BdiCompress(benchmark::State& state) { compress_loop(state, BdiCompressor{}); }
-void BM_FpcCompress(benchmark::State& state) { compress_loop(state, FpcCompressor{}); }
-void BM_CpackCompress(benchmark::State& state) { compress_loop(state, CpackCompressor{}); }
-
-void BM_E2mcCompress(benchmark::State& state) {
-  auto e2mc = trained_e2mc("SRAD2", WorkloadScale::kTiny);
-  compress_loop(state, *e2mc);
+double seconds_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
-
-void BM_E2mcDecompress(benchmark::State& state) {
-  auto e2mc = trained_e2mc("SRAD2", WorkloadScale::kTiny);
-  const auto blocks = sample_blocks();
-  std::vector<CompressedBlock> cbs;
-  for (const auto& b : blocks) cbs.push_back(e2mc->compress(b.view()));
-  size_t i = 0;
-  for (auto _ : state) {
-    const Block b = e2mc->decompress(cbs[i % cbs.size()], kBlockBytes);
-    benchmark::DoNotOptimize(b.bytes().data());
-    ++i;
-  }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(kBlockBytes));
-}
-
-void BM_SlcCompress(benchmark::State& state) {
-  auto e2mc = trained_e2mc("SRAD2", WorkloadScale::kTiny);
-  SlcConfig cfg;
-  cfg.variant = static_cast<SlcVariant>(state.range(0));
-  const SlcCodec codec(e2mc, cfg);
-  const auto blocks = sample_blocks();
-  size_t i = 0;
-  for (auto _ : state) {
-    const auto cb = codec.compress(blocks[i % blocks.size()].view());
-    benchmark::DoNotOptimize(cb.info.final_bits);
-    ++i;
-  }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(kBlockBytes));
-}
-
-void BM_SlcRoundtrip(benchmark::State& state) {
-  auto e2mc = trained_e2mc("SRAD2", WorkloadScale::kTiny);
-  SlcConfig cfg;
-  cfg.variant = SlcVariant::kOpt;
-  const SlcCodec codec(e2mc, cfg);
-  const auto blocks = sample_blocks();
-  size_t i = 0;
-  for (auto _ : state) {
-    const Block b = codec.roundtrip(blocks[i % blocks.size()].view());
-    benchmark::DoNotOptimize(b.bytes().data());
-    ++i;
-  }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(kBlockBytes));
-}
-
-BENCHMARK(BM_BdiCompress);
-BENCHMARK(BM_FpcCompress);
-BENCHMARK(BM_CpackCompress);
-BENCHMARK(BM_E2mcCompress);
-BENCHMARK(BM_E2mcDecompress);
-BENCHMARK(BM_SlcCompress)->Arg(0)->Arg(1)->Arg(2);
-BENCHMARK(BM_SlcRoundtrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) try {
+  const std::string json_path = parse_json_flag(argc, argv, "BENCH_codec.json");
+  std::string benchmark = "SRAD2";
+  size_t n_blocks = 4096;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--blocks") == 0) {
+      const long long v = i + 1 < argc ? std::atoll(argv[++i]) : 0;
+      if (v <= 0) {
+        std::fprintf(stderr, "usage: codec_throughput [benchmark] [--blocks N] [--json[=path]]\n");
+        return 2;
+      }
+      n_blocks = static_cast<size_t>(v);
+    } else {
+      benchmark = argv[i];
+    }
+  }
+
+  print_banner("Codec throughput — batched kernels vs the scalar per-block loop",
+               "batch-kernel perf trajectory (no paper figure)");
+
+  // Tile the benchmark image to the requested stream length so every scheme
+  // sees the same realistic data mix regardless of the image's native size.
+  const std::vector<Block> image_blocks = to_blocks(workload_image_cached(benchmark));
+  std::vector<Block> blocks;
+  blocks.reserve(n_blocks);
+  for (size_t i = 0; i < n_blocks; ++i) blocks.push_back(image_blocks[i % image_blocks.size()]);
+  const std::vector<BlockView> views = to_views(blocks);
+
+  std::printf("stream: %zu blocks (%.1f MB) tiled from %s, MAG %zu B\n\n", blocks.size(),
+              static_cast<double>(blocks.size() * kBlockBytes) / 1e6, benchmark.c_str(),
+              kDefaultMagBytes);
+
+  // The four schemes with vectorized kernels, plus TSLC-OPT: the SLC stack
+  // rides the default scalar loop today, so its rows pin the full-codec
+  // trajectory (and will show the win when it gains a batch kernel).
+  const std::vector<std::string> schemes = {"BDI", "FPC", "C-PACK", "E2MC", "TSLC-OPT"};
+  BenchReport report("codec_throughput");
+  bool all_identical = true;
+
+  for (const std::string& scheme : schemes) {
+    const auto comp = CodecRegistry::instance().create(
+        scheme, codec_options_for(benchmark, kDefaultMagBytes, 16));
+
+    // --- analyze -------------------------------------------------------------
+    std::vector<BlockAnalysis> scalar_a(blocks.size());
+    std::vector<BlockAnalysis> batch_a(blocks.size());
+    const auto scalar_analyze = [&] {
+      for (size_t i = 0; i < views.size(); ++i) scalar_a[i] = comp->analyze(views[i]);
+    };
+    const auto batch_analyze = [&] { comp->analyze_batch(views, batch_a.data()); };
+
+    size_t reps = reps_for_target(seconds_of(scalar_analyze), kTargetSeconds);
+    Measurement sa = measure_kernel(scheme, "analyze", "scalar", blocks.size(), reps, scalar_analyze);
+    Measurement ba = measure_kernel(scheme, "analyze", "batch", blocks.size(), reps, batch_analyze);
+    ba.speedup = sa.blocks_per_sec > 0 ? ba.blocks_per_sec / sa.blocks_per_sec : 0.0;
+    report.add(std::move(sa));
+    report.add(std::move(ba));
+
+    bool identical = true;
+    for (size_t i = 0; i < blocks.size() && identical; ++i)
+      identical = analyses_equal(scalar_a[i], batch_a[i]);
+    if (!identical) {
+      std::printf("FATAL: %s analyze_batch diverged from the scalar loop\n", scheme.c_str());
+      all_identical = false;
+    }
+
+    // --- compress ------------------------------------------------------------
+    std::vector<CompressedBlock> scalar_c(blocks.size());
+    std::vector<CompressedBlock> batch_c(blocks.size());
+    const auto scalar_compress = [&] {
+      for (size_t i = 0; i < views.size(); ++i) scalar_c[i] = comp->compress(views[i]);
+    };
+    const auto batch_compress = [&] { comp->compress_batch(views, batch_c.data()); };
+
+    reps = reps_for_target(seconds_of(scalar_compress), kTargetSeconds);
+    Measurement sc =
+        measure_kernel(scheme, "compress", "scalar", blocks.size(), reps, scalar_compress);
+    Measurement bc =
+        measure_kernel(scheme, "compress", "batch", blocks.size(), reps, batch_compress);
+    bc.speedup = sc.blocks_per_sec > 0 ? bc.blocks_per_sec / sc.blocks_per_sec : 0.0;
+    report.add(std::move(sc));
+    report.add(std::move(bc));
+
+    identical = true;
+    for (size_t i = 0; i < blocks.size() && identical; ++i)
+      identical = payloads_equal(scalar_c[i], batch_c[i]);
+    if (!identical) {
+      std::printf("FATAL: %s compress_batch diverged from the scalar loop\n", scheme.c_str());
+      all_identical = false;
+    }
+
+    // --- decompress ----------------------------------------------------------
+    // No batch decompress kernel exists (decompression is per-request on the
+    // read path), but its throughput stays in the trajectory so a regression
+    // is visible in BENCH_codec.json.
+    const auto decompress_loop = [&] {
+      for (size_t i = 0; i < blocks.size(); ++i)
+        comp->decompress(scalar_c[i], blocks[i].size());
+    };
+    reps = reps_for_target(seconds_of(decompress_loop), kTargetSeconds);
+    report.add(
+        measure_kernel(scheme, "decompress", "scalar", blocks.size(), reps, decompress_loop));
+  }
+
+  std::printf("%s\n", report.table().to_string().c_str());
+  std::printf("Speedups are batch kernel vs the per-block scalar loop of the same scheme,\n");
+  std::printf("single-threaded on this host. Batch results are verified byte-identical to\n");
+  std::printf("the scalar loop before the table is printed.\n");
+
+  if (!json_path.empty()) {
+    if (!report.write_json(json_path)) return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return all_identical ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

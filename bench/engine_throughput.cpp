@@ -6,9 +6,11 @@
 // scaling on multi-core hosts, byte-identical compression decisions at
 // every thread count, and commit/compute overlap from the async job queue.
 //
-// Usage: engine_throughput [benchmark] [scheme] [repeat]
+// Usage: engine_throughput [benchmark] [scheme] [repeat] [--json[=path]]
 //   defaults: SRAD2 E2MC 4 (repeat multiplies the block stream to give the
-//   pool enough work per timing sample)
+//   pool enough work per timing sample); bare --json writes
+//   BENCH_engine.json — the same Measurement rows the tables print, for the
+//   CI perf artifacts.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -120,6 +122,7 @@ size_t calibrate_gen_passes(const CommitLoopConfig& cfg, std::shared_ptr<CodecEn
 }  // namespace
 
 int main(int argc, char** argv) try {
+  const std::string json_path = parse_json_flag(argc, argv, "BENCH_engine.json");
   const std::string benchmark = argc > 1 ? argv[1] : "SRAD2";
   const std::string scheme = argc > 2 ? argv[2] : "E2MC";
   const size_t repeat = argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 4;
@@ -145,19 +148,22 @@ int main(int argc, char** argv) try {
   const auto reference = reference_engine.analyze_stream(*comp, blocks, kDefaultMagBytes);
   const auto reference_payloads = reference_engine.compress_stream(*comp, blocks);
 
-  TextTable t({"Threads", "Analyze Mblk/s", "Analyze speedup", "Compress Mblk/s",
-               "Compress speedup", "Identical"});
+  // Every row — human table and BENCH_engine.json alike — comes out of the
+  // same Measurement structs, so the two cannot drift.
+  BenchReport report("engine_throughput");
+  constexpr size_t kScalingReps = 3;
   double analyze_base = 0.0, compress_base = 0.0;
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
     CodecEngine engine(threads);
+    const std::string path = "threads=" + std::to_string(threads);
 
-    auto t0 = std::chrono::steady_clock::now();
-    const auto analysis = engine.analyze_stream(*comp, blocks, kDefaultMagBytes);
-    const double analyze_rate = static_cast<double>(blocks.size()) / seconds_since(t0) / 1e6;
-
-    t0 = std::chrono::steady_clock::now();
-    const auto payloads = engine.compress_stream(*comp, blocks);
-    const double compress_rate = static_cast<double>(blocks.size()) / seconds_since(t0) / 1e6;
+    CodecEngine::StreamAnalysis analysis;
+    std::vector<CompressedBlock> payloads;
+    Measurement ma = measure_kernel(
+        scheme, "analyze", path, blocks.size(), kScalingReps,
+        [&] { analysis = engine.analyze_stream(*comp, blocks, kDefaultMagBytes); });
+    Measurement mc = measure_kernel(scheme, "compress", path, blocks.size(), kScalingReps,
+                                    [&] { payloads = engine.compress_stream(*comp, blocks); });
 
     bool identical = analysis.ratios.raw_ratio() == reference.ratios.raw_ratio() &&
                      analysis.ratios.effective_ratio() == reference.ratios.effective_ratio() &&
@@ -168,21 +174,21 @@ int main(int argc, char** argv) try {
     }
 
     if (threads == 1) {
-      analyze_base = analyze_rate;
-      compress_base = compress_rate;
+      analyze_base = ma.blocks_per_sec;
+      compress_base = mc.blocks_per_sec;
     }
-    t.add_row({std::to_string(threads), TextTable::fmt(analyze_rate, 3),
-               TextTable::fmt(analyze_rate / analyze_base, 2) + "x",
-               TextTable::fmt(compress_rate, 3),
-               TextTable::fmt(compress_rate / compress_base, 2) + "x",
-               identical ? "yes" : "NO"});
+    ma.speedup = analyze_base > 0 ? ma.blocks_per_sec / analyze_base : 0.0;
+    mc.speedup = compress_base > 0 ? mc.blocks_per_sec / compress_base : 0.0;
+    report.add(std::move(ma));
+    report.add(std::move(mc));
     if (!identical) {
       std::printf("FATAL: %u-thread run diverged from the 1-thread reference\n", threads);
       return 1;
     }
   }
 
-  std::printf("%s\n", t.to_string().c_str());
+  std::printf("%s\n", report.table().to_string().c_str());
+  std::printf("Every thread count above reproduced the 1-thread reference byte for byte.\n");
   std::printf("Speedups are relative to 1 engine worker on this host; expect near-linear\n");
   std::printf("scaling up to the physical core count (a 1-core container shows ~1.0x).\n");
 
@@ -205,21 +211,38 @@ int main(int argc, char** argv) try {
   const bool commits_identical =
       pipelined.image == barrier.image && pipelined.stats == barrier.stats;
 
-  TextTable p({"Commit path", "Seconds", "Mblk/s", "Speedup", "Identical"});
-  const auto total_blocks = static_cast<double>(barrier.stats.blocks);
-  p.add_row({"barrier (commit)", TextTable::fmt(barrier.seconds, 3),
-             TextTable::fmt(total_blocks / barrier.seconds / 1e6, 3), "1.00x", "yes"});
-  p.add_row({"pipelined (commit_async)", TextTable::fmt(pipelined.seconds, 3),
-             TextTable::fmt(total_blocks / pipelined.seconds / 1e6, 3),
-             TextTable::fmt(barrier.seconds / pipelined.seconds, 2) + "x",
-             commits_identical ? "yes" : "NO"});
-  std::printf("%s\n", p.to_string().c_str());
+  // Same Measurement rows as the scaling table (and the JSON file).
+  BenchReport commit_report("engine_throughput");
+  const auto commit_row = [&](const char* path, const CommitRunResult& r, double speedup) {
+    Measurement m;
+    m.scheme = "TSLC-OPT";
+    m.kernel = "commit";
+    m.path = path;
+    m.blocks = static_cast<size_t>(r.stats.blocks);
+    m.reps = 1;
+    m.blocks_per_sec = static_cast<double>(r.stats.blocks) / r.seconds;
+    m.gbps = m.blocks_per_sec * static_cast<double>(kBlockBytes) / 1e9;
+    m.p50_ms = m.p99_ms = r.seconds * 1e3;
+    m.speedup = speedup;
+    commit_report.add(m);
+  };
+  commit_row("barrier", barrier, 0.0);
+  commit_row("pipelined", pipelined, barrier.seconds / pipelined.seconds);
+  std::printf("%s\n", commit_report.table().to_string().c_str());
+  std::printf("Commit results were %s across the two paths.\n",
+              commits_identical ? "byte-identical" : "DIVERGENT");
   std::printf("The pipelined path overlaps each commit with the next region's single-threaded\n");
   std::printf("data generation; expect >= 1.2x with 4+ hardware threads. A 1-core host\n");
   std::printf("serializes caller and pool, so both paths cost the same there (~1.0x).\n");
   if (!commits_identical) {
     std::printf("FATAL: pipelined commits diverged from the barrier path\n");
     return 1;
+  }
+
+  if (!json_path.empty()) {
+    for (const Measurement& m : commit_report.measurements()) report.add(m);
+    if (!report.write_json(json_path)) return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
   return 0;
 } catch (const std::exception& e) {

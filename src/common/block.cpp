@@ -41,4 +41,11 @@ std::vector<Block> to_blocks(std::span<const uint8_t> data, size_t block_bytes, 
   return blocks;
 }
 
+std::vector<BlockView> to_views(std::span<const Block> blocks) {
+  std::vector<BlockView> views;
+  views.reserve(blocks.size());
+  for (const Block& b : blocks) views.push_back(b.view());
+  return views;
+}
+
 }  // namespace slc

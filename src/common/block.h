@@ -108,4 +108,9 @@ size_t bytes_above_mag(size_t size_bytes, size_t mag_bytes);
 std::vector<Block> to_blocks(std::span<const uint8_t> data, size_t block_bytes = kBlockBytes,
                              bool pad_tail = true);
 
+/// Views over a range of owned blocks, index-aligned — the argument the
+/// batch codec kernels take. The storage behind `blocks` must outlive the
+/// returned views.
+std::vector<BlockView> to_views(std::span<const Block> blocks);
+
 }  // namespace slc

@@ -1,0 +1,107 @@
+// Internal helpers for the schemes' batched kernels (bdi/fpc/cpack/e2mc):
+// little-endian word loads and a word-at-a-time bit writer.
+//
+// BatchBitWriter produces a byte stream identical to BitWriter's (MSB-first,
+// final partial byte zero-padded) but accumulates into a 64-bit register and
+// emits whole bytes, instead of BitWriter's per-byte masking loop — the
+// difference between the batch compress kernels and the scalar loop is
+// measured by bench/codec_throughput, and equality of the two streams is
+// pinned by tests/test_batch_kernels.cpp. Not part of the public codec API.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace slc::detail {
+
+inline uint16_t load_le16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  if constexpr (std::endian::native == std::endian::big)
+    v = static_cast<uint16_t>((v >> 8) | (v << 8));
+  return v;
+}
+
+inline uint32_t load_le32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  if constexpr (std::endian::native == std::endian::big)
+    v = (v >> 24) | ((v >> 8) & 0xFF00u) | ((v << 8) & 0xFF0000u) | (v << 24);
+  return v;
+}
+
+/// Word staging shared by the kernels that walk a block 32-bit-word-wise
+/// (FPC, C-PACK): one bulk little-endian load per block into a stack array.
+inline constexpr size_t kMaxStagedWords = 128;  // covers blocks up to 512 B
+
+inline bool word_staging_applicable(size_t block_bytes) {
+  return block_bytes % 4 == 0 && block_bytes <= kMaxStagedWords * 4;
+}
+
+inline uint64_t load_le64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  if constexpr (std::endian::native == std::endian::big) {
+    uint64_t s = 0;
+    for (int i = 0; i < 8; ++i) s |= ((v >> (8 * (7 - i))) & 0xFFull) << (8 * i);
+    v = s;
+  }
+  return v;
+}
+
+/// Stages every 32-bit word of the block into `words` (little-endian);
+/// returns the word count. `words` must hold block_bytes / 4 entries.
+inline size_t load_words_le32(const uint8_t* p, size_t block_bytes, uint32_t* words) {
+  const size_t n = block_bytes / 4;
+  for (size_t i = 0; i < n; ++i) words[i] = load_le32(p + i * 4);
+  return n;
+}
+
+/// Append-only MSB-first bit writer for the batch kernels. Reuse across a
+/// batch with clear(); the buffer keeps its capacity.
+class BatchBitWriter {
+ public:
+  void clear() {
+    buf_.clear();
+    acc_ = 0;
+    fill_ = 0;
+  }
+
+  /// Appends the low `nbits` bits of `value`, most-significant bit first.
+  void put(uint64_t value, unsigned nbits) {
+    if (nbits > 56) {  // split so the 64-bit accumulator cannot overflow
+      put(value >> 32, nbits - 32);
+      put(value & 0xFFFFFFFFull, 32);
+      return;
+    }
+    if (nbits == 0) return;
+    if (nbits < 64) value &= (uint64_t{1} << nbits) - 1;
+    acc_ = (acc_ << nbits) | value;  // fill_ < 8 here, so fill_+nbits <= 63
+    fill_ += nbits;
+    while (fill_ >= 8) {
+      fill_ -= 8;
+      buf_.push_back(static_cast<uint8_t>((acc_ >> fill_) & 0xFF));
+    }
+  }
+
+  void put_bit(bool bit) { put(bit ? 1u : 0u, 1); }
+
+  size_t bit_size() const { return buf_.size() * 8 + fill_; }
+
+  /// The packed stream so far, final partial byte zero-padded — byte-for-byte
+  /// what BitWriter::bytes() returns for the same put() sequence.
+  std::vector<uint8_t> bytes() const {
+    std::vector<uint8_t> out(buf_);
+    if (fill_) out.push_back(static_cast<uint8_t>((acc_ << (8 - fill_)) & 0xFF));
+    return out;
+  }
+
+ private:
+  std::vector<uint8_t> buf_;
+  uint64_t acc_ = 0;
+  unsigned fill_ = 0;  // pending bits in the low end of acc_; < 8 between puts
+};
+
+}  // namespace slc::detail

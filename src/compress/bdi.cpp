@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/bitstream.h"
+#include "compress/batch_writer.h"
 #include "compress/codec_registry.h"
 
 namespace slc {
@@ -56,6 +57,14 @@ uint64_t load_word(BlockView b, size_t i, size_t base_bytes) {
   }
 }
 
+// Candidate base-delta encodings ordered by compressed size (ascending for
+// a 128 B block): B8D1 (212b) < B4D1 (324b) < B8D2 (340b) < B4D2 (580b)
+// < B8D4 = B2D1 (596b).
+constexpr std::array<BdiEncoding, 6> kOrder = {
+    BdiEncoding::kBase8Delta1, BdiEncoding::kBase4Delta1, BdiEncoding::kBase8Delta2,
+    BdiEncoding::kBase4Delta2, BdiEncoding::kBase8Delta4, BdiEncoding::kBase2Delta1,
+};
+
 // Checks whether `block` is encodable with `enc`; fills base if so.
 bool encodable(BlockView block, BdiEncoding enc, uint64_t* base_out) {
   const Geometry g = geometry(enc);
@@ -78,6 +87,75 @@ bool encodable(BlockView block, BdiEncoding enc, uint64_t* base_out) {
   }
   if (base_out) *base_out = have_base ? base : 0;
   return true;
+}
+
+// --- batched-kernel direct word loads --------------------------------------
+// The batch kernels read words straight off the block bytes with single
+// little-endian loads (no per-byte re-assembly), run the zero scan on 64-bit
+// lanes, and probe each candidate once — the winning base is kept so compress
+// never walks the block a second time. The scalar members above stay the
+// reference implementation the batch kernels are tested against byte for
+// byte.
+
+bool direct_applicable(BlockView b) { return b.size() % 8 == 0; }
+
+// Word `i` of width `base_bytes`, identical to load_word() on the raw bytes.
+uint64_t word_at(const uint8_t* p, size_t i, size_t base_bytes) {
+  switch (base_bytes) {
+    case 8: return detail::load_le64(p + i * 8);
+    case 4: return detail::load_le32(p + i * 4);
+    default: return detail::load_le16(p + i * 2);
+  }
+}
+
+bool encodable_direct(const uint8_t* p, size_t block_bytes, BdiEncoding enc,
+                      uint64_t* base_out) {
+  const Geometry g = geometry(enc);
+  const size_t n = block_bytes / g.base_bytes;
+  bool have_base = false;
+  uint64_t base = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t w = word_at(p, i, g.base_bytes);
+    if (fits_signed(sext(w, g.base_bytes), g.delta_bytes)) continue;
+    if (!have_base) {
+      have_base = true;
+      base = w;
+      continue;
+    }
+    if (!fits_signed(sext(w - base, g.base_bytes), g.delta_bytes)) return false;
+  }
+  *base_out = have_base ? base : 0;
+  return true;
+}
+
+// best_encoding() on direct loads; additionally returns the winning base so
+// the compress kernel does not probe a second time.
+BdiEncoding probe_direct(const uint8_t* p, size_t block_bytes, uint64_t* base_out) {
+  *base_out = 0;
+  const size_t n64 = block_bytes / 8;
+  uint64_t acc = 0;
+  for (size_t i = 0; i < n64; ++i) acc |= detail::load_le64(p + i * 8);
+  if (acc == 0) return BdiEncoding::kZeros;
+
+  const uint64_t first = detail::load_le64(p);
+  bool repeated = true;
+  for (size_t i = 1; i < n64; ++i)
+    if (detail::load_le64(p + i * 8) != first) { repeated = false; break; }
+  if (repeated) return BdiEncoding::kRepeat64;
+
+  BdiEncoding best = BdiEncoding::kUncompressed;
+  size_t best_bits = block_bytes * 8;
+  for (BdiEncoding enc : kOrder) {
+    const size_t bits = BdiCompressor::encoding_bits(enc, block_bytes);
+    if (bits >= best_bits) continue;
+    uint64_t base = 0;
+    if (encodable_direct(p, block_bytes, enc, &base)) {
+      best = enc;
+      best_bits = bits;
+      *base_out = base;
+    }
+  }
+  return best;
 }
 
 }  // namespace
@@ -110,13 +188,6 @@ BdiEncoding BdiCompressor::best_encoding(BlockView block) {
     if (block.word64(i) != first) { repeated = false; break; }
   if (repeated) return BdiEncoding::kRepeat64;
 
-  // Candidate base-delta encodings ordered by compressed size (ascending for
-  // a 128 B block): B8D1 (212b) < B4D1 (324b) < B8D2 (340b) < B4D2 (580b)
-  // < B8D4 = B2D1 (596b).
-  static constexpr std::array<BdiEncoding, 6> kOrder = {
-      BdiEncoding::kBase8Delta1, BdiEncoding::kBase4Delta1, BdiEncoding::kBase8Delta2,
-      BdiEncoding::kBase4Delta2, BdiEncoding::kBase8Delta4, BdiEncoding::kBase2Delta1,
-  };
   BdiEncoding best = BdiEncoding::kUncompressed;
   size_t best_bits = block.size() * 8;
   for (BdiEncoding enc : kOrder) {
@@ -226,6 +297,75 @@ BlockAnalysis BdiCompressor::analyze(BlockView block) const {
   a.bit_size = encoding_bits(enc, block.size());
   a.lossless_bits = a.bit_size;
   return a;
+}
+
+void BdiCompressor::analyze_batch(std::span<const BlockView> blocks, BlockAnalysis* out) const {
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const BlockView blk = blocks[b];
+    if (!direct_applicable(blk)) {
+      out[b] = analyze(blk);
+      continue;
+    }
+    uint64_t base = 0;
+    const BdiEncoding enc = probe_direct(blk.bytes().data(), blk.size(), &base);
+    BlockAnalysis a;
+    a.is_compressed = enc != BdiEncoding::kUncompressed;
+    a.bit_size = encoding_bits(enc, blk.size());
+    a.lossless_bits = a.bit_size;
+    out[b] = a;
+  }
+}
+
+void BdiCompressor::compress_batch(std::span<const BlockView> blocks, CompressedBlock* out) const {
+  detail::BatchBitWriter w;  // reused across the batch; clear() keeps capacity
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const BlockView blk = blocks[b];
+    if (!direct_applicable(blk)) {
+      out[b] = compress(blk);
+      continue;
+    }
+    const uint8_t* p = blk.bytes().data();
+    uint64_t base = 0;
+    const BdiEncoding enc = probe_direct(p, blk.size(), &base);
+
+    CompressedBlock cb;
+    if (enc == BdiEncoding::kUncompressed) {
+      cb.is_compressed = false;
+      cb.bit_size = blk.size() * 8;
+      cb.payload.assign(blk.bytes().begin(), blk.bytes().end());
+      out[b] = std::move(cb);
+      continue;
+    }
+    w.clear();
+    w.put(static_cast<uint64_t>(enc), kTagBits);
+    switch (enc) {
+      case BdiEncoding::kZeros:
+        break;  // tag only
+      case BdiEncoding::kRepeat64:
+        w.put(detail::load_le64(p), 64);
+        break;
+      default: {
+        const Geometry g = geometry(enc);
+        const size_t n = blk.size() / g.base_bytes;
+        w.put(base, static_cast<unsigned>(g.base_bytes * 8));
+        for (size_t i = 0; i < n; ++i) {
+          const uint64_t v = word_at(p, i, g.base_bytes);
+          w.put_bit(!fits_signed(sext(v, g.base_bytes), g.delta_bytes));
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const uint64_t v = word_at(p, i, g.base_bytes);
+          const bool use_zero = fits_signed(sext(v, g.base_bytes), g.delta_bytes);
+          w.put(use_zero ? v : v - base, static_cast<unsigned>(g.delta_bytes * 8));
+        }
+        break;
+      }
+    }
+    cb.is_compressed = true;
+    cb.bit_size = w.bit_size();
+    cb.payload = w.bytes();
+    assert(cb.bit_size == encoding_bits(enc, blk.size()));
+    out[b] = std::move(cb);
+  }
 }
 
 namespace {

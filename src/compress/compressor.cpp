@@ -14,17 +14,25 @@ BlockAnalysis Compressor::analyze(BlockView block) const {
   return a;
 }
 
+void Compressor::analyze_batch(std::span<const BlockView> blocks, BlockAnalysis* out) const {
+  for (size_t i = 0; i < blocks.size(); ++i) out[i] = analyze(blocks[i]);
+}
+
+void Compressor::compress_batch(std::span<const BlockView> blocks, CompressedBlock* out) const {
+  for (size_t i = 0; i < blocks.size(); ++i) out[i] = compress(blocks[i]);
+}
+
 std::vector<CompressedBlock> Compressor::compress_batch(std::span<const Block> blocks) const {
-  std::vector<CompressedBlock> out;
-  out.reserve(blocks.size());
-  for (const Block& b : blocks) out.push_back(compress(b.view()));
+  std::vector<CompressedBlock> out(blocks.size());
+  const std::vector<BlockView> views = to_views(blocks);
+  compress_batch(views, out.data());
   return out;
 }
 
 std::vector<BlockAnalysis> Compressor::analyze_batch(std::span<const Block> blocks) const {
-  std::vector<BlockAnalysis> out;
-  out.reserve(blocks.size());
-  for (const Block& b : blocks) out.push_back(analyze(b.view()));
+  std::vector<BlockAnalysis> out(blocks.size());
+  const std::vector<BlockView> views = to_views(blocks);
+  analyze_batch(views, out.data());
   return out;
 }
 

@@ -66,11 +66,27 @@ class Compressor {
   /// Convenience wrapper over analyze() — the ratio studies' common call.
   size_t compressed_bits(BlockView block) const { return analyze(block).bit_size; }
 
-  /// Batch entry points used by the CodecEngine. The defaults loop over
-  /// blocks; schemes with cross-block state or vector implementations may
-  /// override. Results are index-aligned with `blocks`.
-  virtual std::vector<CompressedBlock> compress_batch(std::span<const Block> blocks) const;
-  virtual std::vector<BlockAnalysis> analyze_batch(std::span<const Block> blocks) const;
+  // --- batch kernels ---------------------------------------------------------
+  // The CodecEngine's shards and the CodecServer's coalesced batches call the
+  // view-based virtuals below; results go into index-aligned caller slots
+  // (`out[i]` belongs to `blocks[i]`). The base implementations are the
+  // per-block scalar loop; the bundled schemes override them with batched
+  // kernels that hoist per-block setup out of the loop and reuse scratch
+  // buffers across the batch. Overrides must be byte-identical to the scalar
+  // loop for any input and any sub-range split (pinned by
+  // tests/test_batch_kernels.cpp) and must keep all scratch in the call
+  // frame: a Compressor stays immutable after construction, so concurrent
+  // shards of one batch may run the kernel on disjoint ranges.
+
+  /// Size-only batch kernel: fills out[0..blocks.size()) like analyze().
+  virtual void analyze_batch(std::span<const BlockView> blocks, BlockAnalysis* out) const;
+  /// Full-payload batch kernel: fills out[0..blocks.size()) like compress().
+  virtual void compress_batch(std::span<const BlockView> blocks, CompressedBlock* out) const;
+
+  /// Owned-block conveniences (bench and test entry points): materialize the
+  /// views and forward to the virtual kernels above.
+  std::vector<CompressedBlock> compress_batch(std::span<const Block> blocks) const;
+  std::vector<BlockAnalysis> analyze_batch(std::span<const Block> blocks) const;
 };
 
 /// Accumulates raw and effective compression ratios over a stream of blocks

@@ -1,9 +1,12 @@
 #include "compress/cpack.h"
 
+#include <array>
 #include <cassert>
+#include <cstring>
 #include <deque>
 
 #include "common/bitstream.h"
+#include "compress/batch_writer.h"
 #include "compress/codec_registry.h"
 
 namespace slc {
@@ -39,6 +42,49 @@ class FifoDict {
   size_t cap_;
   std::deque<uint32_t> entries_;
 };
+
+// Same FIFO semantics as FifoDict (logical index 0 = oldest entry), but in a
+// fixed power-of-two ring buffer on the stack — no deque node churn per
+// block. Used by the batch kernels; FifoDict above stays the reference.
+class RingDict {
+ public:
+  explicit RingDict(size_t cap) : mask_(cap - 1), cap_(cap) {}
+
+  int find_full(uint32_t w) const {
+    for (size_t i = 0; i < size_; ++i)
+      if (buf_[(start_ + i) & mask_] == w) return static_cast<int>(i);
+    return -1;
+  }
+  int find_partial(uint32_t w, unsigned bytes) const {
+    const uint32_t mask = bytes == 3 ? 0xFFFFFF00u : 0xFFFF0000u;
+    const uint32_t key = w & mask;
+    for (size_t i = 0; i < size_; ++i)
+      if ((buf_[(start_ + i) & mask_] & mask) == key) return static_cast<int>(i);
+    return -1;
+  }
+  void push(uint32_t w) {
+    if (size_ == cap_) {
+      buf_[start_] = w;  // overwrite the oldest slot; it becomes the newest
+      start_ = (start_ + 1) & mask_;
+    } else {
+      buf_[(start_ + size_) & mask_] = w;
+      ++size_;
+    }
+  }
+
+ private:
+  std::array<uint32_t, 64> buf_{};
+  size_t mask_;
+  size_t cap_;
+  size_t start_ = 0;
+  size_t size_ = 0;
+};
+
+// RingDict's fixed buffer caps the dictionary sizes the batch kernels cover;
+// larger dictionaries (never used in practice) take the scalar path.
+bool ring_dict_applicable(size_t block_bytes, size_t dict_entries) {
+  return detail::word_staging_applicable(block_bytes) && dict_entries <= 64;
+}
 
 constexpr unsigned prefix_bits(CpackCode c) {
   switch (c) {
@@ -218,6 +264,110 @@ BlockAnalysis CpackCompressor::analyze(BlockView block) const {
   a.bit_size = a.is_compressed ? bits : raw_bits;
   a.lossless_bits = a.bit_size;
   return a;
+}
+
+void CpackCompressor::analyze_batch(std::span<const BlockView> blocks, BlockAnalysis* out) const {
+  uint32_t words[detail::kMaxStagedWords];
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const BlockView blk = blocks[b];
+    if (!ring_dict_applicable(blk.size(), dict_entries_)) {
+      out[b] = analyze(blk);
+      continue;
+    }
+    const size_t n_words = detail::load_words_le32(blk.bytes().data(), blk.size(), words);
+    RingDict dict(dict_entries_);
+    size_t bits = 0;
+    for (size_t i = 0; i < n_words; ++i) {
+      const uint32_t word = words[i];
+      if (word == 0) {
+        bits += code_bits(CpackCode::kZZZZ);
+      } else if ((word & 0xFFFFFF00u) == 0) {
+        bits += code_bits(CpackCode::kZZZX);
+      } else if (dict.find_full(word) >= 0) {
+        bits += code_bits(CpackCode::kMMMM);
+      } else if (dict.find_partial(word, 3) >= 0) {
+        bits += code_bits(CpackCode::kMMMX);
+        dict.push(word);
+      } else if (dict.find_partial(word, 2) >= 0) {
+        bits += code_bits(CpackCode::kMMXX);
+        dict.push(word);
+      } else {
+        bits += code_bits(CpackCode::kXXXX);
+        dict.push(word);
+      }
+    }
+    BlockAnalysis a;
+    const size_t raw_bits = blk.size() * 8;
+    a.is_compressed = bits < raw_bits;
+    a.bit_size = a.is_compressed ? bits : raw_bits;
+    a.lossless_bits = a.bit_size;
+    out[b] = a;
+  }
+}
+
+void CpackCompressor::compress_batch(std::span<const BlockView> blocks,
+                                     CompressedBlock* out) const {
+  uint32_t words[detail::kMaxStagedWords];
+  detail::BatchBitWriter w;  // reused across the batch
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const BlockView blk = blocks[b];
+    if (!ring_dict_applicable(blk.size(), dict_entries_)) {
+      out[b] = compress(blk);
+      continue;
+    }
+    const size_t n_words = detail::load_words_le32(blk.bytes().data(), blk.size(), words);
+    RingDict dict(dict_entries_);
+    w.clear();
+    for (size_t i = 0; i < n_words; ++i) {
+      const uint32_t word = words[i];
+      if (word == 0) {
+        w.put(prefix_value(CpackCode::kZZZZ), prefix_bits(CpackCode::kZZZZ));
+        continue;
+      }
+      if ((word & 0xFFFFFF00u) == 0) {
+        w.put(prefix_value(CpackCode::kZZZX), prefix_bits(CpackCode::kZZZX));
+        w.put(word & 0xFF, 8);
+        continue;
+      }
+      int idx = dict.find_full(word);
+      if (idx >= 0) {
+        w.put(prefix_value(CpackCode::kMMMM), prefix_bits(CpackCode::kMMMM));
+        w.put(static_cast<uint64_t>(idx), index_bits_);
+        continue;
+      }
+      idx = dict.find_partial(word, 3);
+      if (idx >= 0) {
+        w.put(prefix_value(CpackCode::kMMMX), prefix_bits(CpackCode::kMMMX));
+        w.put(static_cast<uint64_t>(idx), index_bits_);
+        w.put(word & 0xFF, 8);
+        dict.push(word);
+        continue;
+      }
+      idx = dict.find_partial(word, 2);
+      if (idx >= 0) {
+        w.put(prefix_value(CpackCode::kMMXX), prefix_bits(CpackCode::kMMXX));
+        w.put(static_cast<uint64_t>(idx), index_bits_);
+        w.put(word & 0xFFFF, 16);
+        dict.push(word);
+        continue;
+      }
+      w.put(prefix_value(CpackCode::kXXXX), prefix_bits(CpackCode::kXXXX));
+      w.put(word, 32);
+      dict.push(word);
+    }
+
+    CompressedBlock cb;
+    if (w.bit_size() >= blk.size() * 8) {
+      cb.is_compressed = false;
+      cb.bit_size = blk.size() * 8;
+      cb.payload.assign(blk.bytes().begin(), blk.bytes().end());
+    } else {
+      cb.is_compressed = true;
+      cb.bit_size = w.bit_size();
+      cb.payload = w.bytes();
+    }
+    out[b] = std::move(cb);
+  }
 }
 
 namespace {

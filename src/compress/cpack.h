@@ -30,6 +30,15 @@ class CpackCompressor : public Compressor {
   /// Size-only: runs the dictionary pass summing code bits, no bit stream.
   BlockAnalysis analyze(BlockView block) const override;
 
+  /// Batched kernels: the FIFO dictionary lives in a fixed ring buffer on the
+  /// stack (no per-block deque churn) and words are staged once per block;
+  /// the bit writer is reused across the batch. Byte-identical to the scalar
+  /// loop.
+  using Compressor::analyze_batch;
+  using Compressor::compress_batch;
+  void analyze_batch(std::span<const BlockView> blocks, BlockAnalysis* out) const override;
+  void compress_batch(std::span<const BlockView> blocks, CompressedBlock* out) const override;
+
   /// Encoded bits for a code (prefix + index + literal bytes).
   unsigned code_bits(CpackCode c) const;
 

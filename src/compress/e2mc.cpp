@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bitstream.h"
+#include "compress/batch_writer.h"
 #include "compress/codec_registry.h"
 
 namespace slc {
@@ -64,22 +65,10 @@ BlockAnalysis E2mcCompressor::analyze(BlockView block) const {
   return a;
 }
 
-CompressedBlock E2mcCompressor::compress(BlockView block) const {
-  const auto lens = code_lengths(block);
-  const WayLayout lo = layout(lens, header_bits(block.size()));
-  const size_t raw_bits = block.size() * 8;
-
-  CompressedBlock out;
-  if (lo.total_bits >= raw_bits) {
-    out.is_compressed = false;
-    out.bit_size = raw_bits;
-    out.payload.assign(block.bytes().begin(), block.bytes().end());
-    return out;
-  }
-
+template <class Writer>
+void E2mcCompressor::emit_ways(BlockView block, const WayLayout& lo, Writer& w) const {
   const unsigned pdp = pdp_bits(block.size());
   const size_t per_way = block.num_symbols() / cfg_.num_ways;
-  BitWriter w;
   // Header: pdp_i = byte offset of way i (i = 1..num_ways-1) within payload.
   const size_t header_bytes = (header_bits(block.size()) + 7) / 8;
   size_t off = header_bytes;
@@ -105,15 +94,98 @@ CompressedBlock E2mcCompressor::compress(BlockView block) const {
     // Byte-align the way.
     const size_t used = w.bit_size() - start_bit;
     assert(used == lo.way_bits[way]);
+    (void)used;
     const size_t aligned = lo.way_bytes[way] * 8;
     if (aligned > used) w.put(0, static_cast<unsigned>(aligned - used));
   }
+}
 
+CompressedBlock E2mcCompressor::compress(BlockView block) const {
+  const auto lens = code_lengths(block);
+  const WayLayout lo = layout(lens, header_bits(block.size()));
+  const size_t raw_bits = block.size() * 8;
+
+  CompressedBlock out;
+  if (lo.total_bits >= raw_bits) {
+    out.is_compressed = false;
+    out.bit_size = raw_bits;
+    out.payload.assign(block.bytes().begin(), block.bytes().end());
+    return out;
+  }
+
+  BitWriter w;
+  emit_ways(block, lo, w);
   out.is_compressed = true;
   out.bit_size = w.bit_size();
   assert(out.bit_size == lo.total_bits);
   out.payload = w.bytes();
   return out;
+}
+
+void E2mcCompressor::analyze_batch(std::span<const BlockView> blocks, BlockAnalysis* out) const {
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const BlockView blk = blocks[b];
+    const size_t n = blk.num_symbols();
+    const size_t per_way = n / cfg_.num_ways;
+    if (per_way == 0 || n % cfg_.num_ways != 0) {
+      out[b] = analyze(blk);  // degenerate geometry: scalar reference path
+      continue;
+    }
+    // layout() without the per-block lengths vector: sum encoded bits per
+    // way directly off the code-length table.
+    const uint8_t* p = blk.bytes().data();
+    size_t total = (header_bits(blk.size()) + 7) / 8;
+    size_t s = 0;
+    for (unsigned way = 0; way < cfg_.num_ways; ++way) {
+      size_t way_bits = 0;
+      for (size_t e = s + per_way; s < e; ++s)
+        way_bits += code_.encoded_bits(detail::load_le16(p + 2 * s));
+      total += (way_bits + 7) / 8;
+    }
+    const size_t total_bits = total * 8;
+    const size_t raw_bits = blk.size() * 8;
+    BlockAnalysis a;
+    a.is_compressed = total_bits < raw_bits;
+    a.bit_size = a.is_compressed ? total_bits : raw_bits;
+    a.lossless_bits = a.bit_size;
+    out[b] = a;
+  }
+}
+
+void E2mcCompressor::compress_batch(std::span<const BlockView> blocks,
+                                    CompressedBlock* out) const {
+  std::vector<uint16_t> lens;   // scratch, reused across the batch
+  detail::BatchBitWriter w;     // reused across the batch
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const BlockView blk = blocks[b];
+    const size_t n = blk.num_symbols();
+    if (n == 0 || n % cfg_.num_ways != 0) {
+      out[b] = compress(blk);  // degenerate geometry: scalar reference path
+      continue;
+    }
+    lens.resize(n);
+    const uint8_t* p = blk.bytes().data();
+    for (size_t i = 0; i < n; ++i)
+      lens[i] = static_cast<uint16_t>(code_.encoded_bits(detail::load_le16(p + 2 * i)));
+    const WayLayout lo = layout(lens, header_bits(blk.size()));
+    const size_t raw_bits = blk.size() * 8;
+
+    CompressedBlock cb;
+    if (lo.total_bits >= raw_bits) {
+      cb.is_compressed = false;
+      cb.bit_size = raw_bits;
+      cb.payload.assign(blk.bytes().begin(), blk.bytes().end());
+      out[b] = std::move(cb);
+      continue;
+    }
+    w.clear();
+    emit_ways(blk, lo, w);
+    cb.is_compressed = true;
+    cb.bit_size = w.bit_size();
+    assert(cb.bit_size == lo.total_bits);
+    cb.payload = w.bytes();
+    out[b] = std::move(cb);
+  }
 }
 
 Block E2mcCompressor::decompress(const CompressedBlock& cb, size_t block_bytes) const {

@@ -49,6 +49,14 @@ class E2mcCompressor : public Compressor {
   /// Size-only: sums code lengths through the way layout, no bit stream.
   BlockAnalysis analyze(BlockView block) const override;
 
+  /// Batched kernels: per-way code-length accumulation without the per-block
+  /// lengths vector (analyze) and a scratch writer reused across the batch
+  /// (compress). Byte-identical to the scalar loop.
+  using Compressor::analyze_batch;
+  using Compressor::compress_batch;
+  void analyze_batch(std::span<const BlockView> blocks, BlockAnalysis* out) const override;
+  void compress_batch(std::span<const BlockView> blocks, CompressedBlock* out) const override;
+
   /// Per-symbol encoded lengths for a block — the values the TSLC tree adder
   /// reads from the compressor's code-length table.
   std::vector<uint16_t> code_lengths(BlockView block) const;
@@ -76,6 +84,14 @@ class E2mcCompressor : public Compressor {
   static constexpr unsigned kDecompressLatency = 20;
 
  private:
+  /// Writes the pdp header and the byte-aligned ways of `block` into `w`
+  /// (which must be empty) according to `lo` — the one emitter both the
+  /// scalar compress() (BitWriter) and the batch kernel
+  /// (detail::BatchBitWriter) go through, so their payloads cannot drift
+  /// apart. Defined in e2mc.cpp; both instantiations live there.
+  template <class Writer>
+  void emit_ways(BlockView block, const WayLayout& lo, Writer& w) const;
+
   HuffmanCode code_;
   E2mcConfig cfg_;
 };

@@ -1,8 +1,10 @@
 #include "compress/fpc.h"
 
 #include <cassert>
+#include <cstring>
 
 #include "common/bitstream.h"
+#include "compress/batch_writer.h"
 #include "compress/codec_registry.h"
 
 namespace slc {
@@ -16,6 +18,7 @@ bool fits_se(uint32_t w, unsigned bits) {
   const int32_t lim = int32_t{1} << (bits - 1);
   return v >= -lim && v < lim;
 }
+
 }  // namespace
 
 FpcPattern FpcCompressor::classify(uint32_t w) {
@@ -179,6 +182,91 @@ BlockAnalysis FpcCompressor::analyze(BlockView block) const {
   a.bit_size = a.is_compressed ? bits : raw_bits;
   a.lossless_bits = a.bit_size;
   return a;
+}
+
+void FpcCompressor::analyze_batch(std::span<const BlockView> blocks, BlockAnalysis* out) const {
+  uint32_t words[detail::kMaxStagedWords];
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const BlockView blk = blocks[b];
+    if (!detail::word_staging_applicable(blk.size())) {
+      out[b] = analyze(blk);
+      continue;
+    }
+    const size_t n_words = detail::load_words_le32(blk.bytes().data(), blk.size(), words);
+    size_t bits = 0;
+    size_t i = 0;
+    while (i < n_words) {
+      if (words[i] == 0) {
+        size_t run = 1;
+        while (i + run < n_words && run < kMaxZeroRun && words[i + run] == 0) ++run;
+        bits += kPrefixBits + payload_bits(FpcPattern::kZeroRun);
+        i += run;
+        continue;
+      }
+      bits += kPrefixBits + payload_bits(classify(words[i]));
+      ++i;
+    }
+    BlockAnalysis a;
+    const size_t raw_bits = blk.size() * 8;
+    a.is_compressed = bits < raw_bits;
+    a.bit_size = a.is_compressed ? bits : raw_bits;
+    a.lossless_bits = a.bit_size;
+    out[b] = a;
+  }
+}
+
+void FpcCompressor::compress_batch(std::span<const BlockView> blocks, CompressedBlock* out) const {
+  uint32_t words[detail::kMaxStagedWords];
+  detail::BatchBitWriter w;  // reused across the batch
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const BlockView blk = blocks[b];
+    if (!detail::word_staging_applicable(blk.size())) {
+      out[b] = compress(blk);
+      continue;
+    }
+    const size_t n_words = detail::load_words_le32(blk.bytes().data(), blk.size(), words);
+    w.clear();
+    size_t i = 0;
+    while (i < n_words) {
+      const uint32_t word = words[i];
+      if (word == 0) {
+        size_t run = 1;
+        while (i + run < n_words && run < kMaxZeroRun && words[i + run] == 0) ++run;
+        w.put(static_cast<uint64_t>(FpcPattern::kZeroRun), kPrefixBits);
+        w.put(run - 1, 3);
+        i += run;
+        continue;
+      }
+      const FpcPattern p = classify(word);
+      w.put(static_cast<uint64_t>(p), kPrefixBits);
+      switch (p) {
+        case FpcPattern::kSignExt4: w.put(word & 0xF, 4); break;
+        case FpcPattern::kSignExt8: w.put(word & 0xFF, 8); break;
+        case FpcPattern::kSignExt16: w.put(word & 0xFFFF, 16); break;
+        case FpcPattern::kHalfwordPadded: w.put(word >> 16, 16); break;
+        case FpcPattern::kTwoHalfwordsSE:
+          w.put((word >> 16) & 0xFF, 8);
+          w.put(word & 0xFF, 8);
+          break;
+        case FpcPattern::kRepeatedBytes: w.put(word & 0xFF, 8); break;
+        case FpcPattern::kUncompressed: w.put(word, 32); break;
+        case FpcPattern::kZeroRun: assert(false); break;
+      }
+      ++i;
+    }
+
+    CompressedBlock cb;
+    if (w.bit_size() >= blk.size() * 8) {
+      cb.is_compressed = false;
+      cb.bit_size = blk.size() * 8;
+      cb.payload.assign(blk.bytes().begin(), blk.bytes().end());
+    } else {
+      cb.is_compressed = true;
+      cb.bit_size = w.bit_size();
+      cb.payload = w.bytes();
+    }
+    out[b] = std::move(cb);
+  }
 }
 
 namespace {

@@ -30,6 +30,14 @@ class FpcCompressor : public Compressor {
   /// Size-only: classifies words and sums prefix+payload bits, no bit stream.
   BlockAnalysis analyze(BlockView block) const override;
 
+  /// Batched kernels: stage the block's words once and classify them in a
+  /// tight non-virtual loop, reusing the bit writer across the batch.
+  /// Byte-identical to the scalar loop.
+  using Compressor::analyze_batch;
+  using Compressor::compress_batch;
+  void analyze_batch(std::span<const BlockView> blocks, BlockAnalysis* out) const override;
+  void compress_batch(std::span<const BlockView> blocks, CompressedBlock* out) const override;
+
   /// Pattern classification for one word (zero runs handled by the caller).
   static FpcPattern classify(uint32_t word);
 

@@ -239,10 +239,11 @@ CodecFuture<CodecEngine::StreamAnalysis> CodecEngine::submit_analyze(const Compr
   return submit_analyze_indexed(
       blocks.size(), mag_bytes,
       [&comp, blocks](size_t begin, size_t end, BlockAnalysis* dst) {
-        // Shard goes through the compressor's batch entry point, so schemes
-        // with vector implementations get their shot.
-        std::vector<BlockAnalysis> shard = comp.analyze_batch(blocks.subspan(begin, end - begin));
-        std::move(shard.begin(), shard.end(), dst);
+        // Every shard goes through the compressor's batch kernel, writing
+        // straight into the index-aligned result slots — schemes with
+        // vectorized overrides get the whole shard at once, and the default
+        // is the scalar loop with no intermediate vector.
+        comp.analyze_batch(to_views(blocks.subspan(begin, end - begin)), dst);
       },
       [blocks](size_t i) { return blocks[i].size() * 8; }, priority);
 }
@@ -253,8 +254,7 @@ CodecFuture<std::vector<CompressedBlock>> CodecEngine::submit_compress(
   return submit_job<std::vector<CompressedBlock>>(
       blocks.size(),
       [out, &comp, blocks](size_t begin, size_t end, unsigned) {
-        std::vector<CompressedBlock> shard = comp.compress_batch(blocks.subspan(begin, end - begin));
-        for (size_t i = 0; i < shard.size(); ++i) (*out)[begin + i] = std::move(shard[i]);
+        comp.compress_batch(to_views(blocks.subspan(begin, end - begin)), out->data() + begin);
       },
       [out]() { return std::move(*out); }, priority);
 }
@@ -272,18 +272,25 @@ CodecEngine::StreamAnalysis CodecEngine::analyze_bytes(const Compressor& comp,
   return submit_analyze_indexed(
              n_blocks, mag_bytes,
              [&comp, data, block_bytes](size_t begin, size_t end, BlockAnalysis* dst) {
+               // Views straight over the flat buffer — the batch kernel sees
+               // the whole shard, same as the Block-stream path. Only a
+               // ragged tail block needs padded storage (zero-padded like
+               // to_blocks(pad_tail = true)); it lives in this frame for the
+               // duration of the kernel call.
+               std::vector<BlockView> views;
+               views.reserve(end - begin);
+               Block padded(block_bytes);
                for (size_t b = begin; b < end; ++b) {
                  const size_t off = b * block_bytes;
                  if (off + block_bytes <= data.size()) {
-                   dst[b - begin] = comp.analyze(BlockView(data.subspan(off, block_bytes)));
+                   views.push_back(BlockView(data.subspan(off, block_bytes)));
                  } else {
-                   // Zero-padded tail block, matching to_blocks(pad_tail = true).
-                   Block padded(block_bytes);
                    std::copy(data.begin() + static_cast<ptrdiff_t>(off), data.end(),
                              padded.mutable_bytes().begin());
-                   dst[b - begin] = comp.analyze(padded.view());
+                   views.push_back(padded.view());
                  }
                }
+               comp.analyze_batch(views, dst);
              },
              [block_bytes](size_t) { return block_bytes * 8; }, 0)
       .wait();

@@ -230,9 +230,12 @@ void CodecServer::dispatch_locked(StreamId s, std::unique_lock<std::mutex>& lk) 
 
 void CodecServer::run_shard(Batch& batch, size_t begin, size_t end) const {
   try {
-    std::vector<BlockAnalysis> shard = batch.codec->analyze_batch(
-        std::span<const Block>(batch.blocks).subspan(begin, end - begin));
-    std::move(shard.begin(), shard.end(), batch.analyses.begin() + static_cast<ptrdiff_t>(begin));
+    // Straight into the batch's index-aligned analysis slots through the
+    // codec's batch kernel — coalesced server batches hit vectorized
+    // overrides the same way engine stream jobs do.
+    batch.codec->analyze_batch(
+        to_views(std::span<const Block>(batch.blocks).subspan(begin, end - begin)),
+        batch.analyses.data() + begin);
   } catch (...) {
     // Keep the exception out of the engine so the batch still drains and
     // completes; it is delivered per request by complete_batch.

@@ -1,0 +1,178 @@
+// Batch-kernel equivalence: for every registry-listed codec, the
+// analyze_batch/compress_batch kernels must be byte-identical to the
+// per-block scalar loop — on random, all-zero, denormal-heavy, value-similar
+// and repeat/delta data, for any batch split. This is the contract that lets
+// the CodecEngine and CodecServer route every shard through the batch entry
+// points without a correctness fallback; it runs under the ASan+UBSan CI job
+// like the rest of this binary.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "compress/codec_registry.h"
+#include "test_util.h"
+
+namespace slc {
+namespace {
+
+std::vector<Block> blocks_from_bytes(const std::vector<uint8_t>& data) {
+  return to_blocks(data);
+}
+
+std::vector<Block> random_blocks(size_t n) {
+  Rng rng(0xB10CB10Cull);
+  std::vector<uint8_t> data(n * kBlockBytes);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.next_below(256));
+  return blocks_from_bytes(data);
+}
+
+std::vector<Block> zero_blocks(size_t n) {
+  return blocks_from_bytes(std::vector<uint8_t>(n * kBlockBytes, 0));
+}
+
+// Mostly denormal floats (zero exponent, random mantissa) with zeros mixed
+// in: the data shape that stresses FPC's sign-extension classes and BDI's
+// near-zero immediates.
+std::vector<Block> denormal_blocks(size_t n) {
+  Rng rng(0xDE40A11ull);
+  std::vector<uint8_t> data;
+  data.reserve(n * kBlockBytes);
+  for (size_t i = 0; i < n * kBlockBytes / 4; ++i) {
+    uint32_t bits = 0;
+    if (!rng.chance(0.25)) {
+      bits = static_cast<uint32_t>(rng.next()) & 0x007FFFFFu;  // denormal mantissa
+      if (rng.chance(0.5)) bits |= 0x80000000u;                // random sign
+    }
+    for (int k = 0; k < 4; ++k) data.push_back(static_cast<uint8_t>(bits >> (8 * k)));
+  }
+  return blocks_from_bytes(data);
+}
+
+// Repeated 64-bit values and small-delta integer runs (BDI's and C-PACK's
+// sweet spots), including blocks that alternate the two.
+std::vector<Block> repeat_delta_blocks(size_t n) {
+  Rng rng(0x4E9EA7ull);
+  std::vector<uint8_t> data;
+  data.reserve(n * kBlockBytes);
+  uint64_t base = 0x1122334455667788ull;
+  for (size_t i = 0; i < n * kBlockBytes / 8; ++i) {
+    if (i % 16 == 0) base = rng.next();
+    const uint64_t v = rng.chance(0.5) ? base : base + rng.next_below(200);
+    for (int k = 0; k < 8; ++k) data.push_back(static_cast<uint8_t>(v >> (8 * k)));
+  }
+  return blocks_from_bytes(data);
+}
+
+void expect_analysis_eq(const BlockAnalysis& scalar, const BlockAnalysis& batch,
+                        const std::string& what) {
+  EXPECT_EQ(scalar.bit_size, batch.bit_size) << what;
+  EXPECT_EQ(scalar.is_compressed, batch.is_compressed) << what;
+  EXPECT_EQ(scalar.lossy, batch.lossy) << what;
+  EXPECT_EQ(scalar.lossless_bits, batch.lossless_bits) << what;
+  EXPECT_EQ(scalar.truncated_symbols, batch.truncated_symbols) << what;
+}
+
+void expect_payload_eq(const CompressedBlock& scalar, const CompressedBlock& batch,
+                       const std::string& what) {
+  EXPECT_EQ(scalar.bit_size, batch.bit_size) << what;
+  EXPECT_EQ(scalar.is_compressed, batch.is_compressed) << what;
+  EXPECT_EQ(scalar.payload, batch.payload) << what;
+}
+
+// Runs one codec over one data set through every batch split and compares
+// against the per-block scalar loop.
+void check_codec(const Compressor& comp, const std::vector<Block>& blocks,
+                 const std::string& label) {
+  const std::vector<BlockView> views = to_views(blocks);
+
+  // The scalar oracle: exactly the loop Compressor's defaults run.
+  std::vector<BlockAnalysis> scalar_a(blocks.size());
+  std::vector<CompressedBlock> scalar_c(blocks.size());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    scalar_a[i] = comp.analyze(views[i]);
+    scalar_c[i] = comp.compress(views[i]);
+  }
+
+  // View-based kernels at several split sizes (1 = degenerate batches,
+  // 5 = shard boundaries that do not divide the stream, all = one batch).
+  for (const size_t split : {size_t{1}, size_t{5}, blocks.size()}) {
+    std::vector<BlockAnalysis> batch_a(blocks.size());
+    std::vector<CompressedBlock> batch_c(blocks.size());
+    for (size_t begin = 0; begin < blocks.size(); begin += split) {
+      const size_t len = std::min(split, blocks.size() - begin);
+      const std::span<const BlockView> part(views.data() + begin, len);
+      comp.analyze_batch(part, batch_a.data() + begin);
+      comp.compress_batch(part, batch_c.data() + begin);
+    }
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      const std::string what =
+          comp.name() + "/" + label + " block " + std::to_string(i) + " split " +
+          std::to_string(split);
+      expect_analysis_eq(scalar_a[i], batch_a[i], what);
+      expect_payload_eq(scalar_c[i], batch_c[i], what);
+    }
+  }
+
+  // The owned-block convenience overloads forward to the same kernels.
+  const std::vector<BlockAnalysis> conv_a = comp.analyze_batch(blocks);
+  const std::vector<CompressedBlock> conv_c = comp.compress_batch(blocks);
+  ASSERT_EQ(conv_a.size(), blocks.size());
+  ASSERT_EQ(conv_c.size(), blocks.size());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    const std::string what = comp.name() + "/" + label + " block " + std::to_string(i) + " conv";
+    expect_analysis_eq(scalar_a[i], conv_a[i], what);
+    expect_payload_eq(scalar_c[i], conv_c[i], what);
+  }
+}
+
+TEST(BatchKernels, ByteIdenticalToScalarLoopForEveryRegistryCodec) {
+  const std::vector<uint8_t> training = test::quantized_walk(7, 64);
+  CodecOptions opts = test::test_options(training);
+  // Train the shared E2MC model once; the E2MC and TSLC-* factories reuse it.
+  opts.trained_e2mc = E2mcCompressor::train(training, opts.e2mc);
+
+  const std::map<std::string, std::vector<Block>> datasets = {
+      {"random", random_blocks(48)},
+      {"all-zero", zero_blocks(16)},
+      {"denormal", denormal_blocks(48)},
+      {"value-similar", to_blocks(test::quantized_walk(21, 48))},
+      {"repeat-delta", repeat_delta_blocks(48)},
+  };
+
+  size_t tested = 0;
+  for (const CodecInfo* info : CodecRegistry::instance().entries()) {
+    if (!info->make) continue;  // RAW has no Compressor form
+    const auto comp = CodecRegistry::instance().create(info->name, opts);
+    for (const auto& [label, blocks] : datasets) check_codec(*comp, blocks, label);
+    ++tested;
+  }
+  // The registry must have yielded the four schemes with real batch kernels
+  // (plus Huffman and the TSLC variants on the default loop).
+  EXPECT_GE(tested, 7u);
+}
+
+// Lossless schemes must still roundtrip from the batch-produced payloads.
+TEST(BatchKernels, BatchPayloadsRoundtripLossless) {
+  const std::vector<uint8_t> training = test::quantized_walk(7, 64);
+  CodecOptions opts = test::test_options(training);
+  opts.trained_e2mc = E2mcCompressor::train(training, opts.e2mc);
+
+  const std::vector<Block> blocks = random_blocks(32);
+  for (const std::string& name : CodecRegistry::instance().lossless_names()) {
+    const CodecInfo& info = CodecRegistry::instance().at(name);
+    if (!info.make) continue;
+    const auto comp = CodecRegistry::instance().create(name, opts);
+    const std::vector<CompressedBlock> payloads = comp->compress_batch(blocks);
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      EXPECT_EQ(comp->decompress(payloads[i], kBlockBytes), blocks[i])
+          << name << " block " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slc

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files and fail on throughput regressions.
+
+The JSON files are written by the bench drivers' --json mode
+(bench/codec_throughput, bench/engine_throughput); every measurement row
+carries (scheme, kernel, path) plus blocks_per_sec / gbps / p50_ms / p99_ms /
+speedup. This tool joins the two files on (scheme, kernel, path) and exits
+non-zero when the chosen metric regressed by more than the threshold on any
+row — the machine-readable perf gate CI runs against a committed baseline.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--metric M] [--threshold T]
+
+    --metric     blocks_per_sec (default) | gbps | speedup | p50_ms | p99_ms
+    --threshold  allowed relative regression, default 0.15 (= 15%)
+
+Metric semantics: for rate-like metrics (blocks_per_sec, gbps, speedup)
+lower-than-baseline is a regression; for latency metrics (p50_ms, p99_ms)
+higher-than-baseline is a regression. Rows whose baseline value is 0 are
+skipped (e.g. `speedup` on scalar-path rows, where it is not applicable).
+Rows present in the baseline but missing from the current file fail the
+comparison; extra rows in the current file are reported but allowed.
+
+Notes for CI: absolute rates are machine-dependent, so gating a committed
+baseline from a different machine on blocks_per_sec is noise — gate on
+--metric speedup (batch kernel vs scalar loop on the *same* machine/run),
+which transfers across hosts. Refresh the committed baseline from a CI
+artifact, not a laptop, when kernels legitimately change.
+"""
+
+import argparse
+import json
+import sys
+
+LATENCY_METRICS = {"p50_ms", "p99_ms"}
+METRICS = ("blocks_per_sec", "gbps", "speedup", "p50_ms", "p99_ms")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    rows = doc.get("measurements")
+    if not isinstance(rows, list):
+        sys.exit(f"error: {path} has no 'measurements' array")
+    out = {}
+    for row in rows:
+        key = (row.get("scheme", "?"), row.get("kernel", "?"), row.get("path", "?"))
+        if key in out:
+            sys.exit(f"error: {path} has duplicate measurement {key}")
+        out[key] = row
+    return doc.get("bench", "?"), out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--metric", choices=METRICS, default="blocks_per_sec")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed relative regression (default 0.15 = 15%%)")
+    args = ap.parse_args()
+
+    base_name, base = load(args.baseline)
+    cur_name, cur = load(args.current)
+    if base_name != cur_name:
+        print(f"warning: comparing different benches: {base_name!r} vs {cur_name!r}")
+
+    regressions, missing, skipped = [], [], 0
+    width = max((len("/".join(k)) for k in base), default=10)
+    print(f"bench: {cur_name}   metric: {args.metric}   "
+          f"threshold: {args.threshold:.0%}")
+    print(f"{'measurement':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}")
+    for key in sorted(base):
+        name = "/".join(key)
+        if key not in cur:
+            missing.append(name)
+            print(f"{name:<{width}}  {'-':>12}  {'MISSING':>12}  {'-':>8}")
+            continue
+        b = float(base[key].get(args.metric, 0.0))
+        c = float(cur[key].get(args.metric, 0.0))
+        if b == 0.0:
+            skipped += 1
+            continue
+        if args.metric in LATENCY_METRICS:
+            delta = (c - b) / b          # higher latency = worse
+        else:
+            delta = (b - c) / b          # lower rate = worse
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((name, b, c, delta))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {b:>12.3f}  {c:>12.3f}  {delta:>7.1%}{flag}")
+
+    extra = sorted("/".join(k) for k in cur if k not in base)
+    if extra:
+        print(f"note: {len(extra)} measurement(s) only in current: {', '.join(extra)}")
+    if skipped:
+        print(f"note: {skipped} row(s) skipped (baseline {args.metric} is 0 / not applicable)")
+
+    if missing:
+        print(f"\nFAIL: {len(missing)} baseline measurement(s) missing from current: "
+              f"{', '.join(missing)}")
+        return 1
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} regression(s) beyond {args.threshold:.0%} "
+              f"on {args.metric}:")
+        for name, b, c, delta in regressions:
+            print(f"  {name}: {b:.3f} -> {c:.3f} ({delta:+.1%})")
+        return 1
+    print(f"\nOK: no {args.metric} regression beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
