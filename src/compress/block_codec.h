@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "compress/compressor.h"
 
@@ -39,6 +40,20 @@ class BlockCodec {
   virtual BlockCodecResult process(BlockView block, bool safe_to_approx,
                                    size_t threshold_bytes) const = 0;
 
+  /// Batched form of process(): fills out[0..blocks.size()) with exactly the
+  /// results the per-block scalar loop would produce (out[i] belongs to
+  /// blocks[i]). `safe_to_approx`/`threshold_bytes` apply to the whole span —
+  /// the region-commit shape, where every block shares the region's
+  /// annotation. The base implementation *is* the scalar loop (the tested
+  /// oracle, like Compressor's batch entry points); policies override it with
+  /// kernels that hoist per-block setup out of the loop. Overrides must be
+  /// byte-identical to the scalar loop for any input and any sub-range split
+  /// (pinned by tests/test_batch_kernels.cpp) and must keep scratch in the
+  /// call frame: a BlockCodec stays immutable after construction, so
+  /// concurrent CodecEngine shards may run the kernel on disjoint ranges.
+  virtual void process_batch(std::span<const BlockView> blocks, bool safe_to_approx,
+                             size_t threshold_bytes, BlockCodecResult* out) const;
+
   virtual size_t mag_bytes() const = 0;
   virtual std::string name() const = 0;
 
@@ -53,6 +68,8 @@ class RawBlockCodec final : public BlockCodec {
  public:
   explicit RawBlockCodec(size_t mag_bytes = kDefaultMagBytes) : mag_(mag_bytes) {}
   BlockCodecResult process(BlockView block, bool, size_t) const override;
+  void process_batch(std::span<const BlockView> blocks, bool safe_to_approx,
+                     size_t threshold_bytes, BlockCodecResult* out) const override;
   size_t mag_bytes() const override { return mag_; }
   std::string name() const override { return "RAW"; }
 
@@ -67,12 +84,37 @@ class LosslessBlockCodec final : public BlockCodec {
                      size_t mag_bytes = kDefaultMagBytes)
       : comp_(std::move(comp)), mag_(mag_bytes) {}
   BlockCodecResult process(BlockView block, bool, size_t) const override;
+  /// Delegates the size pass to the compressor's analyze_batch kernel, so a
+  /// scheme with a vectorized override (BDI/FPC/C-PACK/E2MC) serves region
+  /// commits at batch speed.
+  void process_batch(std::span<const BlockView> blocks, bool safe_to_approx,
+                     size_t threshold_bytes, BlockCodecResult* out) const override;
   size_t mag_bytes() const override { return mag_; }
   std::string name() const override { return comp_->name(); }
 
  private:
   std::shared_ptr<const Compressor> comp_;
   size_t mag_;
+};
+
+/// Wraps any policy and forces the per-block scalar loop: process() forwards
+/// to the inner policy while process_batch stays the inherited base-class
+/// default. This is the oracle the batch-vs-scalar equivalence tests compare
+/// against and the "scalar" row of bench/engine_throughput's region-commit
+/// measurement — one definition so the two cannot drift.
+class ScalarOnlyBlockCodec final : public BlockCodec {
+ public:
+  explicit ScalarOnlyBlockCodec(std::shared_ptr<const BlockCodec> inner)
+      : inner_(std::move(inner)) {}
+  BlockCodecResult process(BlockView block, bool safe_to_approx,
+                           size_t threshold_bytes) const override {
+    return inner_->process(block, safe_to_approx, threshold_bytes);
+  }
+  size_t mag_bytes() const override { return inner_->mag_bytes(); }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  std::shared_ptr<const BlockCodec> inner_;
 };
 
 }  // namespace slc

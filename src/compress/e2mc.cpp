@@ -35,6 +35,26 @@ std::vector<uint16_t> E2mcCompressor::code_lengths(BlockView block) const {
   return lens;
 }
 
+void E2mcCompressor::code_lengths_batch(std::span<const BlockView> blocks,
+                                        std::vector<uint16_t>& lens,
+                                        std::vector<size_t>& offsets) const {
+  size_t total = 0;
+  offsets.resize(blocks.size() + 1);
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    offsets[b] = total;
+    total += blocks[b].num_symbols();
+  }
+  offsets[blocks.size()] = total;
+  lens.resize(total);
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const uint8_t* p = blocks[b].bytes().data();
+    uint16_t* dst = lens.data() + offsets[b];
+    const size_t n = blocks[b].num_symbols();
+    for (size_t i = 0; i < n; ++i)
+      dst[i] = static_cast<uint16_t>(code_.encoded_bits(detail::load_le16(p + 2 * i)));
+  }
+}
+
 WayLayout E2mcCompressor::layout(std::span<const uint16_t> code_lens, size_t header_bits,
                                  size_t skip_start, size_t skip_count) const {
   WayLayout lo;

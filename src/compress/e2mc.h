@@ -61,6 +61,15 @@ class E2mcCompressor : public Compressor {
   /// reads from the compressor's code-length table.
   std::vector<uint16_t> code_lengths(BlockView block) const;
 
+  /// Batched length probe: stages every block's per-symbol encoded lengths
+  /// into one contiguous scratch buffer with single le16 loads (block i's
+  /// lengths live at lens[offsets[i] .. offsets[i+1])). This is the sizing
+  /// pass the SLC batched mode decision runs once for a whole span; the
+  /// values are exactly code_lengths() per block. Both vectors are resized
+  /// (reuse them across calls to amortize the allocation).
+  void code_lengths_batch(std::span<const BlockView> blocks, std::vector<uint16_t>& lens,
+                          std::vector<size_t>& offsets) const;
+
   /// Layout (way bit/byte sizes, header, total) for a block, optionally with
   /// symbols [skip_start, skip_start+skip_count) removed from their way —
   /// used by the SLC codec to size a truncated block.

@@ -1,8 +1,23 @@
 #include "core/slc_block_codec.h"
 
-#include <algorithm>
+#include <vector>
 
 namespace slc {
+
+namespace {
+
+/// Copies the mode-decision bookkeeping into the policy result (everything
+/// except `decoded`, which depends on whether the block went lossy).
+void fill_result(BlockCodecResult& r, const SlcEncodeInfo& info) {
+  r.bursts = info.bursts;
+  r.lossless_bits = info.lossless_bits;
+  r.final_bits = info.final_bits;
+  r.lossy = info.lossy;
+  r.stored_uncompressed = info.stored_uncompressed;
+  r.truncated_symbols = info.truncated_symbols;
+}
+
+}  // namespace
 
 SlcBlockCodec::SlcBlockCodec(std::shared_ptr<const E2mcCompressor> lossless, SlcConfig cfg)
     : lossless_(lossless),
@@ -14,39 +29,29 @@ SlcBlockCodec::SlcBlockCodec(std::shared_ptr<const E2mcCompressor> lossless, Slc
         return c;
       }()) {}
 
-BlockCodecResult SlcBlockCodec::process(BlockView block, bool safe_to_approx,
-                                        size_t threshold_bytes) const {
-  BlockCodecResult r;
-  const bool may_approx = safe_to_approx && threshold_bytes > 0;
-  const SlcCodec& codec =
-      may_approx && std::min(threshold_bytes, cfg_.threshold_bytes) == cfg_.threshold_bytes
-          ? codec_
-          : codec_lossless_only_;
-  // Regions with a tighter threshold than the global config get a dedicated
-  // pass below; the common case (region threshold >= config) uses codec_.
-  if (may_approx && threshold_bytes < cfg_.threshold_bytes) {
+const SlcCodec& SlcBlockCodec::codec_for(bool safe_to_approx, size_t threshold_bytes) const {
+  if (!safe_to_approx || threshold_bytes == 0) return codec_lossless_only_;
+  // The effective budget is min(region threshold, config threshold); at or
+  // above the config the configured codec already applies.
+  if (threshold_bytes >= cfg_.threshold_bytes) return codec_;
+  std::lock_guard<std::mutex> lk(tight_mutex_);
+  std::unique_ptr<const SlcCodec>& slot = tight_codecs_[threshold_bytes];
+  if (!slot) {
     SlcConfig c = cfg_;
     c.threshold_bytes = threshold_bytes;
-    const SlcCodec tight(lossless_, c);
-    const SlcCompressedBlock cb = tight.compress(block);
-    r.decoded = tight.decompress(cb, block.size());
-    r.bursts = cb.info.bursts;
-    r.lossless_bits = cb.info.lossless_bits;
-    r.final_bits = cb.info.final_bits;
-    r.lossy = cb.info.lossy;
-    r.stored_uncompressed = cb.info.stored_uncompressed;
-    r.truncated_symbols = cb.info.truncated_symbols;
-    return r;
+    slot = std::make_unique<const SlcCodec>(lossless_, c);
   }
-  // Fast path: run the Fig. 4 decision size-only; only lossy blocks need the
-  // full encode + approximate decode to produce mutated contents.
+  return *slot;
+}
+
+BlockCodecResult SlcBlockCodec::process(BlockView block, bool safe_to_approx,
+                                        size_t threshold_bytes) const {
+  const SlcCodec& codec = codec_for(safe_to_approx, threshold_bytes);
+  // Run the Fig. 4 decision size-only; only lossy blocks need the full
+  // encode + approximate decode to produce mutated contents.
+  BlockCodecResult r;
   const SlcEncodeInfo info = codec.analyze(block);
-  r.bursts = info.bursts;
-  r.lossless_bits = info.lossless_bits;
-  r.final_bits = info.final_bits;
-  r.lossy = info.lossy;
-  r.stored_uncompressed = info.stored_uncompressed;
-  r.truncated_symbols = info.truncated_symbols;
+  fill_result(r, info);
   if (info.lossy) {
     const SlcCompressedBlock cb = codec.compress(block);
     r.decoded = codec.decompress(cb, block.size());
@@ -54,6 +59,23 @@ BlockCodecResult SlcBlockCodec::process(BlockView block, bool safe_to_approx,
     r.decoded = Block(block.bytes());
   }
   return r;
+}
+
+void SlcBlockCodec::process_batch(std::span<const BlockView> blocks, bool safe_to_approx,
+                                  size_t threshold_bytes, BlockCodecResult* out) const {
+  const SlcCodec& codec = codec_for(safe_to_approx, threshold_bytes);
+  SlcCodec::LengthScratch scratch;
+  std::vector<SlcCodec::Decision> decisions(blocks.size());
+  codec.decide_batch(blocks, scratch, decisions.data());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    const SlcCodec::Decision& d = decisions[i];
+    BlockCodecResult& r = out[i];
+    r = BlockCodecResult{};
+    fill_result(r, d.info);
+    // Only lossy blocks mutate, and their decoded contents come straight
+    // from the decision (window re-fill) — no payload is built either way.
+    r.decoded = codec.approx_decode(blocks[i], d);
+  }
 }
 
 }  // namespace slc

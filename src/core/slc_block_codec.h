@@ -5,7 +5,9 @@
 // Constructed by name through CodecRegistry::create_block_codec("TSLC-*").
 #pragma once
 
+#include <map>
 #include <memory>
+#include <mutex>
 
 #include "compress/block_codec.h"
 #include "core/slc_codec.h"
@@ -17,15 +19,34 @@ class SlcBlockCodec final : public BlockCodec {
   SlcBlockCodec(std::shared_ptr<const E2mcCompressor> lossless, SlcConfig cfg);
   BlockCodecResult process(BlockView block, bool safe_to_approx,
                            size_t threshold_bytes) const override;
+  /// Batched commit kernel: one SlcCodec::decide_batch pass for the whole
+  /// span (staged E2MC length probe + per-block Fig. 4 decision), then
+  /// payload materialization only for the blocks decided lossy.
+  void process_batch(std::span<const BlockView> blocks, bool safe_to_approx,
+                     size_t threshold_bytes, BlockCodecResult* out) const override;
   size_t mag_bytes() const override { return cfg_.mag_bytes; }
   std::string name() const override { return to_string(cfg_.variant); }
   const SlcConfig& config() const { return cfg_; }
 
  private:
+  /// The codec a (safe, region threshold) pair runs through: the lossless
+  /// one for unsafe/zero-threshold regions, the configured codec when the
+  /// region budget is at least the config's, and a cached per-threshold
+  /// codec for regions with a tighter budget — built once per distinct
+  /// threshold instead of per block (repeated commits of the same region
+  /// used to re-derive the TreeSlcSelector on every block).
+  const SlcCodec& codec_for(bool safe_to_approx, size_t threshold_bytes) const;
+
   std::shared_ptr<const E2mcCompressor> lossless_;
   SlcConfig cfg_;
   SlcCodec codec_;
   SlcCodec codec_lossless_only_;  ///< threshold 0, for unsafe regions
+
+  /// Lazily-built codecs for region thresholds tighter than the config.
+  /// Entries are never erased, so returned references stay valid; the map
+  /// only guards concurrent insertion from CodecEngine workers.
+  mutable std::mutex tight_mutex_;
+  mutable std::map<size_t, std::unique_ptr<const SlcCodec>> tight_codecs_;
 };
 
 }  // namespace slc

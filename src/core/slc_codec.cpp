@@ -157,10 +157,29 @@ SlcEncodeInfo SlcCodec::analyze(BlockView block) const {
   return decide(lens, block.size()).info;
 }
 
+void SlcCodec::decide_batch(std::span<const BlockView> blocks, LengthScratch& scratch,
+                            Decision* out) const {
+  // One staged probe for the whole span (the E2MC batched sizing pass), then
+  // the budget/threshold/tree decision per block over the staged lengths.
+  lossless_->code_lengths_batch(blocks, scratch.lens, scratch.offsets);
+  for (size_t i = 0; i < blocks.size(); ++i)
+    out[i] = decide(scratch.block_lens(i), blocks[i].size());
+}
+
+void SlcCodec::analyze_batch(std::span<const BlockView> blocks, SlcEncodeInfo* out) const {
+  LengthScratch scratch;
+  std::vector<Decision> decisions(blocks.size());
+  decide_batch(blocks, scratch, decisions.data());
+  for (size_t i = 0; i < blocks.size(); ++i) out[i] = decisions[i].info;
+}
+
 SlcCompressedBlock SlcCodec::compress(BlockView block) const {
   const auto lens = lossless_->code_lengths(block);
-  const Decision d = decide(lens, block.size());
+  return compress_decided(block, decide(lens, block.size()), lens);
+}
 
+SlcCompressedBlock SlcCodec::compress_decided(BlockView block, const Decision& d,
+                                              std::span<const uint16_t> lens) const {
   SlcCompressedBlock out;
   out.info = d.info;
   if (d.info.stored_uncompressed) {
@@ -199,14 +218,12 @@ Block SlcCodec::decompress(const SlcCompressedBlock& cb, size_t block_bytes) con
   way_off[0] = SlcHeader::padded_bytes(block_bytes, num_ways, n_sym);
   for (unsigned i = 1; i < num_ways; ++i) way_off[i] = h.way_offsets[i];
 
-  std::vector<bool> approximated(n_sym, false);
   for (unsigned way = 0; way < num_ways; ++way) {
     BitReader r(cb.data.payload);
     r.seek(way_off[way] * 8);
     for (size_t s = way * per_way; s < (way + 1) * per_way; ++s) {
       if (s >= skip_start && s < skip_start + skip_count) {
-        approximated[s] = true;  // not in the stream; filled below
-        continue;
+        continue;  // not in the stream; fill_approximated() writes it below
       }
       const auto step = code.decode(static_cast<uint16_t>(r.peek(16)));
       assert(step.bits > 0 && "invalid codeword");
@@ -217,42 +234,49 @@ Block SlcCodec::decompress(const SlcCompressedBlock& cb, size_t block_bytes) con
     }
   }
 
-  if (h.lossy && skip_count > 0) {
-    if (cfg_.variant == SlcVariant::kSimp) {
-      for (size_t s = 0; s < n_sym; ++s)
-        if (approximated[s]) out.set_symbol(s, 0);
-    } else {
-      // Value-similarity prediction (Sec. III-E): the nearest non-truncated
-      // symbol predicts the truncated ones. Adjacent threads hold similar
-      // 32-bit values, so a 16-bit symbol is only predictive for symbols at
-      // the same position within a word — the fill is parity-matched (one
-      // predictor register per halfword lane; the decompressor only
-      // generates the predictor indices, keeping the hardware delta tiny).
-      uint16_t fill[2] = {0, 0};
-      for (size_t parity = 0; parity < 2; ++parity) {
-        size_t idx = n_sym;  // sentinel: none found
-        // Last intact symbol before the window...
-        for (size_t s = skip_start; s-- > 0;) {
-          if (s % 2 == parity) {
-            idx = s;
-            break;
-          }
-        }
-        // ...or the first intact one after it.
-        if (idx == n_sym) {
-          for (size_t s = skip_start + skip_count; s < n_sym; ++s) {
-            if (s % 2 == parity) {
-              idx = s;
-              break;
-            }
-          }
-        }
-        if (idx < n_sym) fill[parity] = out.symbol(idx);
-      }
-      for (size_t s = 0; s < n_sym; ++s)
-        if (approximated[s]) out.set_symbol(s, fill[s % 2]);
-    }
+  if (h.lossy && skip_count > 0) fill_approximated(out, skip_start, skip_count);
+  return out;
+}
+
+void SlcCodec::fill_approximated(Block& out, size_t skip_start, size_t skip_count) const {
+  const size_t n_sym = out.size() * 8 / kSymbolBits;
+  if (cfg_.variant == SlcVariant::kSimp) {
+    for (size_t s = skip_start; s < skip_start + skip_count; ++s) out.set_symbol(s, 0);
+    return;
   }
+  // Value-similarity prediction (Sec. III-E): the nearest non-truncated
+  // symbol predicts the truncated ones. Adjacent threads hold similar
+  // 32-bit values, so a 16-bit symbol is only predictive for symbols at
+  // the same position within a word — the fill is parity-matched (one
+  // predictor register per halfword lane; the decompressor only
+  // generates the predictor indices, keeping the hardware delta tiny).
+  uint16_t fill[2] = {0, 0};
+  for (size_t parity = 0; parity < 2; ++parity) {
+    size_t idx = n_sym;  // sentinel: none found
+    // Last intact symbol before the window...
+    for (size_t s = skip_start; s-- > 0;) {
+      if (s % 2 == parity) {
+        idx = s;
+        break;
+      }
+    }
+    // ...or the first intact one after it.
+    if (idx == n_sym) {
+      for (size_t s = skip_start + skip_count; s < n_sym; ++s) {
+        if (s % 2 == parity) {
+          idx = s;
+          break;
+        }
+      }
+    }
+    if (idx < n_sym) fill[parity] = out.symbol(idx);
+  }
+  for (size_t s = skip_start; s < skip_start + skip_count; ++s) out.set_symbol(s, fill[s % 2]);
+}
+
+Block SlcCodec::approx_decode(BlockView block, const Decision& d) const {
+  Block out(block.bytes());
+  if (d.info.lossy && d.skip_count > 0) fill_approximated(out, d.skip_start, d.skip_count);
   return out;
 }
 

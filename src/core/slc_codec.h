@@ -65,6 +65,59 @@ class SlcCodec {
   /// blocks need their payload materialized.
   SlcEncodeInfo analyze(BlockView block) const;
 
+  // --- batched mode decision -------------------------------------------------
+  // The decision layer's batch kernel, feeding BlockCodec::process_batch and
+  // SlcCompressor::analyze_batch: one staged E2MC length probe for the whole
+  // span, then the Fig. 4 decide() pass per block over the staged lengths.
+  // Results are byte-identical to analyze()/compress() per block; all scratch
+  // lives in the caller's frame, so concurrent engine shards need no locks.
+
+  /// Outcome of the Fig. 4 mode decision for one block: the bookkeeping plus
+  /// the selected truncation window (meaningful only when info.lossy).
+  struct Decision {
+    SlcEncodeInfo info;
+    size_t skip_start = 0;
+    size_t skip_count = 0;
+  };
+
+  /// Staged per-symbol code lengths for a span of blocks (block i's lengths
+  /// at lens[offsets[i] .. offsets[i+1])). Reuse across calls to amortize
+  /// the allocation; the commit path feeds it back into compress_decided().
+  struct LengthScratch {
+    std::vector<uint16_t> lens;
+    std::vector<size_t> offsets;
+
+    std::span<const uint16_t> block_lens(size_t i) const {
+      return std::span<const uint16_t>(lens).subspan(offsets[i], offsets[i + 1] - offsets[i]);
+    }
+  };
+
+  /// Batched decision: fills out[0..blocks.size()) with exactly the Decision
+  /// compress()/analyze() derive per block, probing code lengths once for
+  /// the whole span into `scratch`.
+  void decide_batch(std::span<const BlockView> blocks, LengthScratch& scratch,
+                    Decision* out) const;
+
+  /// Batched analyze(): out[i] == analyze(blocks[i]).
+  void analyze_batch(std::span<const BlockView> blocks, SlcEncodeInfo* out) const;
+
+  /// compress() with the mode decision and staged lengths already computed —
+  /// payload materialization without re-running the probe or the tree
+  /// selection. `d` and `lens` must come from decide_batch()/code_lengths()
+  /// of `block`.
+  SlcCompressedBlock compress_decided(BlockView block, const Decision& d,
+                                      std::span<const uint16_t> lens) const;
+
+  /// The block as reads will observe it after a store+load round trip of
+  /// decision `d`, without materializing the payload: every non-truncated
+  /// symbol round-trips exactly through the entropy code, so the result is
+  /// the original block with the selected window re-filled per the variant
+  /// (zeros for TSLC-SIMP, parity-matched prediction otherwise — the same
+  /// fill routine decompress() runs). Byte-identical to
+  /// decompress(compress_decided(block, d, lens)); the batched commit path's
+  /// way to mutate lossy blocks at decision cost.
+  Block approx_decode(BlockView block, const Decision& d) const;
+
   /// Decompresses (exact for lossless blocks; approximated symbols filled
   /// per the configured variant for lossy blocks).
   Block decompress(const SlcCompressedBlock& cb, size_t block_bytes = kBlockBytes) const;
@@ -93,13 +146,15 @@ class SlcCodec {
   SlcConfig cfg_;
   TreeSlcSelector selector_;
 
-  /// Outcome of the Fig. 4 mode decision, shared by compress()/analyze().
-  struct Decision {
-    SlcEncodeInfo info;
-    size_t skip_start = 0;
-    size_t skip_count = 0;
-  };
+  /// The Fig. 4 mode decision, shared by compress()/analyze()/decide_batch().
   Decision decide(std::span<const uint16_t> lens, size_t block_bytes) const;
+
+  /// Re-fills the truncated window of `out` per the configured variant. All
+  /// symbols outside [skip_start, skip_start + skip_count) must already hold
+  /// their exact values — the one fill routine decompress() and
+  /// approx_decode() share, so the payload and payload-free decodes cannot
+  /// drift apart.
+  void fill_approximated(Block& out, size_t skip_start, size_t skip_count) const;
 
   /// Encodes the block with symbols [start, start+count) removed.
   CompressedBlock encode(BlockView block, const SlcHeader& hdr,

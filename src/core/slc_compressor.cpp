@@ -5,8 +5,9 @@
 
 namespace slc {
 
-BlockAnalysis SlcCompressor::analyze(BlockView block) const {
-  const SlcEncodeInfo info = codec_.analyze(block);
+namespace {
+
+BlockAnalysis to_analysis(const SlcEncodeInfo& info) {
   BlockAnalysis a;
   a.bit_size = info.final_bits;
   a.is_compressed = !info.stored_uncompressed;
@@ -14,6 +15,18 @@ BlockAnalysis SlcCompressor::analyze(BlockView block) const {
   a.lossless_bits = info.lossless_bits;
   a.truncated_symbols = info.truncated_symbols;
   return a;
+}
+
+}  // namespace
+
+BlockAnalysis SlcCompressor::analyze(BlockView block) const {
+  return to_analysis(codec_.analyze(block));
+}
+
+void SlcCompressor::analyze_batch(std::span<const BlockView> blocks, BlockAnalysis* out) const {
+  std::vector<SlcEncodeInfo> infos(blocks.size());
+  codec_.analyze_batch(blocks, infos.data());
+  for (size_t i = 0; i < blocks.size(); ++i) out[i] = to_analysis(infos[i]);
 }
 
 namespace {

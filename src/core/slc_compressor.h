@@ -34,6 +34,13 @@ class SlcCompressor : public Compressor {
   }
   BlockAnalysis analyze(BlockView block) const override;
 
+  /// Batched mode decision: SlcCodec::analyze_batch stages the E2MC length
+  /// probe once for the whole span, so CodecEngine shards and CodecServer
+  /// coalesced batches run the Fig. 4 decision at batch speed. Byte-identical
+  /// to the scalar loop (pinned by tests/test_batch_kernels.cpp).
+  using Compressor::analyze_batch;
+  void analyze_batch(std::span<const BlockView> blocks, BlockAnalysis* out) const override;
+
   /// The wrapped codec, for consumers that need the SLC-specific API
   /// (encode info, tree selector, header geometry).
   const SlcCodec& codec() const { return codec_; }

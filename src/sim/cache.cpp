@@ -42,7 +42,7 @@ bool Cache::lookup(uint64_t addr) {
   return true;
 }
 
-std::optional<Cache::Eviction> Cache::fill(uint64_t addr, bool dirty, uint8_t bursts) {
+std::optional<Cache::Eviction> Cache::fill(uint64_t addr, bool dirty, uint32_t bursts) {
   if (LineInfo* hit = find(addr)) {
     // Refill of a resident line (e.g. racing fills): just refresh state.
     hit->dirty = hit->dirty || dirty;
@@ -63,7 +63,7 @@ std::optional<Cache::Eviction> Cache::fill(uint64_t addr, bool dirty, uint8_t bu
   return evicted;
 }
 
-bool Cache::write_hit(uint64_t addr, uint8_t bursts) {
+bool Cache::write_hit(uint64_t addr, uint32_t bursts) {
   LineInfo* li = find(addr);
   if (li == nullptr) return false;
   li->dirty = true;

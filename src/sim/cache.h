@@ -22,7 +22,7 @@ class Cache {
     uint64_t tag = 0;
     bool valid = false;
     bool dirty = false;
-    uint8_t bursts = 0;  ///< compressed burst count carried for writebacks
+    uint32_t bursts = 0;  ///< compressed burst count carried for writebacks
     uint64_t lru = 0;
   };
 
@@ -32,16 +32,16 @@ class Cache {
   /// Evicted dirty line (address + bursts), if any.
   struct Eviction {
     uint64_t addr = 0;
-    uint8_t bursts = 0;
+    uint32_t bursts = 0;
   };
 
   /// Fills a line (read response or store allocate). Returns the dirty line
   /// it displaced, if any.
-  std::optional<Eviction> fill(uint64_t addr, bool dirty, uint8_t bursts);
+  std::optional<Eviction> fill(uint64_t addr, bool dirty, uint32_t bursts);
 
   /// Store hit path: marks the line dirty and refreshes its burst count.
   /// Returns false on miss (caller then decides to allocate or bypass).
-  bool write_hit(uint64_t addr, uint8_t bursts);
+  bool write_hit(uint64_t addr, uint32_t bursts);
 
   /// Invalidates everything (kernel boundary flushes for L1).
   void clear();

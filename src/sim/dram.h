@@ -19,7 +19,7 @@ namespace slc {
 /// `bursts` consecutive MAG bursts, plus metadata fills of one burst).
 struct DramRequest {
   uint64_t addr = 0;
-  uint8_t bursts = 1;
+  uint32_t bursts = 1;
   bool write = false;
   bool metadata = false;
   uint64_t enqueue_cycle = 0;

@@ -125,7 +125,7 @@ void GpuSim::mc_process(size_t mc_id) {
     }
     DramRequest req;
     req.addr = channel_local(a.addr);
-    req.bursts = std::max<uint8_t>(a.bursts, 1);
+    req.bursts = std::max<uint32_t>(a.bursts, 1);
     req.enqueue_cycle = cycle_ + extra_delay;
     req.tag = alloc_tag(f);
     mc.dram.push_read(req);
@@ -137,7 +137,7 @@ void GpuSim::mc_process(size_t mc_id) {
     mc.staged.pop();
     DramRequest req;
     req.addr = channel_local(f.access.addr);
-    req.bursts = std::max<uint8_t>(f.access.bursts, 1);
+    req.bursts = std::max<uint32_t>(f.access.bursts, 1);
     req.write = true;
     req.enqueue_cycle = cycle_;
     req.tag = UINT64_MAX;

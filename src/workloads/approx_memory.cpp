@@ -7,17 +7,28 @@ namespace slc {
 
 namespace {
 
-/// The per-block commit kernel, shared by the inline and the engine paths.
-/// Works on raw buffer pointers (stable across regions_ reallocation, so an
-/// in-flight job survives a concurrent alloc()); every write (burst slot,
-/// lossy mutation) is block-disjoint and each block's outcome depends only
-/// on its own pre-commit contents, so sharding cannot change results.
-void process_blocks(const BlockCodec& codec, uint8_t* data, uint8_t* bursts, bool safe,
+/// The commit kernel, shared by the inline and the engine paths. Works on
+/// raw buffer pointers (stable across regions_ reallocation, so an in-flight
+/// job survives a concurrent alloc()); every write (burst slot, lossy
+/// mutation) is block-disjoint and each block's outcome depends only on its
+/// own pre-commit contents, so sharding cannot change results. The whole
+/// [begin, end) range goes through the policy's process_batch kernel —
+/// policies with a batched override (SLC's staged mode decision, the
+/// lossless schemes' vectorized size probes) get the shard at once, and the
+/// default is the per-block scalar loop, byte-identical either way.
+void process_blocks(const BlockCodec& codec, uint8_t* data, uint32_t* bursts, bool safe,
                     size_t threshold_bytes, size_t begin, size_t end, CommitStats& ws) {
-  for (size_t b = begin; b < end; ++b) {
-    const BlockView view(std::span<const uint8_t>(data + b * kBlockBytes, kBlockBytes));
-    const BlockCodecResult res = codec.process(view, safe, threshold_bytes);
-    bursts[b] = static_cast<uint8_t>(res.bursts);
+  const size_t n = end - begin;
+  std::vector<BlockView> views;
+  views.reserve(n);
+  for (size_t b = begin; b < end; ++b)
+    views.push_back(BlockView(std::span<const uint8_t>(data + b * kBlockBytes, kBlockBytes)));
+  std::vector<BlockCodecResult> results(n);
+  codec.process_batch(views, safe, threshold_bytes, results.data());
+  for (size_t i = 0; i < n; ++i) {
+    const BlockCodecResult& res = results[i];
+    const size_t b = begin + i;
+    bursts[b] = static_cast<uint32_t>(res.bursts);
     ++ws.blocks;
     ws.lossy_blocks += res.lossy ? 1 : 0;
     ws.uncompressed_blocks += res.stored_uncompressed ? 1 : 0;
@@ -56,7 +67,7 @@ RegionId ApproxMemory::alloc(std::string name, size_t bytes, bool safe_to_approx
   reg.safe = safe_to_approx;
   reg.threshold_bytes = threshold_bytes;
   reg.base_addr = next_addr_;
-  reg.bursts.assign(padded / kBlockBytes, 0);
+  reg.bursts.assign(padded / kBlockBytes, kUncommittedBursts);
   next_addr_ += padded;
   regions_.push_back(std::move(reg));
   return static_cast<RegionId>(regions_.size() - 1);
@@ -67,11 +78,11 @@ size_t ApproxMemory::safe_region_count() const {
       std::count_if(regions_.begin(), regions_.end(), [](const Region& r) { return r.safe; }));
 }
 
-uint8_t ApproxMemory::current_bursts(const Region& reg, size_t block) const {
-  if (reg.bursts[block] != 0) return reg.bursts[block];
+uint32_t ApproxMemory::current_bursts(const Region& reg, size_t block) const {
+  if (reg.bursts[block] != kUncommittedBursts) return reg.bursts[block];
   // Never committed (exact/golden run): full cost.
   const size_t mag = codec_ ? codec_->mag_bytes() : kDefaultMagBytes;
-  return static_cast<uint8_t>(kBlockBytes / mag);
+  return static_cast<uint32_t>(kBlockBytes / mag);
 }
 
 void ApproxMemory::settle(RegionId r) {
@@ -93,7 +104,7 @@ void ApproxMemory::commit_async(RegionId r) {
   const size_t n_blocks = reg.data.size() / kBlockBytes;
   if (!codec_) {
     // Exact memory: all blocks cost max bursts, contents untouched.
-    const auto maxb = static_cast<uint8_t>(kBlockBytes / kDefaultMagBytes);
+    const auto maxb = static_cast<uint32_t>(kBlockBytes / kDefaultMagBytes);
     std::fill(reg.bursts.begin(), reg.bursts.end(), maxb);
     return;
   }
@@ -111,7 +122,7 @@ void ApproxMemory::commit_async(RegionId r) {
   // survive regions_ growth and an ApproxMemory move while the job runs.
   auto per_worker = std::make_shared<std::vector<CommitStats>>(engine_->num_threads());
   uint8_t* data = reg.data.data();
-  uint8_t* bursts = reg.bursts.data();
+  uint32_t* bursts = reg.bursts.data();
   const bool safe = reg.safe;
   const size_t threshold = reg.threshold_bytes;
   std::shared_ptr<const BlockCodec> codec = codec_;

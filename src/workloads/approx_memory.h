@@ -53,7 +53,10 @@ using RegionId = uint32_t;
 /// One block-level memory access in the timing trace.
 struct TraceAccess {
   uint64_t addr = 0;       ///< device address (128 B aligned)
-  uint8_t bursts = 0;      ///< DRAM bursts if this access misses all caches
+  /// DRAM bursts if this access misses all caches. Wide on purpose: a
+  /// geometry with block_bytes / mag_bytes > 255 (or a codec reporting
+  /// outsized burst counts) must not silently wrap.
+  uint32_t bursts = 0;
   bool write = false;
 };
 
@@ -211,13 +214,22 @@ class ApproxMemory {
   CommitStats region_stats(RegionId r) const;
 
  private:
+  /// Per-block burst-store sentinel: the block has never been committed
+  /// (exact/golden run), so reads cost max bursts. An explicit constant, not
+  /// "0 means uncommitted" — 0 is not a value a codec can report (minimum is
+  /// one burst), but keying committed-ness off an in-band value was fragile.
+  static constexpr uint32_t kUncommittedBursts = UINT32_MAX;
+
   struct Region {
     std::string name;
     std::vector<uint8_t> data;
     bool safe = false;
     size_t threshold_bytes = 16;
     uint64_t base_addr = 0;
-    std::vector<uint8_t> bursts;  ///< per-block bursts from the last commit
+    /// Per-block bursts from the last commit (kUncommittedBursts before the
+    /// first). Wide enough for any geometry — a uint8_t store silently
+    /// wrapped once block_bytes / mag_bytes exceeded 255.
+    std::vector<uint32_t> bursts;
     CommitStats stats;
     CodecFuture<CommitStats> pending;  ///< in-flight async commit, if any
   };
@@ -226,7 +238,7 @@ class ApproxMemory {
   /// the region and run totals. No-op when nothing is pending.
   void settle(RegionId r);
 
-  uint8_t current_bursts(const Region& reg, size_t block) const;
+  uint32_t current_bursts(const Region& reg, size_t block) const;
 
   std::vector<Region> regions_;
   std::shared_ptr<const BlockCodec> codec_;

@@ -279,6 +279,86 @@ TEST(ApproxMemory, CommitAllPipelinesAndRecommitSerializes) {
   EXPECT_EQ(mem.stats().blocks, 144u);  // 3 commits x 48 blocks
 }
 
+// Region commits through the batched policy kernel must be byte-identical to
+// the scalar per-block loop: same mutated contents, same stats, same burst
+// counts — across lossy/threshold-varied regions (tighter and looser than
+// the codec config, unsafe, zero-threshold) and across engine batch splits
+// (inline, 1-thread, 4-thread shard sizes all differ).
+TEST(ApproxMemory, BatchCommitMatchesScalarAcrossThresholds) {
+  auto run = [](std::shared_ptr<const BlockCodec> codec, std::shared_ptr<CodecEngine> engine) {
+    ApproxMemory mem;
+    mem.set_engine(std::move(engine));
+    mem.set_codec(std::move(codec));
+    struct Spec {
+      bool safe;
+      size_t threshold;
+    };
+    const Spec specs[] = {{true, 16}, {true, 4}, {true, 64}, {false, 16}, {true, 0}};
+    std::vector<RegionId> regions;
+    for (size_t i = 0; i < std::size(specs); ++i) {
+      regions.push_back(mem.alloc("r" + std::to_string(i), 48 * kBlockBytes, specs[i].safe,
+                                  specs[i].threshold));
+      const auto src = quantized_walk(100 + i, 48);
+      std::copy(src.begin(), src.end(), mem.span<uint8_t>(regions.back()).begin());
+    }
+    mem.commit_all();
+    mem.flush();
+    mem.begin_kernel("k", 1.0);
+    std::vector<uint8_t> contents;
+    std::vector<uint32_t> bursts;
+    for (const RegionId r : regions) {
+      mem.trace_read(r);
+      const auto bytes = mem.span<const uint8_t>(r);
+      contents.insert(contents.end(), bytes.begin(), bytes.end());
+    }
+    for (const TraceAccess& a : mem.trace()[0].accesses) bursts.push_back(a.bursts);
+    return std::make_tuple(contents, bursts, mem.stats());
+  };
+
+  // ScalarOnlyBlockCodec (compress/block_codec.h) forces the per-block
+  // process() loop: a commit through it is the oracle the batch must match.
+  const auto scalar = run(std::make_shared<ScalarOnlyBlockCodec>(tiny_slc()), nullptr);
+  size_t lossy_total = 0;
+  for (const auto engine_threads : {0u, 1u, 4u}) {
+    const auto engine = engine_threads == 0 ? nullptr : std::make_shared<CodecEngine>(engine_threads);
+    const auto batch = run(tiny_slc(), engine);
+    EXPECT_EQ(std::get<0>(scalar), std::get<0>(batch)) << engine_threads << " threads";
+    EXPECT_EQ(std::get<1>(scalar), std::get<1>(batch)) << engine_threads << " threads";
+    EXPECT_TRUE(std::get<2>(scalar) == std::get<2>(batch)) << engine_threads << " threads";
+    lossy_total += std::get<2>(batch).lossy_blocks;
+  }
+  EXPECT_GT(lossy_total, 0u);  // the sweep must exercise lossy materialization
+}
+
+// Regression for the narrowing fix: the per-block burst store used to be
+// uint8_t, silently wrapping any geometry (or codec) whose burst count
+// exceeds 255 — and 0 doubled as the "never committed" sentinel.
+TEST(ApproxMemory, BurstCountsAbove255SurviveCommitAndTrace) {
+  class WideBurstCodec final : public BlockCodec {
+   public:
+    BlockCodecResult process(BlockView block, bool, size_t) const override {
+      BlockCodecResult r;
+      r.bursts = 300;  // > uint8_t: e.g. block_bytes / mag_bytes = 300
+      r.lossless_bits = block.size() * 8;
+      r.final_bits = block.size() * 8;
+      r.stored_uncompressed = true;
+      r.decoded = Block(block.bytes());
+      return r;
+    }
+    size_t mag_bytes() const override { return kDefaultMagBytes; }
+    std::string name() const override { return "WIDE"; }
+  };
+
+  ApproxMemory mem;
+  mem.set_codec(std::make_shared<WideBurstCodec>());
+  const RegionId r = mem.alloc("wide", 3 * kBlockBytes, true);
+  mem.commit(r);
+  EXPECT_EQ(mem.region_stats(r).bursts, 3u * 300u);
+  mem.begin_kernel("k", 1.0);
+  mem.trace_read(r);
+  for (const TraceAccess& a : mem.trace()[0].accesses) EXPECT_EQ(a.bursts, 300u);
+}
+
 TEST(BlockCodec, RawReportsMaxBursts) {
   const RawBlockCodec raw(32);
   Block b;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "compress/block_codec.h"
 #include "compress/codec_registry.h"
 #include "test_util.h"
 
@@ -153,6 +154,81 @@ TEST(BatchKernels, ByteIdenticalToScalarLoopForEveryRegistryCodec) {
   // The registry must have yielded the four schemes with real batch kernels
   // (plus Huffman and the TSLC variants on the default loop).
   EXPECT_GE(tested, 7u);
+}
+
+// --- BlockCodec::process_batch ----------------------------------------------
+// The memory-controller policies' batch kernel must match the per-block
+// scalar process() loop field for field — including the decoded bytes lossy
+// SLC blocks mutate — for every registry policy, every (safe, threshold)
+// region annotation, and any batch split. This is the contract that lets
+// ApproxMemory's commit kernel hand whole engine shards to process_batch.
+
+void expect_result_eq(const BlockCodecResult& scalar, const BlockCodecResult& batch,
+                      const std::string& what) {
+  EXPECT_EQ(scalar.bursts, batch.bursts) << what;
+  EXPECT_EQ(scalar.lossless_bits, batch.lossless_bits) << what;
+  EXPECT_EQ(scalar.final_bits, batch.final_bits) << what;
+  EXPECT_EQ(scalar.lossy, batch.lossy) << what;
+  EXPECT_EQ(scalar.stored_uncompressed, batch.stored_uncompressed) << what;
+  EXPECT_EQ(scalar.truncated_symbols, batch.truncated_symbols) << what;
+  EXPECT_EQ(scalar.decoded, batch.decoded) << what;
+}
+
+void check_block_codec(const BlockCodec& codec, const std::vector<Block>& blocks,
+                       bool safe, size_t threshold, const std::string& label) {
+  const std::vector<BlockView> views = to_views(blocks);
+
+  // The scalar oracle: exactly the loop BlockCodec's default runs.
+  std::vector<BlockCodecResult> scalar(blocks.size());
+  for (size_t i = 0; i < blocks.size(); ++i) scalar[i] = codec.process(views[i], safe, threshold);
+
+  for (const size_t split : {size_t{1}, size_t{5}, blocks.size()}) {
+    std::vector<BlockCodecResult> batch(blocks.size());
+    for (size_t begin = 0; begin < blocks.size(); begin += split) {
+      const size_t len = std::min(split, blocks.size() - begin);
+      codec.process_batch(std::span<const BlockView>(views.data() + begin, len), safe, threshold,
+                          batch.data() + begin);
+    }
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      expect_result_eq(scalar[i], batch[i],
+                       codec.name() + "/" + label + " safe=" + std::to_string(safe) +
+                           " threshold=" + std::to_string(threshold) + " block " +
+                           std::to_string(i) + " split " + std::to_string(split));
+    }
+  }
+}
+
+TEST(BatchKernels, ProcessBatchMatchesScalarForEveryRegistryPolicy) {
+  const std::vector<uint8_t> training = test::quantized_walk(7, 64);
+  CodecOptions opts = test::test_options(training);
+  opts.trained_e2mc = E2mcCompressor::train(training, opts.e2mc);
+
+  const std::map<std::string, std::vector<Block>> datasets = {
+      {"random", random_blocks(24)},
+      {"all-zero", zero_blocks(8)},
+      {"value-similar", to_blocks(test::quantized_walk(21, 48))},
+  };
+  // Region annotations covering every policy branch: unsafe, safe at the
+  // config threshold, tighter than config (the cached-codec path), looser
+  // than config, and a zero threshold (never lossy even when safe).
+  const std::vector<std::pair<bool, size_t>> annotations = {
+      {false, 16}, {true, 16}, {true, 4}, {true, 64}, {true, 0}};
+
+  size_t lossy_seen = 0;
+  for (const CodecInfo* info : CodecRegistry::instance().entries()) {
+    const auto codec = CodecRegistry::instance().create_block_codec(info->name, opts);
+    for (const auto& [label, blocks] : datasets) {
+      for (const auto& [safe, threshold] : annotations) {
+        check_block_codec(*codec, blocks, safe, threshold, label);
+        if (info->lossy && safe && threshold > 0) {
+          for (const Block& b : blocks)
+            lossy_seen += codec->process(b.view(), safe, threshold).lossy ? 1 : 0;
+        }
+      }
+    }
+  }
+  // The sweep must have exercised the lossy materialization path.
+  EXPECT_GT(lossy_seen, 0u);
 }
 
 // Lossless schemes must still roundtrip from the batch-produced payloads.

@@ -18,8 +18,12 @@ Metric semantics: for rate-like metrics (blocks_per_sec, gbps, speedup)
 lower-than-baseline is a regression; for latency metrics (p50_ms, p99_ms)
 higher-than-baseline is a regression. Rows whose baseline value is 0 are
 skipped (e.g. `speedup` on scalar-path rows, where it is not applicable).
-Rows present in the baseline but missing from the current file fail the
-comparison; extra rows in the current file are reported but allowed.
+Rows present in only one of the two files — a measurement added to a driver
+before the baseline refresh, or vice versa — are *reported* but do not fail
+the comparison, so adding bench rows never breaks the gate; pass
+--require-all to turn baseline rows missing from the current file back into
+a failure. The same applies to a metric field present in only one side of a
+joined row: reported, skipped, never a spurious 100% regression.
 
 Notes for CI: absolute rates are machine-dependent, so gating a committed
 baseline from a different machine on blocks_per_sec is noise — gate on
@@ -61,6 +65,9 @@ def main():
     ap.add_argument("--metric", choices=METRICS, default="blocks_per_sec")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="allowed relative regression (default 0.15 = 15%%)")
+    ap.add_argument("--require-all", action="store_true",
+                    help="fail when a baseline row is missing from the "
+                         "current file (default: report and continue)")
     args = ap.parse_args()
 
     base_name, base = load(args.baseline)
@@ -68,7 +75,7 @@ def main():
     if base_name != cur_name:
         print(f"warning: comparing different benches: {base_name!r} vs {cur_name!r}")
 
-    regressions, missing, skipped = [], [], 0
+    regressions, missing, one_sided, skipped = [], [], [], 0
     width = max((len("/".join(k)) for k in base), default=10)
     print(f"bench: {cur_name}   metric: {args.metric}   "
           f"threshold: {args.threshold:.0%}")
@@ -78,6 +85,14 @@ def main():
         if key not in cur:
             missing.append(name)
             print(f"{name:<{width}}  {'-':>12}  {'MISSING':>12}  {'-':>8}")
+            continue
+        if (args.metric in base[key]) != (args.metric in cur[key]):
+            # The metric exists on only one side of the join: comparing it
+            # against an implicit 0 would read as a total regression (or a
+            # free pass). Report and move on.
+            one_sided.append(name)
+            side = "baseline" if args.metric in base[key] else "current"
+            print(f"{name:<{width}}  metric {args.metric!r} only in {side}; skipped")
             continue
         b = float(base[key].get(args.metric, 0.0))
         c = float(cur[key].get(args.metric, 0.0))
@@ -99,11 +114,16 @@ def main():
         print(f"note: {len(extra)} measurement(s) only in current: {', '.join(extra)}")
     if skipped:
         print(f"note: {skipped} row(s) skipped (baseline {args.metric} is 0 / not applicable)")
+    if one_sided:
+        print(f"note: {len(one_sided)} row(s) carry {args.metric!r} on only one side: "
+              f"{', '.join(one_sided)}")
 
     if missing:
-        print(f"\nFAIL: {len(missing)} baseline measurement(s) missing from current: "
+        verdict = "FAIL" if args.require_all else "note"
+        print(f"\n{verdict}: {len(missing)} baseline measurement(s) missing from current: "
               f"{', '.join(missing)}")
-        return 1
+        if args.require_all:
+            return 1
     if regressions:
         print(f"\nFAIL: {len(regressions)} regression(s) beyond {args.threshold:.0%} "
               f"on {args.metric}:")
