@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/block.h"
+#include "compress/simd_dispatch.h"
 
 namespace slc::bench {
 
@@ -90,9 +91,20 @@ FullRunResult full_run(const std::string& benchmark, const std::string& scheme,
 
 // --- throughput measurements -------------------------------------------------
 
+BenchReport::BenchReport(std::string bench_name) : name_(std::move(bench_name)) {
+  meta_["simd_compiled"] = simd::avx2_compiled() ? "avx2" : "none";
+  meta_["cpu_avx2"] = simd::avx2_supported() ? "yes" : "no";
+  meta_["simd_active"] = simd::active_level_name();
+  meta_["force_scalar_env"] = simd::force_scalar_env() ? "1" : "0";
+}
+
 Measurement& BenchReport::add(Measurement m) {
   rows_.push_back(std::move(m));
   return rows_.back();
+}
+
+void BenchReport::set_meta(const std::string& key, std::string value) {
+  meta_[key] = std::move(value);
 }
 
 TextTable BenchReport::table() const {
@@ -132,7 +144,14 @@ std::string json_num(double v, int prec = 6) {
 std::string BenchReport::to_json() const {
   std::ostringstream os;
   os << "{\n  \"bench\": \"" << json_escape(name_) << "\",\n  \"block_bytes\": " << kBlockBytes
-     << ",\n  \"measurements\": [\n";
+     << ",\n  \"meta\": {";
+  bool first = true;
+  for (const auto& [key, value] : meta_) {
+    os << (first ? "" : ", ") << "\"" << json_escape(key) << "\": \"" << json_escape(value)
+       << "\"";
+    first = false;
+  }
+  os << "},\n  \"measurements\": [\n";
   for (size_t i = 0; i < rows_.size(); ++i) {
     const Measurement& m = rows_[i];
     os << "    {\"scheme\": \"" << json_escape(m.scheme) << "\", \"kernel\": \""

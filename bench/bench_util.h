@@ -89,15 +89,24 @@ struct Measurement {
 /// Collects Measurements and renders them both ways.
 class BenchReport {
  public:
-  explicit BenchReport(std::string bench_name) : name_(std::move(bench_name)) {}
+  /// The report is stamped with host/dispatch metadata (simd_compiled,
+  /// cpu_avx2, simd_active, force_scalar_env — from slc::simd) at
+  /// construction, so BENCH_*.json records which kernel variant produced the
+  /// numbers and perf-gate diffs across hosts are interpretable.
+  explicit BenchReport(std::string bench_name);
 
   Measurement& add(Measurement m);
   const std::vector<Measurement>& measurements() const { return rows_; }
 
+  /// Adds/overrides one metadata entry (emitted in the JSON "meta" object).
+  void set_meta(const std::string& key, std::string value);
+  const std::map<std::string, std::string>& meta() const { return meta_; }
+
   /// Human form: one TextTable row per measurement.
   TextTable table() const;
   /// Machine form consumed by tools/bench_compare.py:
-  /// {"bench": ..., "block_bytes": 128, "measurements": [{...}, ...]}.
+  /// {"bench": ..., "block_bytes": 128, "meta": {...},
+  ///  "measurements": [{...}, ...]}.
   std::string to_json() const;
   /// Writes to_json() to `path`. Returns false (and prints to stderr) on
   /// failure.
@@ -105,6 +114,7 @@ class BenchReport {
 
  private:
   std::string name_;
+  std::map<std::string, std::string> meta_;
   std::vector<Measurement> rows_;
 };
 

@@ -4,11 +4,16 @@
 // CI runs it with --json and diffs the result against a committed baseline
 // (tools/bench_compare.py), so a kernel regression fails the build.
 //
-// For every scheme the scalar path is the per-block virtual-dispatch loop
-// (exactly what Compressor's default batch implementation does) and the
-// batch path is the scheme's analyze_batch/compress_batch kernel over the
-// whole stream. The two must agree byte for byte — this driver exits
-// non-zero if they diverge, independent of the equivalence unit test.
+// For every scheme three paths are timed: "scalar" is the per-block
+// virtual-dispatch loop (exactly what Compressor's default batch
+// implementation does), "batch" is the scheme's
+// analyze_batch/compress_batch kernel pinned to the scalar sub-kernels
+// (simd::force_scalar), and "batch+simd" is the same kernel with the
+// runtime-dispatched SIMD variants enabled (identical to "batch" on hosts
+// without AVX2 — the JSON "meta" object records which variant actually
+// ran). All batch paths must agree with the scalar loop byte for byte —
+// this driver exits non-zero if they diverge, independent of the
+// equivalence unit test.
 //
 // Usage: codec_throughput [benchmark] [--blocks N] [--json[=path]]
 //   defaults: SRAD2, 4096 blocks, JSON off (bare --json writes
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "compress/simd_dispatch.h"
 
 using namespace slc;
 using namespace slc::bench;
@@ -79,9 +85,9 @@ int main(int argc, char** argv) try {
               static_cast<double>(blocks.size() * kBlockBytes) / 1e6, benchmark.c_str(),
               kDefaultMagBytes);
 
-  // The four schemes with vectorized kernels, plus TSLC-OPT: the SLC stack
-  // rides the default scalar loop today, so its rows pin the full-codec
-  // trajectory (and will show the win when it gains a batch kernel).
+  // The four schemes with vectorized kernels, plus TSLC-OPT (the full SLC
+  // stack: batched decision + payload scatter; its SIMD leverage comes from
+  // the E2MC length gathers underneath).
   const std::vector<std::string> schemes = {"BDI", "FPC", "C-PACK", "E2MC", "TSLC-OPT"};
   BenchReport report("codec_throughput");
   bool all_identical = true;
@@ -93,21 +99,29 @@ int main(int argc, char** argv) try {
     // --- analyze -------------------------------------------------------------
     std::vector<BlockAnalysis> scalar_a(blocks.size());
     std::vector<BlockAnalysis> batch_a(blocks.size());
+    std::vector<BlockAnalysis> simd_a(blocks.size());
     const auto scalar_analyze = [&] {
       for (size_t i = 0; i < views.size(); ++i) scalar_a[i] = comp->analyze(views[i]);
     };
     const auto batch_analyze = [&] { comp->analyze_batch(views, batch_a.data()); };
+    const auto simd_analyze = [&] { comp->analyze_batch(views, simd_a.data()); };
 
     size_t reps = reps_for_target(seconds_of(scalar_analyze), kTargetSeconds);
     Measurement sa = measure_kernel(scheme, "analyze", "scalar", blocks.size(), reps, scalar_analyze);
+    simd::force_scalar(true);
     Measurement ba = measure_kernel(scheme, "analyze", "batch", blocks.size(), reps, batch_analyze);
+    simd::force_scalar(false);
+    Measurement va =
+        measure_kernel(scheme, "analyze", "batch+simd", blocks.size(), reps, simd_analyze);
     ba.speedup = sa.blocks_per_sec > 0 ? ba.blocks_per_sec / sa.blocks_per_sec : 0.0;
+    va.speedup = sa.blocks_per_sec > 0 ? va.blocks_per_sec / sa.blocks_per_sec : 0.0;
     report.add(std::move(sa));
     report.add(std::move(ba));
+    report.add(std::move(va));
 
     bool identical = true;
     for (size_t i = 0; i < blocks.size() && identical; ++i)
-      identical = analyses_equal(scalar_a[i], batch_a[i]);
+      identical = analyses_equal(scalar_a[i], batch_a[i]) && analyses_equal(scalar_a[i], simd_a[i]);
     if (!identical) {
       std::printf("FATAL: %s analyze_batch diverged from the scalar loop\n", scheme.c_str());
       all_identical = false;
@@ -116,23 +130,31 @@ int main(int argc, char** argv) try {
     // --- compress ------------------------------------------------------------
     std::vector<CompressedBlock> scalar_c(blocks.size());
     std::vector<CompressedBlock> batch_c(blocks.size());
+    std::vector<CompressedBlock> simd_c(blocks.size());
     const auto scalar_compress = [&] {
       for (size_t i = 0; i < views.size(); ++i) scalar_c[i] = comp->compress(views[i]);
     };
     const auto batch_compress = [&] { comp->compress_batch(views, batch_c.data()); };
+    const auto simd_compress = [&] { comp->compress_batch(views, simd_c.data()); };
 
     reps = reps_for_target(seconds_of(scalar_compress), kTargetSeconds);
     Measurement sc =
         measure_kernel(scheme, "compress", "scalar", blocks.size(), reps, scalar_compress);
+    simd::force_scalar(true);
     Measurement bc =
         measure_kernel(scheme, "compress", "batch", blocks.size(), reps, batch_compress);
+    simd::force_scalar(false);
+    Measurement vc =
+        measure_kernel(scheme, "compress", "batch+simd", blocks.size(), reps, simd_compress);
     bc.speedup = sc.blocks_per_sec > 0 ? bc.blocks_per_sec / sc.blocks_per_sec : 0.0;
+    vc.speedup = sc.blocks_per_sec > 0 ? vc.blocks_per_sec / sc.blocks_per_sec : 0.0;
     report.add(std::move(sc));
     report.add(std::move(bc));
+    report.add(std::move(vc));
 
     identical = true;
     for (size_t i = 0; i < blocks.size() && identical; ++i)
-      identical = payloads_equal(scalar_c[i], batch_c[i]);
+      identical = payloads_equal(scalar_c[i], batch_c[i]) && payloads_equal(scalar_c[i], simd_c[i]);
     if (!identical) {
       std::printf("FATAL: %s compress_batch diverged from the scalar loop\n", scheme.c_str());
       all_identical = false;
@@ -152,9 +174,12 @@ int main(int argc, char** argv) try {
   }
 
   std::printf("%s\n", report.table().to_string().c_str());
-  std::printf("Speedups are batch kernel vs the per-block scalar loop of the same scheme,\n");
-  std::printf("single-threaded on this host. Batch results are verified byte-identical to\n");
-  std::printf("the scalar loop before the table is printed.\n");
+  std::printf("Speedups are vs the per-block scalar loop of the same scheme, single-\n");
+  std::printf("threaded on this host. \"batch\" pins the batch kernel to its scalar\n");
+  std::printf("sub-kernels; \"batch+simd\" lets runtime dispatch pick (this run: %s).\n",
+              simd::active_level_name());
+  std::printf("Both batch paths are verified byte-identical to the scalar loop before\n");
+  std::printf("the table is printed.\n");
 
   if (!json_path.empty()) {
     if (!report.write_json(json_path)) return 1;

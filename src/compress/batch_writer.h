@@ -104,4 +104,73 @@ class BatchBitWriter {
   unsigned fill_ = 0;  // pending bits in the low end of acc_; < 8 between puts
 };
 
+/// BatchBitWriter's emission logic over a caller-provided destination span —
+/// the writer half of the prefix-sum payload scatter: a sizing pass computes
+/// each block's exact payload bytes, exclusive_prefix_sum() turns those into
+/// independent arena offsets, and each block emits through a SpanBitWriter
+/// at its own offset with no per-block allocation. Identical stream bytes to
+/// BitWriter / BatchBitWriter for the same put() sequence; the caller must
+/// size the destination from the same sizing pass (asserted via finish()).
+class SpanBitWriter {
+ public:
+  SpanBitWriter() = default;
+  explicit SpanBitWriter(uint8_t* dst) : dst_(dst) {}
+
+  void reset(uint8_t* dst) {
+    dst_ = dst;
+    len_ = 0;
+    acc_ = 0;
+    fill_ = 0;
+  }
+
+  /// Appends the low `nbits` bits of `value`, most-significant bit first.
+  void put(uint64_t value, unsigned nbits) {
+    if (nbits > 56) {
+      put(value >> 32, nbits - 32);
+      put(value & 0xFFFFFFFFull, 32);
+      return;
+    }
+    if (nbits == 0) return;
+    if (nbits < 64) value &= (uint64_t{1} << nbits) - 1;
+    acc_ = (acc_ << nbits) | value;
+    fill_ += nbits;
+    while (fill_ >= 8) {
+      fill_ -= 8;
+      dst_[len_++] = static_cast<uint8_t>((acc_ >> fill_) & 0xFF);
+    }
+  }
+
+  void put_bit(bool bit) { put(bit ? 1u : 0u, 1); }
+
+  size_t bit_size() const { return len_ * 8 + fill_; }
+
+  /// Flushes the final partial byte (zero-padded, like BitWriter::bytes())
+  /// and returns the total bytes written.
+  size_t finish() {
+    if (fill_) {
+      dst_[len_++] = static_cast<uint8_t>((acc_ << (8 - fill_)) & 0xFF);
+      acc_ = 0;
+      fill_ = 0;
+    }
+    return len_;
+  }
+
+ private:
+  uint8_t* dst_ = nullptr;
+  size_t len_ = 0;
+  uint64_t acc_ = 0;
+  unsigned fill_ = 0;
+};
+
+/// offsets[i] = sizes[0] + ... + sizes[i-1]; returns the total. The scatter
+/// companion to SpanBitWriter: block i's payload lands at arena + offsets[i].
+inline size_t exclusive_prefix_sum(const size_t* sizes, size_t n, size_t* offsets) {
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    offsets[i] = total;
+    total += sizes[i];
+  }
+  return total;
+}
+
 }  // namespace slc::detail

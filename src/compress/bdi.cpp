@@ -7,6 +7,8 @@
 #include "common/bitstream.h"
 #include "compress/batch_writer.h"
 #include "compress/codec_registry.h"
+#include "compress/simd_dispatch.h"
+#include "compress/simd_kernels.h"
 
 namespace slc {
 
@@ -14,22 +16,9 @@ namespace {
 
 constexpr unsigned kTagBits = 4;
 
-struct Geometry {
-  size_t base_bytes;
-  size_t delta_bytes;
-};
+using Geometry = BdiCompressor::Geometry;
 
-Geometry geometry(BdiEncoding enc) {
-  switch (enc) {
-    case BdiEncoding::kBase8Delta1: return {8, 1};
-    case BdiEncoding::kBase8Delta2: return {8, 2};
-    case BdiEncoding::kBase8Delta4: return {8, 4};
-    case BdiEncoding::kBase4Delta1: return {4, 1};
-    case BdiEncoding::kBase4Delta2: return {4, 2};
-    case BdiEncoding::kBase2Delta1: return {2, 1};
-    default: return {0, 0};
-  }
-}
+Geometry geometry(BdiEncoding enc) { return BdiCompressor::geometry(enc); }
 
 // Sign-extends the low `bytes*8` bits of v.
 int64_t sext(uint64_t v, size_t bytes) {
@@ -57,13 +46,7 @@ uint64_t load_word(BlockView b, size_t i, size_t base_bytes) {
   }
 }
 
-// Candidate base-delta encodings ordered by compressed size (ascending for
-// a 128 B block): B8D1 (212b) < B4D1 (324b) < B8D2 (340b) < B4D2 (580b)
-// < B8D4 = B2D1 (596b).
-constexpr std::array<BdiEncoding, 6> kOrder = {
-    BdiEncoding::kBase8Delta1, BdiEncoding::kBase4Delta1, BdiEncoding::kBase8Delta2,
-    BdiEncoding::kBase4Delta2, BdiEncoding::kBase8Delta4, BdiEncoding::kBase2Delta1,
-};
+const std::array<BdiEncoding, 6>& kOrder = BdiCompressor::candidate_order();
 
 // Checks whether `block` is encodable with `enc`; fills base if so.
 bool encodable(BlockView block, BdiEncoding enc, uint64_t* base_out) {
@@ -159,6 +142,28 @@ BdiEncoding probe_direct(const uint8_t* p, size_t block_bytes, uint64_t* base_ou
 }
 
 }  // namespace
+
+BdiCompressor::Geometry BdiCompressor::geometry(BdiEncoding enc) {
+  switch (enc) {
+    case BdiEncoding::kBase8Delta1: return {8, 1};
+    case BdiEncoding::kBase8Delta2: return {8, 2};
+    case BdiEncoding::kBase8Delta4: return {8, 4};
+    case BdiEncoding::kBase4Delta1: return {4, 1};
+    case BdiEncoding::kBase4Delta2: return {4, 2};
+    case BdiEncoding::kBase2Delta1: return {2, 1};
+    default: return {0, 0};
+  }
+}
+
+const std::array<BdiEncoding, 6>& BdiCompressor::candidate_order() {
+  // Ordered by compressed size (ascending for a 128 B block): B8D1 (212b)
+  // < B4D1 (324b) < B8D2 (340b) < B4D2 (580b) < B8D4 = B2D1 (596b).
+  static constexpr std::array<BdiEncoding, 6> kCandidates = {
+      BdiEncoding::kBase8Delta1, BdiEncoding::kBase4Delta1, BdiEncoding::kBase8Delta2,
+      BdiEncoding::kBase4Delta2, BdiEncoding::kBase8Delta4, BdiEncoding::kBase2Delta1,
+  };
+  return kCandidates;
+}
 
 size_t BdiCompressor::encoding_bits(BdiEncoding enc, size_t block_bytes) {
   const size_t block_bits = block_bytes * 8;
@@ -300,14 +305,20 @@ BlockAnalysis BdiCompressor::analyze(BlockView block) const {
 }
 
 void BdiCompressor::analyze_batch(std::span<const BlockView> blocks, BlockAnalysis* out) const {
+  const bool use_avx2 = simd::active_level() == simd::Level::kAvx2;
   for (size_t b = 0; b < blocks.size(); ++b) {
     const BlockView blk = blocks[b];
     if (!direct_applicable(blk)) {
       out[b] = analyze(blk);
       continue;
     }
-    uint64_t base = 0;
-    const BdiEncoding enc = probe_direct(blk.bytes().data(), blk.size(), &base);
+    BdiEncoding enc;
+    if (use_avx2 && simd::bdi_avx2_applicable(blk.size())) {
+      enc = simd::bdi_probe_avx2(blk.bytes().data(), blk.size()).enc;
+    } else {
+      uint64_t base = 0;
+      enc = probe_direct(blk.bytes().data(), blk.size(), &base);
+    }
     BlockAnalysis a;
     a.is_compressed = enc != BdiEncoding::kUncompressed;
     a.bit_size = encoding_bits(enc, blk.size());
@@ -317,53 +328,110 @@ void BdiCompressor::analyze_batch(std::span<const BlockView> blocks, BlockAnalys
 }
 
 void BdiCompressor::compress_batch(std::span<const BlockView> blocks, CompressedBlock* out) const {
-  detail::BatchBitWriter w;  // reused across the batch; clear() keeps capacity
-  for (size_t b = 0; b < blocks.size(); ++b) {
+  // Prefix-sum payload scatter: stage 1 probes every block once (AVX2 when
+  // available) and records each payload's exact byte size; the exclusive
+  // prefix sum turns those into independent arena offsets; stage 2 emits
+  // each block at its own offset through a SpanBitWriter; stage 3 slices the
+  // arena into the per-block payloads.
+  struct Probe {
+    BdiEncoding enc = BdiEncoding::kUncompressed;
+    uint64_t base = 0;
+    uint64_t mask = 0;       // per-word base-select bits (AVX2 probe only)
+    bool have_mask = false;
+    bool direct = false;     // false => scalar compress() fallback
+  };
+  const size_t n = blocks.size();
+  std::vector<Probe> probes(n);
+  std::vector<size_t> sizes(n), offsets(n);
+  const bool use_avx2 = simd::active_level() == simd::Level::kAvx2;
+
+  for (size_t b = 0; b < n; ++b) {
     const BlockView blk = blocks[b];
+    Probe& pr = probes[b];
     if (!direct_applicable(blk)) {
+      sizes[b] = 0;  // handled by the scalar fallback in stage 2
+      continue;
+    }
+    pr.direct = true;
+    const uint8_t* p = blk.bytes().data();
+    if (use_avx2 && simd::bdi_avx2_applicable(blk.size())) {
+      const simd::BdiProbe sp = simd::bdi_probe_avx2(p, blk.size());
+      pr.enc = sp.enc;
+      pr.base = sp.base;
+      pr.mask = sp.use_base_mask;
+      pr.have_mask = true;
+    } else {
+      pr.enc = probe_direct(p, blk.size(), &pr.base);
+    }
+    sizes[b] = pr.enc == BdiEncoding::kUncompressed
+                   ? blk.size()
+                   : (encoding_bits(pr.enc, blk.size()) + 7) / 8;
+  }
+
+  const size_t total = detail::exclusive_prefix_sum(sizes.data(), n, offsets.data());
+  std::vector<uint8_t> arena(total);
+  detail::SpanBitWriter w;
+
+  for (size_t b = 0; b < n; ++b) {
+    const BlockView blk = blocks[b];
+    const Probe& pr = probes[b];
+    if (!pr.direct) {
       out[b] = compress(blk);
       continue;
     }
     const uint8_t* p = blk.bytes().data();
-    uint64_t base = 0;
-    const BdiEncoding enc = probe_direct(p, blk.size(), &base);
-
-    CompressedBlock cb;
-    if (enc == BdiEncoding::kUncompressed) {
-      cb.is_compressed = false;
-      cb.bit_size = blk.size() * 8;
-      cb.payload.assign(blk.bytes().begin(), blk.bytes().end());
-      out[b] = std::move(cb);
+    if (pr.enc == BdiEncoding::kUncompressed) {
+      std::memcpy(arena.data() + offsets[b], p, blk.size());
       continue;
     }
-    w.clear();
-    w.put(static_cast<uint64_t>(enc), kTagBits);
-    switch (enc) {
+    w.reset(arena.data() + offsets[b]);
+    w.put(static_cast<uint64_t>(pr.enc), kTagBits);
+    switch (pr.enc) {
       case BdiEncoding::kZeros:
         break;  // tag only
       case BdiEncoding::kRepeat64:
         w.put(detail::load_le64(p), 64);
         break;
       default: {
-        const Geometry g = geometry(enc);
-        const size_t n = blk.size() / g.base_bytes;
-        w.put(base, static_cast<unsigned>(g.base_bytes * 8));
-        for (size_t i = 0; i < n; ++i) {
-          const uint64_t v = word_at(p, i, g.base_bytes);
-          w.put_bit(!fits_signed(sext(v, g.base_bytes), g.delta_bytes));
-        }
-        for (size_t i = 0; i < n; ++i) {
-          const uint64_t v = word_at(p, i, g.base_bytes);
-          const bool use_zero = fits_signed(sext(v, g.base_bytes), g.delta_bytes);
-          w.put(use_zero ? v : v - base, static_cast<unsigned>(g.delta_bytes * 8));
+        const Geometry g = geometry(pr.enc);
+        const size_t nw = blk.size() / g.base_bytes;
+        w.put(pr.base, static_cast<unsigned>(g.base_bytes * 8));
+        if (pr.have_mask) {
+          // The probe already decided zero-base vs explicit-base per word.
+          for (size_t i = 0; i < nw; ++i) w.put_bit((pr.mask >> i) & 1);
+          for (size_t i = 0; i < nw; ++i) {
+            const uint64_t v = word_at(p, i, g.base_bytes);
+            const bool use_base = (pr.mask >> i) & 1;
+            w.put(use_base ? v - pr.base : v, static_cast<unsigned>(g.delta_bytes * 8));
+          }
+        } else {
+          for (size_t i = 0; i < nw; ++i) {
+            const uint64_t v = word_at(p, i, g.base_bytes);
+            w.put_bit(!fits_signed(sext(v, g.base_bytes), g.delta_bytes));
+          }
+          for (size_t i = 0; i < nw; ++i) {
+            const uint64_t v = word_at(p, i, g.base_bytes);
+            const bool use_zero = fits_signed(sext(v, g.base_bytes), g.delta_bytes);
+            w.put(use_zero ? v : v - pr.base, static_cast<unsigned>(g.delta_bytes * 8));
+          }
         }
         break;
       }
     }
-    cb.is_compressed = true;
-    cb.bit_size = w.bit_size();
-    cb.payload = w.bytes();
-    assert(cb.bit_size == encoding_bits(enc, blk.size()));
+    assert(w.bit_size() == encoding_bits(pr.enc, blk.size()));
+    const size_t written = w.finish();
+    assert(written == sizes[b]);
+    (void)written;
+  }
+
+  for (size_t b = 0; b < n; ++b) {
+    if (!probes[b].direct) continue;  // already filled by the fallback
+    CompressedBlock cb;
+    const uint8_t* slice = arena.data() + offsets[b];
+    cb.is_compressed = probes[b].enc != BdiEncoding::kUncompressed;
+    cb.bit_size = cb.is_compressed ? encoding_bits(probes[b].enc, blocks[b].size())
+                                   : blocks[b].size() * 8;
+    cb.payload.assign(slice, slice + sizes[b]);
     out[b] = std::move(cb);
   }
 }

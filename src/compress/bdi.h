@@ -8,6 +8,8 @@
 // raw-vs-effective gap motivates the paper (Fig. 1).
 #pragma once
 
+#include <array>
+
 #include "compress/compressor.h"
 
 namespace slc {
@@ -48,6 +50,18 @@ class BdiCompressor : public Compressor {
   /// Compressed size in bits of a given encoding for `block_bytes` blocks
   /// (independent of contents; kUncompressed returns block bits).
   static size_t encoding_bits(BdiEncoding enc, size_t block_bytes);
+
+  /// Base/delta widths of a base+delta encoding (0/0 for the special cases).
+  struct Geometry {
+    size_t base_bytes;
+    size_t delta_bytes;
+  };
+  static Geometry geometry(BdiEncoding enc);
+
+  /// Candidate base+delta encodings in probe order (ascending compressed
+  /// size for a 128 B block). Shared by the scalar probes and the AVX2
+  /// kernel so the two cannot rank candidates differently.
+  static const std::array<BdiEncoding, 6>& candidate_order();
 };
 
 }  // namespace slc

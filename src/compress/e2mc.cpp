@@ -2,11 +2,21 @@
 
 #include <cassert>
 
+#include <cstring>
+
 #include "common/bitstream.h"
 #include "compress/batch_writer.h"
 #include "compress/codec_registry.h"
+#include "compress/simd_dispatch.h"
+#include "compress/simd_kernels.h"
 
 namespace slc {
+
+namespace {
+// Stack staging bound for per-block code lengths (256 symbols = 512 B
+// blocks), matching the word-staging bound of the other schemes.
+constexpr size_t kMaxStagedSymbols = 2 * detail::kMaxStagedWords;
+}  // namespace
 
 E2mcCompressor::E2mcCompressor(HuffmanCode code, E2mcConfig cfg)
     : code_(std::move(code)), cfg_(cfg) {
@@ -46,12 +56,17 @@ void E2mcCompressor::code_lengths_batch(std::span<const BlockView> blocks,
   }
   offsets[blocks.size()] = total;
   lens.resize(total);
+  const bool use_avx2 = simd::active_level() == simd::Level::kAvx2;
   for (size_t b = 0; b < blocks.size(); ++b) {
     const uint8_t* p = blocks[b].bytes().data();
     uint16_t* dst = lens.data() + offsets[b];
     const size_t n = blocks[b].num_symbols();
-    for (size_t i = 0; i < n; ++i)
-      dst[i] = static_cast<uint16_t>(code_.encoded_bits(detail::load_le16(p + 2 * i)));
+    if (use_avx2) {
+      simd::e2mc_code_lengths_avx2(p, n, code_.encoded_bits_table(), dst);
+    } else {
+      for (size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<uint16_t>(code_.encoded_bits(detail::load_le16(p + 2 * i)));
+    }
   }
 }
 
@@ -143,6 +158,7 @@ CompressedBlock E2mcCompressor::compress(BlockView block) const {
 }
 
 void E2mcCompressor::analyze_batch(std::span<const BlockView> blocks, BlockAnalysis* out) const {
+  const bool use_avx2 = simd::active_level() == simd::Level::kAvx2;
   for (size_t b = 0; b < blocks.size(); ++b) {
     const BlockView blk = blocks[b];
     const size_t n = blk.num_symbols();
@@ -152,15 +168,26 @@ void E2mcCompressor::analyze_batch(std::span<const BlockView> blocks, BlockAnaly
       continue;
     }
     // layout() without the per-block lengths vector: sum encoded bits per
-    // way directly off the code-length table.
+    // way directly off the code-length table (8-lane gathers when AVX2 is
+    // active; identical values either way).
     const uint8_t* p = blk.bytes().data();
     size_t total = (header_bits(blk.size()) + 7) / 8;
-    size_t s = 0;
-    for (unsigned way = 0; way < cfg_.num_ways; ++way) {
-      size_t way_bits = 0;
-      for (size_t e = s + per_way; s < e; ++s)
-        way_bits += code_.encoded_bits(detail::load_le16(p + 2 * s));
-      total += (way_bits + 7) / 8;
+    if (use_avx2 && n <= kMaxStagedSymbols) {
+      uint16_t lens[kMaxStagedSymbols];
+      simd::e2mc_code_lengths_avx2(p, n, code_.encoded_bits_table(), lens);
+      for (unsigned way = 0; way < cfg_.num_ways; ++way) {
+        size_t way_bits = 0;
+        for (size_t s = way * per_way; s < (way + 1) * per_way; ++s) way_bits += lens[s];
+        total += (way_bits + 7) / 8;
+      }
+    } else {
+      size_t s = 0;
+      for (unsigned way = 0; way < cfg_.num_ways; ++way) {
+        size_t way_bits = 0;
+        for (size_t e = s + per_way; s < e; ++s)
+          way_bits += code_.encoded_bits(detail::load_le16(p + 2 * s));
+        total += (way_bits + 7) / 8;
+      }
     }
     const size_t total_bits = total * 8;
     const size_t raw_bits = blk.size() * 8;
@@ -174,36 +201,66 @@ void E2mcCompressor::analyze_batch(std::span<const BlockView> blocks, BlockAnaly
 
 void E2mcCompressor::compress_batch(std::span<const BlockView> blocks,
                                     CompressedBlock* out) const {
-  std::vector<uint16_t> lens;   // scratch, reused across the batch
-  detail::BatchBitWriter w;     // reused across the batch
-  for (size_t b = 0; b < blocks.size(); ++b) {
+  // Prefix-sum payload scatter: stage 1 runs the code-length probe (8-lane
+  // gathers when AVX2 is active) and the way layout per block, giving each
+  // payload's exact byte size; the exclusive prefix sum turns those into
+  // independent arena offsets; stage 2 emits via emit_ways at each offset;
+  // stage 3 slices the arena into the per-block payloads.
+  const size_t n_blocks = blocks.size();
+  std::vector<uint16_t> lens;  // scratch, reused across the batch
+  std::vector<WayLayout> layouts(n_blocks);
+  std::vector<size_t> sizes(n_blocks, 0), offsets(n_blocks, 0);
+  std::vector<uint8_t> direct(n_blocks, 0);
+  const bool use_avx2 = simd::active_level() == simd::Level::kAvx2;
+
+  for (size_t b = 0; b < n_blocks; ++b) {
     const BlockView blk = blocks[b];
     const size_t n = blk.num_symbols();
-    if (n == 0 || n % cfg_.num_ways != 0) {
+    if (n == 0 || n % cfg_.num_ways != 0) continue;  // stage-2 scalar fallback
+    direct[b] = 1;
+    lens.resize(n);
+    const uint8_t* p = blk.bytes().data();
+    if (use_avx2) {
+      simd::e2mc_code_lengths_avx2(p, n, code_.encoded_bits_table(), lens.data());
+    } else {
+      for (size_t i = 0; i < n; ++i)
+        lens[i] = static_cast<uint16_t>(code_.encoded_bits(detail::load_le16(p + 2 * i)));
+    }
+    layouts[b] = layout(lens, header_bits(blk.size()));
+    sizes[b] =
+        layouts[b].total_bits < blk.size() * 8 ? layouts[b].total_bits / 8 : blk.size();
+  }
+
+  const size_t total = detail::exclusive_prefix_sum(sizes.data(), n_blocks, offsets.data());
+  std::vector<uint8_t> arena(total);
+  detail::SpanBitWriter w;
+
+  for (size_t b = 0; b < n_blocks; ++b) {
+    const BlockView blk = blocks[b];
+    if (!direct[b]) {
       out[b] = compress(blk);  // degenerate geometry: scalar reference path
       continue;
     }
-    lens.resize(n);
-    const uint8_t* p = blk.bytes().data();
-    for (size_t i = 0; i < n; ++i)
-      lens[i] = static_cast<uint16_t>(code_.encoded_bits(detail::load_le16(p + 2 * i)));
-    const WayLayout lo = layout(lens, header_bits(blk.size()));
-    const size_t raw_bits = blk.size() * 8;
-
-    CompressedBlock cb;
-    if (lo.total_bits >= raw_bits) {
-      cb.is_compressed = false;
-      cb.bit_size = raw_bits;
-      cb.payload.assign(blk.bytes().begin(), blk.bytes().end());
-      out[b] = std::move(cb);
+    if (layouts[b].total_bits >= blk.size() * 8) {  // stored raw
+      std::memcpy(arena.data() + offsets[b], blk.bytes().data(), blk.size());
       continue;
     }
-    w.clear();
-    emit_ways(blk, lo, w);
-    cb.is_compressed = true;
-    cb.bit_size = w.bit_size();
-    assert(cb.bit_size == lo.total_bits);
-    cb.payload = w.bytes();
+    w.reset(arena.data() + offsets[b]);
+    emit_ways(blk, layouts[b], w);
+    assert(w.bit_size() == layouts[b].total_bits);
+    const size_t written = w.finish();
+    assert(written == sizes[b]);
+    (void)written;
+  }
+
+  for (size_t b = 0; b < n_blocks; ++b) {
+    if (!direct[b]) continue;
+    const BlockView blk = blocks[b];
+    CompressedBlock cb;
+    const uint8_t* slice = arena.data() + offsets[b];
+    cb.is_compressed = layouts[b].total_bits < blk.size() * 8;
+    cb.bit_size = cb.is_compressed ? layouts[b].total_bits : blk.size() * 8;
+    cb.payload.assign(slice, slice + sizes[b]);
     out[b] = std::move(cb);
   }
 }

@@ -94,10 +94,10 @@ class E2mcCompressor : public Compressor {
 
  private:
   /// Writes the pdp header and the byte-aligned ways of `block` into `w`
-  /// (which must be empty) according to `lo` — the one emitter both the
-  /// scalar compress() (BitWriter) and the batch kernel
-  /// (detail::BatchBitWriter) go through, so their payloads cannot drift
-  /// apart. Defined in e2mc.cpp; both instantiations live there.
+  /// (which must be empty) according to `lo` — the one emitter the scalar
+  /// compress() (BitWriter) and the batch/scatter kernels
+  /// (detail::SpanBitWriter) go through, so their payloads cannot drift
+  /// apart. Defined in e2mc.cpp; all instantiations live there.
   template <class Writer>
   void emit_ways(BlockView block, const WayLayout& lo, Writer& w) const;
 

@@ -3,9 +3,13 @@
 #include <cassert>
 #include <cstring>
 
+#include <vector>
+
 #include "common/bitstream.h"
 #include "compress/batch_writer.h"
 #include "compress/codec_registry.h"
+#include "compress/simd_dispatch.h"
+#include "compress/simd_kernels.h"
 
 namespace slc {
 
@@ -17,6 +21,79 @@ bool fits_se(uint32_t w, unsigned bits) {
   const int32_t v = static_cast<int32_t>(w);
   const int32_t lim = int32_t{1} << (bits - 1);
   return v >= -lim && v < lim;
+}
+
+// Fills cls[i] with the FpcPattern id of word i (kZeroRun marking a zero
+// word), vectorized when the dispatcher allows. Classification is the hot
+// half of FPC; the run coalescing and bit emission below consume these ids
+// instead of re-deriving them.
+void classify_words(const uint8_t* p, size_t n_words, uint8_t* cls, bool use_avx2) {
+  if (use_avx2) {
+    simd::fpc_classify_avx2(p, n_words, cls);
+    return;
+  }
+  for (size_t i = 0; i < n_words; ++i) {
+    const uint32_t w = detail::load_le32(p + 4 * i);
+    cls[i] = w == 0 ? static_cast<uint8_t>(FpcPattern::kZeroRun)
+                    : static_cast<uint8_t>(FpcCompressor::classify(w));
+  }
+}
+
+// Exact compressed size implied by a classification — the same walk
+// compress() does, summing instead of emitting.
+size_t bits_from_classes(const uint8_t* cls, size_t n_words) {
+  size_t bits = 0;
+  size_t i = 0;
+  while (i < n_words) {
+    if (cls[i] == static_cast<uint8_t>(FpcPattern::kZeroRun)) {
+      size_t run = 1;
+      while (i + run < n_words && run < kMaxZeroRun &&
+             cls[i + run] == static_cast<uint8_t>(FpcPattern::kZeroRun))
+        ++run;
+      bits += kPrefixBits + FpcCompressor::payload_bits(FpcPattern::kZeroRun);
+      i += run;
+      continue;
+    }
+    bits += kPrefixBits + FpcCompressor::payload_bits(static_cast<FpcPattern>(cls[i]));
+    ++i;
+  }
+  return bits;
+}
+
+// compress()'s emission loop driven by precomputed classes; words are read
+// straight off the block bytes. Byte-identical stream to the scalar walk.
+template <class Writer>
+void emit_from_classes(const uint8_t* p, size_t n_words, const uint8_t* cls, Writer& w) {
+  size_t i = 0;
+  while (i < n_words) {
+    if (cls[i] == static_cast<uint8_t>(FpcPattern::kZeroRun)) {
+      size_t run = 1;
+      while (i + run < n_words && run < kMaxZeroRun &&
+             cls[i + run] == static_cast<uint8_t>(FpcPattern::kZeroRun))
+        ++run;
+      w.put(static_cast<uint64_t>(FpcPattern::kZeroRun), kPrefixBits);
+      w.put(run - 1, 3);
+      i += run;
+      continue;
+    }
+    const uint32_t word = detail::load_le32(p + 4 * i);
+    const auto pat = static_cast<FpcPattern>(cls[i]);
+    w.put(static_cast<uint64_t>(pat), kPrefixBits);
+    switch (pat) {
+      case FpcPattern::kSignExt4: w.put(word & 0xF, 4); break;
+      case FpcPattern::kSignExt8: w.put(word & 0xFF, 8); break;
+      case FpcPattern::kSignExt16: w.put(word & 0xFFFF, 16); break;
+      case FpcPattern::kHalfwordPadded: w.put(word >> 16, 16); break;
+      case FpcPattern::kTwoHalfwordsSE:
+        w.put((word >> 16) & 0xFF, 8);
+        w.put(word & 0xFF, 8);
+        break;
+      case FpcPattern::kRepeatedBytes: w.put(word & 0xFF, 8); break;
+      case FpcPattern::kUncompressed: w.put(word, 32); break;
+      case FpcPattern::kZeroRun: assert(false); break;
+    }
+    ++i;
+  }
 }
 
 }  // namespace
@@ -185,27 +262,17 @@ BlockAnalysis FpcCompressor::analyze(BlockView block) const {
 }
 
 void FpcCompressor::analyze_batch(std::span<const BlockView> blocks, BlockAnalysis* out) const {
-  uint32_t words[detail::kMaxStagedWords];
+  uint8_t cls[detail::kMaxStagedWords];
+  const bool use_avx2 = simd::active_level() == simd::Level::kAvx2;
   for (size_t b = 0; b < blocks.size(); ++b) {
     const BlockView blk = blocks[b];
     if (!detail::word_staging_applicable(blk.size())) {
       out[b] = analyze(blk);
       continue;
     }
-    const size_t n_words = detail::load_words_le32(blk.bytes().data(), blk.size(), words);
-    size_t bits = 0;
-    size_t i = 0;
-    while (i < n_words) {
-      if (words[i] == 0) {
-        size_t run = 1;
-        while (i + run < n_words && run < kMaxZeroRun && words[i + run] == 0) ++run;
-        bits += kPrefixBits + payload_bits(FpcPattern::kZeroRun);
-        i += run;
-        continue;
-      }
-      bits += kPrefixBits + payload_bits(classify(words[i]));
-      ++i;
-    }
+    const size_t n_words = blk.size() / 4;
+    classify_words(blk.bytes().data(), n_words, cls, use_avx2);
+    const size_t bits = bits_from_classes(cls, n_words);
     BlockAnalysis a;
     const size_t raw_bits = blk.size() * 8;
     a.is_compressed = bits < raw_bits;
@@ -216,55 +283,64 @@ void FpcCompressor::analyze_batch(std::span<const BlockView> blocks, BlockAnalys
 }
 
 void FpcCompressor::compress_batch(std::span<const BlockView> blocks, CompressedBlock* out) const {
-  uint32_t words[detail::kMaxStagedWords];
-  detail::BatchBitWriter w;  // reused across the batch
-  for (size_t b = 0; b < blocks.size(); ++b) {
+  // Prefix-sum payload scatter: classify every block once (stage 1, the
+  // vectorizable half), turn the implied exact payload sizes into arena
+  // offsets, then emit each block at its own offset (stage 2) and slice the
+  // arena into per-block payloads (stage 3).
+  const size_t n = blocks.size();
+  std::vector<uint8_t> cls_all;
+  std::vector<size_t> cls_off(n, 0), bits(n, 0), sizes(n, 0), offsets(n, 0);
+  const bool use_avx2 = simd::active_level() == simd::Level::kAvx2;
+
+  size_t total_words = 0;
+  for (size_t b = 0; b < n; ++b)
+    if (detail::word_staging_applicable(blocks[b].size())) {
+      cls_off[b] = total_words;
+      total_words += blocks[b].size() / 4;
+    }
+  cls_all.resize(total_words);
+
+  for (size_t b = 0; b < n; ++b) {
+    const BlockView blk = blocks[b];
+    if (!detail::word_staging_applicable(blk.size())) continue;  // stage-2 fallback
+    const size_t n_words = blk.size() / 4;
+    uint8_t* cls = cls_all.data() + cls_off[b];
+    classify_words(blk.bytes().data(), n_words, cls, use_avx2);
+    bits[b] = bits_from_classes(cls, n_words);
+    sizes[b] = bits[b] < blk.size() * 8 ? (bits[b] + 7) / 8 : blk.size();
+  }
+
+  const size_t total = detail::exclusive_prefix_sum(sizes.data(), n, offsets.data());
+  std::vector<uint8_t> arena(total);
+  detail::SpanBitWriter w;
+
+  for (size_t b = 0; b < n; ++b) {
     const BlockView blk = blocks[b];
     if (!detail::word_staging_applicable(blk.size())) {
       out[b] = compress(blk);
       continue;
     }
-    const size_t n_words = detail::load_words_le32(blk.bytes().data(), blk.size(), words);
-    w.clear();
-    size_t i = 0;
-    while (i < n_words) {
-      const uint32_t word = words[i];
-      if (word == 0) {
-        size_t run = 1;
-        while (i + run < n_words && run < kMaxZeroRun && words[i + run] == 0) ++run;
-        w.put(static_cast<uint64_t>(FpcPattern::kZeroRun), kPrefixBits);
-        w.put(run - 1, 3);
-        i += run;
-        continue;
-      }
-      const FpcPattern p = classify(word);
-      w.put(static_cast<uint64_t>(p), kPrefixBits);
-      switch (p) {
-        case FpcPattern::kSignExt4: w.put(word & 0xF, 4); break;
-        case FpcPattern::kSignExt8: w.put(word & 0xFF, 8); break;
-        case FpcPattern::kSignExt16: w.put(word & 0xFFFF, 16); break;
-        case FpcPattern::kHalfwordPadded: w.put(word >> 16, 16); break;
-        case FpcPattern::kTwoHalfwordsSE:
-          w.put((word >> 16) & 0xFF, 8);
-          w.put(word & 0xFF, 8);
-          break;
-        case FpcPattern::kRepeatedBytes: w.put(word & 0xFF, 8); break;
-        case FpcPattern::kUncompressed: w.put(word, 32); break;
-        case FpcPattern::kZeroRun: assert(false); break;
-      }
-      ++i;
+    const uint8_t* p = blk.bytes().data();
+    if (bits[b] >= blk.size() * 8) {  // stored raw
+      std::memcpy(arena.data() + offsets[b], p, blk.size());
+      continue;
     }
+    w.reset(arena.data() + offsets[b]);
+    emit_from_classes(p, blk.size() / 4, cls_all.data() + cls_off[b], w);
+    assert(w.bit_size() == bits[b]);
+    const size_t written = w.finish();
+    assert(written == sizes[b]);
+    (void)written;
+  }
 
+  for (size_t b = 0; b < n; ++b) {
+    const BlockView blk = blocks[b];
+    if (!detail::word_staging_applicable(blk.size())) continue;
     CompressedBlock cb;
-    if (w.bit_size() >= blk.size() * 8) {
-      cb.is_compressed = false;
-      cb.bit_size = blk.size() * 8;
-      cb.payload.assign(blk.bytes().begin(), blk.bytes().end());
-    } else {
-      cb.is_compressed = true;
-      cb.bit_size = w.bit_size();
-      cb.payload = w.bytes();
-    }
+    const uint8_t* slice = arena.data() + offsets[b];
+    cb.is_compressed = bits[b] < blk.size() * 8;
+    cb.bit_size = cb.is_compressed ? bits[b] : blk.size() * 8;
+    cb.payload.assign(slice, slice + sizes[b]);
     out[b] = std::move(cb);
   }
 }

@@ -177,6 +177,9 @@ HuffmanCode HuffmanCode::build(const SymbolFrequencies& freqs, size_t max_entrie
   }
   hc.entries_ = candidates.size();
   hc.build_lut();
+  hc.enc_bits_.resize(size_t{1} << kSymbolBits);
+  for (size_t s = 0; s < hc.enc_bits_.size(); ++s)
+    hc.enc_bits_[s] = hc.encoded_bits(static_cast<uint16_t>(s));
   return hc;
 }
 

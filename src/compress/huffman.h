@@ -64,6 +64,12 @@ class HuffmanCode {
     return l != 0 ? l : esc_len_ + kSymbolBits;
   }
 
+  /// encoded_bits() flattened to a 65536-entry uint32 array (escape cost
+  /// already folded in), sized for the AVX2 8-lane gather in the E2MC
+  /// code-length kernel — a uint8 table would over-read past the end at
+  /// 4-byte gather granularity.
+  const uint32_t* encoded_bits_table() const { return enc_bits_.data(); }
+
   /// True if the symbol has its own codeword.
   bool in_table(uint16_t sym) const { return len_[sym] != 0; }
 
@@ -91,7 +97,8 @@ class HuffmanCode {
   uint32_t esc_code_ = 0;
   unsigned max_len_ = 16;
   size_t entries_ = 0;
-  std::vector<DecodeStep> lut_; // 65536-entry peek-decoder
+  std::vector<DecodeStep> lut_;      // 65536-entry peek-decoder
+  std::vector<uint32_t> enc_bits_;   // 65536-entry encoded_bits() table
 
   void build_lut();
 };

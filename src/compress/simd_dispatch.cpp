@@ -1,0 +1,74 @@
+#include "compress/simd_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace slc::simd {
+
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+bool env_force_scalar() {
+  const char* e = std::getenv("SLC_FORCE_SCALAR");
+  return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
+}
+
+bool cpu_has_avx2() {
+#if SLC_HAVE_AVX2_KERNELS
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+struct Probe {
+  bool env_forced = false;
+  Level level = Level::kScalar;
+};
+
+// One CPUID/getenv probe per process; the programmatic override is applied
+// on top of this in active_level().
+const Probe& probe() {
+  static const Probe p = [] {
+    Probe out;
+    out.env_forced = env_force_scalar();
+    if (!out.env_forced && avx2_compiled() && cpu_has_avx2()) out.level = Level::kAvx2;
+    return out;
+  }();
+  return p;
+}
+
+}  // namespace
+
+Level active_level() {
+  if (g_force_scalar.load(std::memory_order_relaxed)) return Level::kScalar;
+  return probe().level;
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+const char* active_level_name() { return level_name(active_level()); }
+
+bool avx2_compiled() {
+#if SLC_HAVE_AVX2_KERNELS
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx2_supported() { return cpu_has_avx2(); }
+
+bool force_scalar_env() { return probe().env_forced; }
+
+void force_scalar(bool on) { g_force_scalar.store(on, std::memory_order_relaxed); }
+
+}  // namespace slc::simd

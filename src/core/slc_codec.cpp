@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "common/bitstream.h"
+#include "compress/batch_writer.h"
 
 namespace slc {
 
@@ -29,9 +31,10 @@ size_t SlcCodec::header_bits(size_t block_bytes) const {
   return SlcHeader::bits(block_bytes, lossless_->config().num_ways, n_sym);
 }
 
-CompressedBlock SlcCodec::encode(BlockView block, const SlcHeader& hdr,
-                                 std::span<const uint16_t> lens, size_t skip_start,
-                                 size_t skip_count) const {
+template <class Writer>
+size_t SlcCodec::encode_into(BlockView block, const SlcHeader& hdr,
+                             std::span<const uint16_t> lens, size_t skip_start,
+                             size_t skip_count, Writer& w) const {
   const unsigned num_ways = lossless_->config().num_ways;
   const size_t n_sym = block.num_symbols();
   const size_t per_way = n_sym / num_ways;
@@ -47,7 +50,6 @@ CompressedBlock SlcCodec::encode(BlockView block, const SlcHeader& hdr,
   }
 
   const HuffmanCode& code = lossless_->code();
-  BitWriter w;
   h.write(w, block.size(), num_ways, n_sym);
   for (unsigned way = 0; way < num_ways; ++way) {
     const size_t start_bit = w.bit_size();
@@ -66,11 +68,18 @@ CompressedBlock SlcCodec::encode(BlockView block, const SlcHeader& hdr,
     const size_t aligned = lo.way_bytes[way] * 8;
     if (aligned > used) w.put(0, static_cast<unsigned>(aligned - used));
   }
+  assert(w.bit_size() == lo.total_bits);
+  return lo.total_bits;
+}
 
+CompressedBlock SlcCodec::encode(BlockView block, const SlcHeader& hdr,
+                                 std::span<const uint16_t> lens, size_t skip_start,
+                                 size_t skip_count) const {
+  BitWriter w;
+  const size_t total_bits = encode_into(block, hdr, lens, skip_start, skip_count, w);
   CompressedBlock out;
   out.is_compressed = true;
-  out.bit_size = w.bit_size();
-  assert(out.bit_size == lo.total_bits);
+  out.bit_size = total_bits;
   out.payload = w.bytes();
   return out;
 }
@@ -197,6 +206,59 @@ SlcCompressedBlock SlcCodec::compress_decided(BlockView block, const Decision& d
   assert(!d.info.lossy ||
          out.data.bit_size <= d.info.bursts * cfg_.mag_bytes * 8);
   return out;
+}
+
+void SlcCodec::compress_batch(std::span<const BlockView> blocks, SlcCompressedBlock* out) const {
+  // Prefix-sum payload scatter over the batched Fig. 4 decision: decide_batch
+  // already yields every block's exact final size (final_bits is always a
+  // whole number of bytes — the ways are byte-aligned and raw blocks are
+  // byte-sized), so the payloads scatter into one arena at independent
+  // offsets and no per-block writer or probe re-run is needed.
+  const size_t n = blocks.size();
+  LengthScratch scratch;
+  std::vector<Decision> ds(n);
+  decide_batch(blocks, scratch, ds.data());
+
+  std::vector<size_t> sizes(n), offsets(n);
+  for (size_t b = 0; b < n; ++b) {
+    assert(ds[b].info.final_bits % 8 == 0);
+    sizes[b] = ds[b].info.final_bits / 8;
+  }
+  const size_t total = detail::exclusive_prefix_sum(sizes.data(), n, offsets.data());
+  std::vector<uint8_t> arena(total);
+  detail::SpanBitWriter w;
+
+  for (size_t b = 0; b < n; ++b) {
+    const BlockView blk = blocks[b];
+    const Decision& d = ds[b];
+    if (d.info.stored_uncompressed) {
+      std::memcpy(arena.data() + offsets[b], blk.bytes().data(), blk.size());
+      continue;
+    }
+    SlcHeader hdr;
+    hdr.lossy = d.info.lossy;
+    hdr.start_symbol = static_cast<uint8_t>(d.skip_start);
+    hdr.approx_count = static_cast<uint8_t>(d.info.lossy ? d.skip_count : 0);
+    w.reset(arena.data() + offsets[b]);
+    const size_t bits =
+        encode_into(blk, hdr, scratch.block_lens(b), d.skip_start, d.skip_count, w);
+    assert(bits == d.info.final_bits);
+    (void)bits;
+    const size_t written = w.finish();
+    assert(written == sizes[b]);
+    (void)written;
+  }
+
+  for (size_t b = 0; b < n; ++b) {
+    const Decision& d = ds[b];
+    SlcCompressedBlock cb;
+    cb.info = d.info;
+    cb.data.is_compressed = !d.info.stored_uncompressed;
+    cb.data.bit_size = d.info.final_bits;
+    const uint8_t* slice = arena.data() + offsets[b];
+    cb.data.payload.assign(slice, slice + sizes[b]);
+    out[b] = std::move(cb);
+  }
 }
 
 Block SlcCodec::decompress(const SlcCompressedBlock& cb, size_t block_bytes) const {

@@ -108,6 +108,13 @@ class SlcCodec {
   SlcCompressedBlock compress_decided(BlockView block, const Decision& d,
                                       std::span<const uint16_t> lens) const;
 
+  /// Batched compress(): one decide_batch() probe for the whole span, then
+  /// payload emission through the prefix-sum scatter (each block's exact
+  /// final size is known from its Decision, so every payload is written at
+  /// an independent offset of one reused arena). out[i] is byte-identical
+  /// to compress(blocks[i]).
+  void compress_batch(std::span<const BlockView> blocks, SlcCompressedBlock* out) const;
+
   /// The block as reads will observe it after a store+load round trip of
   /// decision `d`, without materializing the payload: every non-truncated
   /// symbol round-trips exactly through the entropy code, so the result is
@@ -160,6 +167,13 @@ class SlcCodec {
   CompressedBlock encode(BlockView block, const SlcHeader& hdr,
                          std::span<const uint16_t> lens, size_t skip_start,
                          size_t skip_count) const;
+
+  /// encode()'s emission into a caller-provided writer (BitWriter or
+  /// detail::SpanBitWriter, which must be empty); returns the total bits
+  /// written. Defined in slc_codec.cpp; all instantiations live there.
+  template <class Writer>
+  size_t encode_into(BlockView block, const SlcHeader& hdr, std::span<const uint16_t> lens,
+                     size_t skip_start, size_t skip_count, Writer& w) const;
 };
 
 }  // namespace slc

@@ -34,12 +34,16 @@ class SlcCompressor : public Compressor {
   }
   BlockAnalysis analyze(BlockView block) const override;
 
-  /// Batched mode decision: SlcCodec::analyze_batch stages the E2MC length
-  /// probe once for the whole span, so CodecEngine shards and CodecServer
-  /// coalesced batches run the Fig. 4 decision at batch speed. Byte-identical
-  /// to the scalar loop (pinned by tests/test_batch_kernels.cpp).
+  /// Batched kernels: SlcCodec stages the E2MC length probe once for the
+  /// whole span and (for compress) scatters the payloads through the
+  /// prefix-sum arena, so CodecEngine shards and CodecServer coalesced
+  /// batches run the Fig. 4 decision and the payload emission at batch
+  /// speed. Byte-identical to the scalar loop (pinned by
+  /// tests/test_batch_kernels.cpp).
   using Compressor::analyze_batch;
+  using Compressor::compress_batch;
   void analyze_batch(std::span<const BlockView> blocks, BlockAnalysis* out) const override;
+  void compress_batch(std::span<const BlockView> blocks, CompressedBlock* out) const override;
 
   /// The wrapped codec, for consumers that need the SLC-specific API
   /// (encode info, tree selector, header geometry).

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "compress/batch_writer.h"
 #include "compress/e2mc.h"
 #include "core/tree_selector.h"
 
@@ -21,7 +22,8 @@ size_t SlcHeader::bits(size_t block_bytes, unsigned num_ways, size_t num_symbols
          (num_ways - 1) * E2mcCompressor::pdp_bits(block_bytes);
 }
 
-void SlcHeader::write(BitWriter& w, size_t block_bytes, unsigned num_ways,
+template <class Writer>
+void SlcHeader::write(Writer& w, size_t block_bytes, unsigned num_ways,
                       size_t num_symbols) const {
   w.put_bit(lossy);
   w.put(start_symbol, ss_bits(num_symbols));
@@ -35,6 +37,9 @@ void SlcHeader::write(BitWriter& w, size_t block_bytes, unsigned num_ways,
   const size_t target = padded_bytes(block_bytes, num_ways, num_symbols) * 8;
   if (target > w.bit_size()) w.put(0, static_cast<unsigned>(target - w.bit_size()));
 }
+
+template void SlcHeader::write(BitWriter&, size_t, unsigned, size_t) const;
+template void SlcHeader::write(detail::SpanBitWriter&, size_t, unsigned, size_t) const;
 
 SlcHeader SlcHeader::read(BitReader& r, size_t block_bytes, unsigned num_ways,
                           size_t num_symbols) {

@@ -116,9 +116,13 @@ std::shared_ptr<detail::EngineJob> CodecEngine::enqueue(
   }
   // Dynamic work queue: ~8 shards per worker balances load without paying a
   // queue round-trip per block. Shard size never affects results, only how
-  // the stream is cut across workers.
+  // the stream is cut across workers. Shards above 16 blocks are rounded up
+  // to a multiple of 16 so the SIMD batch kernels see full tiles and the
+  // per-shard staging (length scratch, scatter arena) amortizes evenly.
   const size_t target_shards = static_cast<size_t>(num_threads()) * 8;
-  job->shard = std::clamp<size_t>((count + target_shards - 1) / target_shards, 1, 4096);
+  size_t shard = std::clamp<size_t>((count + target_shards - 1) / target_shards, 1, 4096);
+  if (shard > 16) shard = (shard + 15) / 16 * 16;
+  job->shard = std::min<size_t>(shard, 4096);
   bool accepted = false;
   {
     std::lock_guard<std::mutex> lk(mutex_);

@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "compress/block_codec.h"
 #include "compress/codec_registry.h"
+#include "compress/simd_dispatch.h"
 #include "test_util.h"
 
 namespace slc {
@@ -229,6 +230,156 @@ TEST(BatchKernels, ProcessBatchMatchesScalarForEveryRegistryPolicy) {
   }
   // The sweep must have exercised the lossy materialization path.
   EXPECT_GT(lossy_seen, 0u);
+}
+
+// --- SIMD dispatch -----------------------------------------------------------
+// The vector kernels behind slc::simd are an implementation detail: pinning
+// the scalar sub-kernels (simd::force_scalar, same switch the SLC_FORCE_SCALAR
+// env var throws) must not change a single output byte of any codec. On hosts
+// without AVX2 both runs take the scalar path and the comparison is trivially
+// true — CI also runs this whole binary once with SLC_FORCE_SCALAR=1 so the
+// scalar oracle itself stays covered everywhere.
+
+// Restores runtime dispatch even when an ASSERT bails out of the test body.
+struct ForceScalarGuard {
+  ~ForceScalarGuard() { simd::force_scalar(false); }
+};
+
+TEST(BatchKernels, ForceScalarTogglePreservesEveryByte) {
+  ForceScalarGuard guard;
+  const std::vector<uint8_t> training = test::quantized_walk(7, 64);
+  CodecOptions opts = test::test_options(training);
+  opts.trained_e2mc = E2mcCompressor::train(training, opts.e2mc);
+
+  const std::map<std::string, std::vector<Block>> datasets = {
+      {"random", random_blocks(33)},
+      {"value-similar", to_blocks(test::quantized_walk(21, 48))},
+      {"repeat-delta", repeat_delta_blocks(31)},
+  };
+
+  for (const CodecInfo* info : CodecRegistry::instance().entries()) {
+    if (!info->make) continue;
+    const auto comp = CodecRegistry::instance().create(info->name, opts);
+    for (const auto& [label, blocks] : datasets) {
+      const std::vector<BlockView> views = to_views(blocks);
+      std::vector<BlockAnalysis> a_scalar(blocks.size()), a_simd(blocks.size());
+      std::vector<CompressedBlock> c_scalar(blocks.size()), c_simd(blocks.size());
+
+      simd::force_scalar(true);
+      ASSERT_EQ(simd::active_level(), simd::Level::kScalar);
+      comp->analyze_batch(views, a_scalar.data());
+      comp->compress_batch(views, c_scalar.data());
+
+      simd::force_scalar(false);  // back to this host's probed default
+      comp->analyze_batch(views, a_simd.data());
+      comp->compress_batch(views, c_simd.data());
+
+      for (size_t i = 0; i < blocks.size(); ++i) {
+        const std::string what = comp->name() + "/" + label + " block " + std::to_string(i) +
+                                 " force-scalar toggle (active=" +
+                                 std::string(simd::active_level_name()) + ")";
+        expect_analysis_eq(a_scalar[i], a_simd[i], what);
+        expect_payload_eq(c_scalar[i], c_simd[i], what);
+      }
+    }
+  }
+}
+
+// Batch splits around the kernels' tile widths — 1 (degenerate), 7/9 (around
+// the E2MC 8-symbol gather), 15/17 (around BDI's 16-word tiles), 31/33
+// (around FPC's 32-words-per-iteration pack) — on a stream whose length
+// divides none of them. Any even-division assumption in the staging, the
+// prefix-sum scatter, or a vector tail loop shows up here.
+TEST(BatchKernels, OddBatchSplitsMatchScalar) {
+  const std::vector<uint8_t> training = test::quantized_walk(7, 64);
+  CodecOptions opts = test::test_options(training);
+  opts.trained_e2mc = E2mcCompressor::train(training, opts.e2mc);
+
+  const std::vector<Block> blocks = repeat_delta_blocks(35);
+  const std::vector<BlockView> views = to_views(blocks);
+
+  for (const CodecInfo* info : CodecRegistry::instance().entries()) {
+    if (!info->make) continue;
+    const auto comp = CodecRegistry::instance().create(info->name, opts);
+
+    std::vector<BlockAnalysis> scalar_a(blocks.size());
+    std::vector<CompressedBlock> scalar_c(blocks.size());
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      scalar_a[i] = comp->analyze(views[i]);
+      scalar_c[i] = comp->compress(views[i]);
+    }
+
+    for (const size_t split : {1, 7, 9, 15, 17, 31, 33}) {
+      std::vector<BlockAnalysis> batch_a(blocks.size());
+      std::vector<CompressedBlock> batch_c(blocks.size());
+      for (size_t begin = 0; begin < blocks.size(); begin += split) {
+        const size_t len = std::min(split, blocks.size() - begin);
+        const std::span<const BlockView> part(views.data() + begin, len);
+        comp->analyze_batch(part, batch_a.data() + begin);
+        comp->compress_batch(part, batch_c.data() + begin);
+      }
+      for (size_t i = 0; i < blocks.size(); ++i) {
+        const std::string what = comp->name() + " odd split " + std::to_string(split) +
+                                 " block " + std::to_string(i);
+        expect_analysis_eq(scalar_a[i], batch_a[i], what);
+        expect_payload_eq(scalar_c[i], batch_c[i], what);
+      }
+    }
+  }
+}
+
+// Misaligned block pointers: the same stream viewed at byte offsets 0, 1 and
+// 3 from the backing allocation, so every 32-byte vector load in the kernels
+// is genuinely unaligned (block *sizes* stay kBlockBytes — only the pointers
+// shift). Batch results must match the scalar loop over the same shifted
+// views, and shifting must not perturb a kernel into reading outside its
+// block (ASan in CI would catch an over-read).
+TEST(BatchKernels, MisalignedBlockPointersMatchScalar) {
+  const std::vector<uint8_t> training = test::quantized_walk(7, 64);
+  CodecOptions opts = test::test_options(training);
+  opts.trained_e2mc = E2mcCompressor::train(training, opts.e2mc);
+
+  constexpr size_t kBlocks = 24;
+  // Compressible content (repeated values + small deltas) so the vector
+  // probe/classify/gather paths actually engage instead of bailing to raw.
+  std::vector<uint8_t> pattern;
+  pattern.reserve(kBlocks * kBlockBytes);
+  {
+    Rng rng(0xA11E5ull);
+    uint64_t base = 0x0807060504030201ull;
+    for (size_t i = 0; i < kBlocks * kBlockBytes / 8; ++i) {
+      if (i % 16 == 0) base = rng.next();
+      const uint64_t v = rng.chance(0.5) ? base : base + rng.next_below(120);
+      for (int k = 0; k < 8; ++k) pattern.push_back(static_cast<uint8_t>(v >> (8 * k)));
+    }
+  }
+
+  for (const size_t offset : {size_t{0}, size_t{1}, size_t{3}}) {
+    std::vector<uint8_t> arena(offset + pattern.size());
+    std::memcpy(arena.data() + offset, pattern.data(), pattern.size());
+    std::vector<BlockView> views;
+    views.reserve(kBlocks);
+    for (size_t b = 0; b < kBlocks; ++b)
+      views.push_back(BlockView(
+          std::span<const uint8_t>(arena.data() + offset + b * kBlockBytes, kBlockBytes)));
+
+    for (const CodecInfo* info : CodecRegistry::instance().entries()) {
+      if (!info->make) continue;
+      const auto comp = CodecRegistry::instance().create(info->name, opts);
+
+      std::vector<BlockAnalysis> batch_a(kBlocks);
+      std::vector<CompressedBlock> batch_c(kBlocks);
+      comp->analyze_batch(views, batch_a.data());
+      comp->compress_batch(views, batch_c.data());
+
+      for (size_t i = 0; i < kBlocks; ++i) {
+        const std::string what = comp->name() + " offset " + std::to_string(offset) +
+                                 " block " + std::to_string(i);
+        expect_analysis_eq(comp->analyze(views[i]), batch_a[i], what);
+        expect_payload_eq(comp->compress(views[i]), batch_c[i], what);
+      }
+    }
+  }
 }
 
 // Lossless schemes must still roundtrip from the batch-produced payloads.

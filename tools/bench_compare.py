@@ -55,7 +55,12 @@ def load(path):
         if key in out:
             sys.exit(f"error: {path} has duplicate measurement {key}")
         out[key] = row
-    return doc.get("bench", "?"), out
+    meta = doc.get("meta")
+    return doc.get("bench", "?"), out, meta if isinstance(meta, dict) else {}
+
+
+def fmt_meta(meta):
+    return ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
 
 
 def main():
@@ -70,8 +75,8 @@ def main():
                          "current file (default: report and continue)")
     args = ap.parse_args()
 
-    base_name, base = load(args.baseline)
-    cur_name, cur = load(args.current)
+    base_name, base, base_meta = load(args.baseline)
+    cur_name, cur, cur_meta = load(args.current)
     if base_name != cur_name:
         print(f"warning: comparing different benches: {base_name!r} vs {cur_name!r}")
 
@@ -79,6 +84,14 @@ def main():
     width = max((len("/".join(k)) for k in base), default=10)
     print(f"bench: {cur_name}   metric: {args.metric}   "
           f"threshold: {args.threshold:.0%}")
+    # Host/kernel-variant provenance (simd_compiled, cpu_avx2, simd_active,
+    # force_scalar_env, ...): which code path produced each file. A speedup
+    # diff between an AVX2 baseline and a scalar current run (or vice versa)
+    # is a variant change, not a regression — this line is how you tell.
+    if base_meta:
+        print(f"baseline meta: {fmt_meta(base_meta)}")
+    if cur_meta:
+        print(f"current  meta: {fmt_meta(cur_meta)}")
     print(f"{'measurement':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}")
     for key in sorted(base):
         name = "/".join(key)
