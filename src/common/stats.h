@@ -39,6 +39,46 @@ class RunningStats {
 /// need a floor to be averageable).
 double geometric_mean(std::span<const double> xs, double floor = 1e-300);
 
+/// Outcome counters for the block-fingerprint decision memo
+/// (core/fingerprint_cache.h), embedded in CommitStats and the per-stream
+/// server tables. Unlike every other commit counter these are NOT
+/// thread-count invariant: whether block i hits depends on whether a
+/// concurrent shard already inserted its duplicate. The *decisions* stay
+/// invariant either way (a hit returns exactly the decision the miss path
+/// would compute), so determinism checks compare
+/// CommitStats::same_decisions(), never these counters.
+struct CacheCounters {
+  uint64_t hits = 0;        ///< decision served from the memo (probe skipped)
+  uint64_t misses = 0;      ///< decision computed (and inserted)
+  uint64_t evictions = 0;   ///< LRU entries displaced by inserts
+  uint64_t collisions = 0;  ///< verify-on-hit content mismatches (fingerprint collision)
+
+  /// Folds one block's probe outcome in (the shape BlockAnalysis /
+  /// BlockCodecResult carry it in).
+  void record(bool probed, bool hit, bool evicted, bool collision) {
+    if (probed) {
+      hits += hit ? 1 : 0;
+      misses += hit ? 0 : 1;
+    }
+    evictions += evicted ? 1 : 0;
+    collisions += collision ? 1 : 0;
+  }
+
+  void merge(const CacheCounters& o) {
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    collisions += o.collisions;
+  }
+
+  uint64_t probes() const { return hits + misses; }
+  double hit_rate() const {
+    return probes() ? static_cast<double>(hits) / static_cast<double>(probes()) : 0.0;
+  }
+
+  bool operator==(const CacheCounters&) const = default;
+};
+
 /// Integer histogram keyed by bucket value.
 class Histogram {
  public:

@@ -27,6 +27,13 @@ struct BlockCodecResult {
   bool stored_uncompressed = false;
   size_t truncated_symbols = 0;
   Block decoded;              ///< block as later reads will observe it
+
+  // Fingerprint-memo outcome (see BlockAnalysis): hit-rate accounting only;
+  // every decision field above is cache-invariant.
+  bool cache_probed = false;
+  bool cache_hit = false;
+  bool cache_evicted = false;
+  bool cache_collision = false;
 };
 
 class BlockCodec {

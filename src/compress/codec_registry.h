@@ -26,6 +26,7 @@
 namespace slc {
 
 class BlockCodec;
+class FingerprintCache;
 
 /// Everything a factory may need to construct a codec. Schemes ignore the
 /// fields that do not apply to them (BDI/FPC/C-PACK need nothing; the entropy
@@ -42,6 +43,11 @@ struct CodecOptions {
   /// Already-trained E2MC model to reuse (skips training). Honored by the
   /// E2MC and TSLC-* factories — the benches' per-benchmark training cache.
   std::shared_ptr<const E2mcCompressor> trained_e2mc{};
+  /// Optional fingerprint memo for the Fig. 4 decision path
+  /// (core/fingerprint_cache.h), honored by the TSLC-* factories; null (the
+  /// default) keeps the codec uncached. Sharing one cache across codecs is
+  /// safe — entries are keyed on the deciding codec's identity.
+  std::shared_ptr<FingerprintCache> fingerprint_cache{};
 };
 
 using CompressorFactory =

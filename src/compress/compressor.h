@@ -40,6 +40,15 @@ struct BlockAnalysis {
   bool lossy = false;           ///< symbols were approximated (SLC only)
   size_t lossless_bits = 0;     ///< size before any truncation
   size_t truncated_symbols = 0; ///< approximated symbols (SLC only)
+
+  // Fingerprint-memo outcome for this block (core/fingerprint_cache.h; all
+  // false when the scheme has no cache or it is disabled). The decision
+  // fields above are identical either way — these only feed hit-rate
+  // accounting (CacheCounters), never determinism checks.
+  bool cache_probed = false;     ///< the decision memo was consulted
+  bool cache_hit = false;        ///< decision served without the E2MC probe
+  bool cache_evicted = false;    ///< inserting this block displaced an entry
+  bool cache_collision = false;  ///< verify-on-hit caught a fingerprint collision
 };
 
 /// Abstract block compressor.

@@ -1,5 +1,6 @@
 #include "compress/e2mc.h"
 
+#include <atomic>
 #include <cassert>
 
 #include <cstring>
@@ -18,8 +19,14 @@ namespace {
 constexpr size_t kMaxStagedSymbols = 2 * detail::kMaxStagedWords;
 }  // namespace
 
+namespace {
+std::atomic<uint64_t> g_next_model_id{1};
+}  // namespace
+
 E2mcCompressor::E2mcCompressor(HuffmanCode code, E2mcConfig cfg)
-    : code_(std::move(code)), cfg_(cfg) {
+    : code_(std::move(code)),
+      cfg_(cfg),
+      model_id_(g_next_model_id.fetch_add(1, std::memory_order_relaxed)) {
   assert(cfg_.num_ways >= 1 && cfg_.num_ways <= 8);
 }
 

@@ -79,6 +79,13 @@ class E2mcCompressor : public Compressor {
   const HuffmanCode& code() const { return code_; }
   const E2mcConfig& config() const { return cfg_; }
 
+  /// Process-unique identity of this trained model (monotonic counter, never
+  /// reused). Two compressors with distinct code tables always report
+  /// distinct ids, so consumers keying caches on a model — the fingerprint
+  /// memo's codec key — can never mix decisions across trainings, even if
+  /// one model is freed and another allocated at the same address.
+  uint64_t model_id() const { return model_id_; }
+
   /// pdp width: N bits with 2^N = block size in bytes.
   static unsigned pdp_bits(size_t block_bytes);
 
@@ -103,6 +110,7 @@ class E2mcCompressor : public Compressor {
 
   HuffmanCode code_;
   E2mcConfig cfg_;
+  uint64_t model_id_;
 };
 
 }  // namespace slc

@@ -8,13 +8,18 @@ namespace {
 
 /// Copies the mode-decision bookkeeping into the policy result (everything
 /// except `decoded`, which depends on whether the block went lossy).
-void fill_result(BlockCodecResult& r, const SlcEncodeInfo& info) {
+void fill_result(BlockCodecResult& r, const SlcEncodeInfo& info,
+                 const SlcCodec::CacheOutcome& oc) {
   r.bursts = info.bursts;
   r.lossless_bits = info.lossless_bits;
   r.final_bits = info.final_bits;
   r.lossy = info.lossy;
   r.stored_uncompressed = info.stored_uncompressed;
   r.truncated_symbols = info.truncated_symbols;
+  r.cache_probed = oc.probed;
+  r.cache_hit = oc.hit;
+  r.cache_evicted = oc.evicted;
+  r.cache_collision = oc.collision;
 }
 
 }  // namespace
@@ -47,17 +52,15 @@ const SlcCodec& SlcBlockCodec::codec_for(bool safe_to_approx, size_t threshold_b
 BlockCodecResult SlcBlockCodec::process(BlockView block, bool safe_to_approx,
                                         size_t threshold_bytes) const {
   const SlcCodec& codec = codec_for(safe_to_approx, threshold_bytes);
-  // Run the Fig. 4 decision size-only; only lossy blocks need the full
-  // encode + approximate decode to produce mutated contents.
+  // Run the Fig. 4 decision size-only — served from the fingerprint memo on
+  // repeat content; only the decision is needed either way, because the
+  // decoded contents come straight from it (window re-fill), the same
+  // payload-free decode the batch path runs.
   BlockCodecResult r;
-  const SlcEncodeInfo info = codec.analyze(block);
-  fill_result(r, info);
-  if (info.lossy) {
-    const SlcCompressedBlock cb = codec.compress(block);
-    r.decoded = codec.decompress(cb, block.size());
-  } else {
-    r.decoded = Block(block.bytes());
-  }
+  SlcCodec::CacheOutcome oc;
+  const SlcCodec::Decision d = codec.decide_cached(block, oc);
+  fill_result(r, d.info, oc);
+  r.decoded = codec.approx_decode(block, d);
   return r;
 }
 
@@ -66,12 +69,13 @@ void SlcBlockCodec::process_batch(std::span<const BlockView> blocks, bool safe_t
   const SlcCodec& codec = codec_for(safe_to_approx, threshold_bytes);
   SlcCodec::LengthScratch scratch;
   std::vector<SlcCodec::Decision> decisions(blocks.size());
-  codec.decide_batch(blocks, scratch, decisions.data());
+  std::vector<SlcCodec::CacheOutcome> outcomes(blocks.size());
+  codec.decide_batch_cached(blocks, scratch, decisions.data(), outcomes.data());
   for (size_t i = 0; i < blocks.size(); ++i) {
     const SlcCodec::Decision& d = decisions[i];
     BlockCodecResult& r = out[i];
     r = BlockCodecResult{};
-    fill_result(r, d.info);
+    fill_result(r, d.info, outcomes[i]);
     // Only lossy blocks mutate, and their decoded contents come straight
     // from the decision (window re-fill) — no payload is built either way.
     r.decoded = codec.approx_decode(blocks[i], d);

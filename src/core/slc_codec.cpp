@@ -3,11 +3,30 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/bitstream.h"
 #include "compress/batch_writer.h"
+#include "core/fingerprint_cache.h"
 
 namespace slc {
+
+namespace {
+
+/// splitmix64 step — mixes the codec-identity fields into one cache key.
+uint64_t mix_key(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
 
 const char* to_string(SlcVariant v) {
   switch (v) {
@@ -20,10 +39,24 @@ const char* to_string(SlcVariant v) {
 
 SlcCodec::SlcCodec(std::shared_ptr<const E2mcCompressor> lossless, SlcConfig cfg)
     : lossless_(std::move(lossless)),
-      cfg_(cfg),
-      selector_(cfg.variant == SlcVariant::kOpt) {
+      cfg_(std::move(cfg)),
+      selector_(cfg_.variant == SlcVariant::kOpt) {
   assert(lossless_ != nullptr);
   assert(cfg_.mag_bytes > 0 && kBlockBytes % cfg_.mag_bytes == 0);
+  // Everything the Fig. 4 decision depends on beyond the block content: the
+  // trained model (its process-unique id — never reused, unlike a pointer),
+  // geometry and variant. Two codecs agreeing on this key always agree on
+  // every decision, so their memo entries are interchangeable.
+  uint64_t key = mix_key(0, lossless_->model_id());
+  key = mix_key(key, cfg_.mag_bytes);
+  key = mix_key(key, cfg_.threshold_bytes);
+  key = mix_key(key, static_cast<uint64_t>(cfg_.variant));
+  cache_key_ = key;
+}
+
+FingerprintCache* SlcCodec::active_cache() const {
+  if (cfg_.cache == nullptr || !FingerprintCache::runtime_enabled()) return nullptr;
+  return cfg_.cache.get();
 }
 
 size_t SlcCodec::header_bits(size_t block_bytes) const {
@@ -162,8 +195,38 @@ SlcCodec::Decision SlcCodec::decide(std::span<const uint16_t> lens,
 }
 
 SlcEncodeInfo SlcCodec::analyze(BlockView block) const {
+  CacheOutcome oc;
+  return analyze(block, oc);
+}
+
+SlcEncodeInfo SlcCodec::analyze(BlockView block, CacheOutcome& oc) const {
+  return decide_cached(block, oc).info;
+}
+
+SlcCodec::Decision SlcCodec::decide_cached(BlockView block, CacheOutcome& oc) const {
+  oc = CacheOutcome{};
+  FingerprintCache* c = active_cache();
+  if (c == nullptr) {
+    const auto lens = lossless_->code_lengths(block);
+    return decide(lens, block.size());
+  }
+  oc.probed = true;
+  const uint64_t fp = block_fingerprint(block.bytes());
+  Decision d;
+  switch (c->lookup(cache_key_, fp, block.bytes(), d)) {
+    case FingerprintCache::Lookup::kHit:
+      oc.hit = true;
+      return d;
+    case FingerprintCache::Lookup::kCollision:
+      oc.collision = true;
+      break;
+    case FingerprintCache::Lookup::kMiss:
+      break;
+  }
   const auto lens = lossless_->code_lengths(block);
-  return decide(lens, block.size()).info;
+  d = decide(lens, block.size());
+  oc.evicted = c->insert(cache_key_, fp, block.bytes(), d);
+  return d;
 }
 
 void SlcCodec::decide_batch(std::span<const BlockView> blocks, LengthScratch& scratch,
@@ -175,10 +238,84 @@ void SlcCodec::decide_batch(std::span<const BlockView> blocks, LengthScratch& sc
     out[i] = decide(scratch.block_lens(i), blocks[i].size());
 }
 
+void SlcCodec::decide_batch_cached(std::span<const BlockView> blocks, LengthScratch& scratch,
+                                   Decision* out, CacheOutcome* oc) const {
+  const size_t n = blocks.size();
+  FingerprintCache* c = active_cache();
+  if (c == nullptr) {
+    decide_batch(blocks, scratch, out);
+    for (size_t i = 0; i < n; ++i) oc[i] = CacheOutcome{};
+    return;
+  }
+
+  // Pass 1: probe the memo, and dedup within the span — a batch of 95%
+  // duplicates then pays one probe for each distinct content even on a cold
+  // cache. `first_miss` maps a missing fingerprint to the first block that
+  // will compute it; later twins copy its decision after the batch probe.
+  std::vector<uint64_t> fps(n);
+  std::vector<size_t> miss;                       // indices that need the probe
+  std::vector<std::pair<size_t, size_t>> twins;   // (dup index, representative)
+  std::unordered_map<uint64_t, size_t> first_miss;
+  miss.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    oc[i] = CacheOutcome{};
+    oc[i].probed = true;
+    fps[i] = block_fingerprint(blocks[i].bytes());
+    switch (c->lookup(cache_key_, fps[i], blocks[i].bytes(), out[i])) {
+      case FingerprintCache::Lookup::kHit:
+        oc[i].hit = true;
+        continue;
+      case FingerprintCache::Lookup::kCollision:
+        oc[i].collision = true;
+        break;
+      case FingerprintCache::Lookup::kMiss:
+        break;
+    }
+    const auto it = first_miss.find(fps[i]);
+    if (it != first_miss.end()) {
+      // Same fingerprint as an earlier miss of this span. In verify-on-hit
+      // mode trust it only on byte equality (an in-span collision falls
+      // through to its own probe); otherwise the fingerprint is the
+      // identity, exactly like a cache hit.
+      const BlockView rep = blocks[it->second];
+      if (!c->verify_on_hit() ||
+          std::equal(rep.bytes().begin(), rep.bytes().end(), blocks[i].bytes().begin())) {
+        oc[i].hit = true;
+        twins.emplace_back(i, it->second);
+        continue;
+      }
+    } else {
+      first_miss.emplace(fps[i], i);
+    }
+    miss.push_back(i);
+  }
+
+  // Pass 2: one staged decide_batch over the distinct misses.
+  if (!miss.empty()) {
+    std::vector<BlockView> miss_views;
+    miss_views.reserve(miss.size());
+    for (const size_t i : miss) miss_views.push_back(blocks[i]);
+    std::vector<Decision> miss_out(miss.size());
+    decide_batch(miss_views, scratch, miss_out.data());
+    for (size_t j = 0; j < miss.size(); ++j) {
+      const size_t i = miss[j];
+      out[i] = miss_out[j];
+      oc[i].evicted = c->insert(cache_key_, fps[i], blocks[i].bytes(), out[i]);
+    }
+  }
+  for (const auto& [i, rep] : twins) out[i] = out[rep];
+}
+
 void SlcCodec::analyze_batch(std::span<const BlockView> blocks, SlcEncodeInfo* out) const {
+  std::vector<CacheOutcome> ocs(blocks.size());
+  analyze_batch(blocks, out, ocs.data());
+}
+
+void SlcCodec::analyze_batch(std::span<const BlockView> blocks, SlcEncodeInfo* out,
+                             CacheOutcome* oc) const {
   LengthScratch scratch;
   std::vector<Decision> decisions(blocks.size());
-  decide_batch(blocks, scratch, decisions.data());
+  decide_batch_cached(blocks, scratch, decisions.data(), oc);
   for (size_t i = 0; i < blocks.size(); ++i) out[i] = decisions[i].info;
 }
 

@@ -25,6 +25,8 @@
 
 namespace slc {
 
+class FingerprintCache;
+
 enum class SlcVariant : uint8_t { kSimp, kPred, kOpt };
 
 const char* to_string(SlcVariant v);
@@ -33,6 +35,14 @@ struct SlcConfig {
   size_t mag_bytes = kDefaultMagBytes;  ///< memory access granularity
   size_t threshold_bytes = 16;          ///< lossy threshold (paper default 16 B)
   SlcVariant variant = SlcVariant::kOpt;
+  /// Optional content-addressed memo for the Fig. 4 decision
+  /// (core/fingerprint_cache.h). Null (the default) keeps every path
+  /// uncached; when set, analyze()/analyze_batch() and the cached decide
+  /// entry points serve repeat blocks without the E2MC length probe. The
+  /// codec derives its cache key from (E2MC model id, MAG, threshold,
+  /// variant), so one cache may safely back any number of codecs — entries
+  /// never cross a configuration or a trained model.
+  std::shared_ptr<FingerprintCache> cache{};
 };
 
 /// Outcome bookkeeping for one block (drives both timing and error studies).
@@ -62,7 +72,8 @@ class SlcCodec {
   /// Size-only fast path: the full Fig. 4 decision (budget, threshold, tree
   /// selection) without building the bit stream. Exactly the sizes/bursts
   /// compress() would report — the simulator's common case, since only lossy
-  /// blocks need their payload materialized.
+  /// blocks need their payload materialized. Served from the fingerprint
+  /// memo when cfg.cache is set (see below).
   SlcEncodeInfo analyze(BlockView block) const;
 
   // --- batched mode decision -------------------------------------------------
@@ -94,12 +105,54 @@ class SlcCodec {
 
   /// Batched decision: fills out[0..blocks.size()) with exactly the Decision
   /// compress()/analyze() derive per block, probing code lengths once for
-  /// the whole span into `scratch`.
+  /// the whole span into `scratch`. Never consults the fingerprint memo —
+  /// the staged lengths it produces feed compress_decided()/compress_batch(),
+  /// which a cache hit (decision only, no lens) cannot serve.
   void decide_batch(std::span<const BlockView> blocks, LengthScratch& scratch,
                     Decision* out) const;
 
   /// Batched analyze(): out[i] == analyze(blocks[i]).
   void analyze_batch(std::span<const BlockView> blocks, SlcEncodeInfo* out) const;
+
+  // --- fingerprint-memoized decision ----------------------------------------
+  // When cfg.cache is set (and SLC_FINGERPRINT_CACHE is not force-disabling
+  // it), the entry points below first consult the content-addressed memo:
+  // a hit returns the stored Decision — exactly what the miss path computes
+  // for that content — and skips the E2MC length probe entirely; a miss
+  // computes the decision through the regular path and inserts it. Without a
+  // cache they are the plain decide()/decide_batch() paths. The outcome
+  // flags feed CacheCounters only and are the single thing that is NOT
+  // thread-count invariant about a cached run.
+
+  /// Per-block cache bookkeeping for one decision.
+  struct CacheOutcome {
+    bool probed = false;     ///< a configured, enabled cache was consulted
+    bool hit = false;        ///< decision served from the memo
+    bool evicted = false;    ///< the insert displaced an LRU entry
+    bool collision = false;  ///< verify-on-hit content mismatch (fp collision)
+  };
+
+  /// One-block memoized decision (the scalar process()/analyze() path).
+  Decision decide_cached(BlockView block, CacheOutcome& oc) const;
+
+  /// Batched memoized decision: hits and in-batch duplicates skip the probe;
+  /// the remaining distinct misses run through one decide_batch() over
+  /// `scratch`. out[i] is identical to decide_batch()'s out[i] for every
+  /// block (modulo undetected 64-bit fingerprint collisions, which
+  /// verify-on-hit eliminates); oc[i] carries block i's cache outcome.
+  void decide_batch_cached(std::span<const BlockView> blocks, LengthScratch& scratch,
+                           Decision* out, CacheOutcome* oc) const;
+
+  /// analyze()/analyze_batch() with the per-block cache outcome surfaced.
+  SlcEncodeInfo analyze(BlockView block, CacheOutcome& oc) const;
+  void analyze_batch(std::span<const BlockView> blocks, SlcEncodeInfo* out,
+                     CacheOutcome* oc) const;
+
+  /// The (model, MAG, threshold, variant) key this codec's entries live
+  /// under; distinct for every distinct decision function.
+  uint64_t cache_key() const { return cache_key_; }
+  /// The configured memo (null when uncached).
+  const std::shared_ptr<FingerprintCache>& cache() const { return cfg_.cache; }
 
   /// compress() with the mode decision and staged lengths already computed —
   /// payload materialization without re-running the probe or the tree
@@ -152,6 +205,11 @@ class SlcCodec {
   std::shared_ptr<const E2mcCompressor> lossless_;
   SlcConfig cfg_;
   TreeSlcSelector selector_;
+  uint64_t cache_key_ = 0;
+
+  /// The memo the cached entry points consult: cfg_.cache unless the
+  /// SLC_FINGERPRINT_CACHE env knob force-disables caching process-wide.
+  FingerprintCache* active_cache() const;
 
   /// The Fig. 4 mode decision, shared by compress()/analyze()/decide_batch().
   Decision decide(std::span<const uint16_t> lens, size_t block_bytes) const;

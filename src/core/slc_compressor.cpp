@@ -7,26 +7,33 @@ namespace slc {
 
 namespace {
 
-BlockAnalysis to_analysis(const SlcEncodeInfo& info) {
+BlockAnalysis to_analysis(const SlcEncodeInfo& info, const SlcCodec::CacheOutcome& oc) {
   BlockAnalysis a;
   a.bit_size = info.final_bits;
   a.is_compressed = !info.stored_uncompressed;
   a.lossy = info.lossy;
   a.lossless_bits = info.lossless_bits;
   a.truncated_symbols = info.truncated_symbols;
+  a.cache_probed = oc.probed;
+  a.cache_hit = oc.hit;
+  a.cache_evicted = oc.evicted;
+  a.cache_collision = oc.collision;
   return a;
 }
 
 }  // namespace
 
 BlockAnalysis SlcCompressor::analyze(BlockView block) const {
-  return to_analysis(codec_.analyze(block));
+  SlcCodec::CacheOutcome oc;
+  const SlcEncodeInfo info = codec_.analyze(block, oc);
+  return to_analysis(info, oc);
 }
 
 void SlcCompressor::analyze_batch(std::span<const BlockView> blocks, BlockAnalysis* out) const {
   std::vector<SlcEncodeInfo> infos(blocks.size());
-  codec_.analyze_batch(blocks, infos.data());
-  for (size_t i = 0; i < blocks.size(); ++i) out[i] = to_analysis(infos[i]);
+  std::vector<SlcCodec::CacheOutcome> ocs(blocks.size());
+  codec_.analyze_batch(blocks, infos.data(), ocs.data());
+  for (size_t i = 0; i < blocks.size(); ++i) out[i] = to_analysis(infos[i], ocs[i]);
 }
 
 void SlcCompressor::compress_batch(std::span<const BlockView> blocks,
@@ -48,6 +55,7 @@ SlcConfig slc_config_from(const CodecOptions& opts, SlcVariant variant) {
   cfg.mag_bytes = opts.mag_bytes;
   cfg.threshold_bytes = opts.threshold_bytes;
   cfg.variant = variant;
+  cfg.cache = opts.fingerprint_cache;
   return cfg;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/fingerprint_cache.h"
+
 namespace slc {
 namespace detail {
 
@@ -104,6 +106,17 @@ std::shared_ptr<CodecEngine> CodecEngine::shared_default() {
   return engine;
 }
 
+std::shared_ptr<FingerprintCache> CodecEngine::fingerprint_cache() {
+  std::lock_guard<std::mutex> lk(cache_mutex_);
+  if (!fingerprint_cache_) fingerprint_cache_ = std::make_shared<FingerprintCache>();
+  return fingerprint_cache_;
+}
+
+void CodecEngine::set_fingerprint_cache(std::shared_ptr<FingerprintCache> cache) {
+  std::lock_guard<std::mutex> lk(cache_mutex_);
+  fingerprint_cache_ = std::move(cache);
+}
+
 std::shared_ptr<detail::EngineJob> CodecEngine::enqueue(
     size_t count, std::function<void(size_t, size_t, unsigned)> body, int priority) {
   auto job = std::make_shared<detail::EngineJob>();
@@ -197,6 +210,7 @@ CodecFuture<CodecEngine::StreamAnalysis> CodecEngine::submit_analyze_indexed(
     RatioAccumulator ratios;
     uint64_t lossy = 0;
     uint64_t truncated = 0;
+    CacheCounters cache;
   };
   // The job context owns everything the shards touch; the future's finalize
   // keeps it alive until the merged result is materialized.
@@ -223,6 +237,7 @@ CodecFuture<CodecEngine::StreamAnalysis> CodecEngine::submit_analyze_indexed(
           ws.ratios.add(ctx->original_bits(i), a.bit_size);
           ws.lossy += a.lossy ? 1 : 0;
           ws.truncated += a.truncated_symbols;
+          ws.cache.record(a.cache_probed, a.cache_hit, a.cache_evicted, a.cache_collision);
         }
       },
       [ctx]() {
@@ -230,6 +245,7 @@ CodecFuture<CodecEngine::StreamAnalysis> CodecEngine::submit_analyze_indexed(
           ctx->out.ratios.merge(ws.ratios);
           ctx->out.lossy_blocks += ws.lossy;
           ctx->out.truncated_symbols += ws.truncated;
+          ctx->out.cache.merge(ws.cache);
         }
         return std::move(ctx->out);
       },

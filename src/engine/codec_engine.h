@@ -39,11 +39,13 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/stats.h"
 #include "compress/compressor.h"
 
 namespace slc {
 
 class CodecEngine;
+class FingerprintCache;
 
 namespace detail {
 
@@ -149,6 +151,23 @@ class CodecEngine {
   /// do not each spin up a pool. ApproxMemory uses this unless given one.
   static std::shared_ptr<CodecEngine> shared_default();
 
+  // --- per-engine fingerprint memo -----------------------------------------
+  // One shared decision memo for everything this engine serves: codecs built
+  // with `options.fingerprint_cache = engine->fingerprint_cache()` dedup
+  // repeat blocks across jobs, streams and commits that route through the
+  // same pool. The cache is sharded (per-shard mutexes), so concurrent
+  // workers only contend on same-shard blocks; entries are keyed on the
+  // deciding codec's identity, so codecs never see each other's decisions.
+
+  /// The engine-owned cache, built on first use (default FingerprintCache
+  /// config). Thread-safe; stable for the engine's lifetime once created.
+  std::shared_ptr<FingerprintCache> fingerprint_cache();
+
+  /// Replaces the engine-owned cache (e.g. to set capacity or verify-on-hit
+  /// before any stream opens). Later fingerprint_cache() calls return
+  /// `cache`; codecs already holding the old pointer keep it.
+  void set_fingerprint_cache(std::shared_ptr<FingerprintCache> cache);
+
   // --- asynchronous submission ---------------------------------------------
   // Any thread may call submit*(); jobs from concurrent callers interleave
   // on the queue without affecting each other's results. Job bodies must not
@@ -178,6 +197,9 @@ class CodecEngine {
     RatioAccumulator ratios;
     uint64_t lossy_blocks = 0;
     uint64_t truncated_symbols = 0;
+    /// Fingerprint-memo outcomes folded over the stream (all zero for
+    /// uncached codecs). NOT thread-count invariant — see CacheCounters.
+    CacheCounters cache;
   };
 
   /// Async size-only sweep. `comp` and the storage behind `blocks` must stay
@@ -226,6 +248,9 @@ class CodecEngine {
 
   unsigned n_threads_ = 1;           // fixed at construction
   std::vector<std::thread> workers_;  // touched only by the ctor + first shutdown()
+
+  mutable std::mutex cache_mutex_;   // guards lazy fingerprint_cache_ creation
+  std::shared_ptr<FingerprintCache> fingerprint_cache_;
 
   mutable std::mutex mutex_;         // guards queue_ + per-job shard cursors
   std::condition_variable work_cv_;  // wakes workers on a new job / stop

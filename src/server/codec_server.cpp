@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/fingerprint_cache.h"
+
 namespace slc {
 
 namespace {
@@ -87,6 +89,15 @@ CodecServer::~CodecServer() { drain(); }
 
 StreamId CodecServer::open_stream(StreamConfig cfg) {
   auto stream = std::make_unique<Stream>();
+  if (cfg.use_fingerprint_cache && !cfg.options.fingerprint_cache) {
+    if (cfg_.share_fingerprint_cache) {
+      cfg.options.fingerprint_cache = engine_->fingerprint_cache();
+    } else {
+      FingerprintCache::Config cache_cfg;
+      cache_cfg.verify_on_hit = cfg_.verify_cache_hits;
+      cfg.options.fingerprint_cache = std::make_shared<FingerprintCache>(cache_cfg);
+    }
+  }
   // Registry lookup first: an unknown codec or missing training data must
   // fail open_stream, not the first request.
   stream->codec = CodecRegistry::instance().create(cfg.codec, cfg.options);
@@ -261,6 +272,7 @@ void CodecServer::complete_batch(const std::shared_ptr<Batch>& batch) {
         res.ratios.add(batch->blocks[req->offset + j].size() * 8, a.bit_size);
         res.lossy_blocks += a.lossy ? 1 : 0;
         res.truncated_symbols += a.truncated_symbols;
+        res.cache.record(a.cache_probed, a.cache_hit, a.cache_evicted, a.cache_collision);
       }
     }
     std::lock_guard<std::mutex> rlk(req->m);
@@ -289,6 +301,7 @@ void CodecServer::complete_batch(const std::shared_ptr<Batch>& batch) {
         cs.original_bits += batch->blocks[i].size() * 8;
         cs.lossless_bits += a.lossless_bits;
         cs.final_bits += a.bit_size;
+        cs.cache.record(a.cache_probed, a.cache_hit, a.cache_evicted, a.cache_collision);
       }
     }
     inflight_blocks_ -= batch->blocks.size();

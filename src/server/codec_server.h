@@ -71,6 +71,12 @@ struct StreamConfig {
   std::string codec = "E2MC";  ///< CodecRegistry name
   CodecOptions options{};
   StreamPriority priority = StreamPriority::kNormal;
+  /// Enables the fingerprint decision memo for this stream's codec (lossy
+  /// TSLC-* streams only — the lossless schemes have no decision to memoize
+  /// and ignore it). The cache used is the server engine's shared one, or a
+  /// stream-private one when Config::share_fingerprint_cache is off; either
+  /// way `options.fingerprint_cache` wins if the caller pre-set it.
+  bool use_fingerprint_cache = false;
 };
 
 using StreamId = uint32_t;
@@ -158,6 +164,17 @@ class CodecServer {
     /// largest request you serve — priority preemption then applies from
     /// the moment of dispatch and admission never head-of-line blocks.
     size_t max_inflight_blocks = 16384;
+    /// Cache-enabled streams share the engine's fingerprint cache (cross-
+    /// stream dedup: two tenants committing the same tensor pay one probe)
+    /// — safe because entries are keyed on the deciding codec's identity.
+    /// Off gives each cache-enabled stream a private cache instead
+    /// (isolation: one tenant's traffic cannot evict another's entries).
+    bool share_fingerprint_cache = true;
+    /// Applied to *private* per-stream caches (share off): verify-on-hit
+    /// paranoia mode, full-content compare on every hit. The shared engine
+    /// cache's mode is configured on the engine
+    /// (CodecEngine::set_fingerprint_cache) before streams open.
+    bool verify_cache_hits = false;
   };
 
   CodecServer();  ///< default Config (shared engine, default batching)

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "common/block.h"
+#include "common/stats.h"
 #include "compress/block_codec.h"
 #include "engine/codec_engine.h"
 
@@ -82,6 +83,11 @@ struct CommitStats {
   uint64_t original_bits = 0;
   uint64_t lossless_bits = 0;
   uint64_t final_bits = 0;
+  /// Fingerprint-memo outcomes over the committed blocks (all zero for
+  /// codecs without a cache). Unlike every field above, these counters are
+  /// NOT thread-count invariant when a cache is shared across workers —
+  /// compare cached runs with same_decisions(), not operator==.
+  CacheCounters cache;
 
   double avg_bursts() const {
     return blocks ? static_cast<double>(bursts) / static_cast<double>(blocks) : 0.0;
@@ -91,8 +97,20 @@ struct CommitStats {
   }
 
   /// All-field equality — the determinism checks compare whole accumulators
-  /// so a new counter can never silently escape them.
+  /// so a new counter can never silently escape them. For runs with a
+  /// fingerprint cache enabled this is stricter than the determinism
+  /// contract (hit/miss tallies race); those compare same_decisions().
   bool operator==(const CommitStats&) const = default;
+
+  /// Every decision-derived counter equal, cache tallies ignored — the
+  /// equality a cached run is guaranteed to share with an uncached (or
+  /// differently-threaded) run of the same stream.
+  bool same_decisions(const CommitStats& o) const {
+    return blocks == o.blocks && lossy_blocks == o.lossy_blocks &&
+           uncompressed_blocks == o.uncompressed_blocks && bursts == o.bursts &&
+           truncated_symbols == o.truncated_symbols && original_bits == o.original_bits &&
+           lossless_bits == o.lossless_bits && final_bits == o.final_bits;
+  }
 
   /// Folds another accumulator into this one (integer counters, so merging
   /// is exact in any order — settle() merges per-commit stats with this).
@@ -105,6 +123,7 @@ struct CommitStats {
     original_bits += o.original_bits;
     lossless_bits += o.lossless_bits;
     final_bits += o.final_bits;
+    cache.merge(o.cache);
   }
 };
 

@@ -401,5 +401,36 @@ TEST(BatchKernels, BatchPayloadsRoundtripLossless) {
   }
 }
 
+TEST(BatchKernels, BatchPayloadsDecompressForEveryScheme) {
+  // Closes the decompress gap over the batch paths: every scheme's
+  // compress_batch payloads must decode to exactly what the scalar
+  // compress()+decompress() path yields — for lossless schemes that is the
+  // input itself; for the lossy TSLC variants the approximation is part of
+  // the contract, and batch/scalar drift in the decoded bytes is a bug.
+  const std::vector<uint8_t> training = test::quantized_walk(7, 64);
+  CodecOptions opts = test::test_options(training);
+  opts.trained_e2mc = E2mcCompressor::train(training, opts.e2mc);
+
+  const std::vector<std::vector<Block>> corpora = {random_blocks(24), zero_blocks(8),
+                                                   repeat_delta_blocks(16), denormal_blocks(8)};
+  for (const auto& blocks : corpora) {
+    for (const std::string& name : CodecRegistry::instance().names()) {
+      const CodecInfo& info = CodecRegistry::instance().at(name);
+      if (!info.make) continue;  // RAW has no Compressor form
+      const auto comp = CodecRegistry::instance().create(name, opts);
+      const std::vector<CompressedBlock> payloads = comp->compress_batch(blocks);
+      for (size_t i = 0; i < blocks.size(); ++i) {
+        const Block batch_decoded = comp->decompress(payloads[i], kBlockBytes);
+        const Block scalar_decoded =
+            comp->decompress(comp->compress(blocks[i].view()), kBlockBytes);
+        EXPECT_EQ(batch_decoded, scalar_decoded) << name << " block " << i;
+        if (!info.lossy) {
+          EXPECT_EQ(batch_decoded, blocks[i]) << name << " block " << i;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace slc

@@ -1,0 +1,704 @@
+// Fingerprint-cache suite: unit coverage of the content-addressed decision
+// memo (core/fingerprint_cache.h) plus the differential fuzz harness that
+// pins its one non-negotiable property — a cached run is byte-identical to
+// an uncached run of the same stream. The fuzz streams come from
+// test::dedup_corpus: seeded mixes of fresh random / value-similar blocks,
+// verbatim duplicates, one-byte near-duplicates and zero pages, replayed
+// through cached and uncached codecs at every layer (SlcCodec, BlockCodec,
+// engine commits, server streams) and at 1 and N threads.
+//
+// Hit/miss/eviction *counters* are not part of the determinism contract
+// (see CacheCounters), so decision checks use CommitStats::same_decisions.
+// Tests that assert cache effects (hits, evictions) skip themselves when
+// SLC_FINGERPRINT_CACHE force-disables the memo — the differential checks
+// still run and must pass trivially in that configuration.
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compress/block_codec.h"
+#include "compress/codec_registry.h"
+#include "core/fingerprint_cache.h"
+#include "core/slc_codec.h"
+#include "engine/codec_engine.h"
+#include "server/codec_server.h"
+#include "test_util.h"
+#include "workloads/approx_memory.h"
+
+namespace slc {
+namespace {
+
+const std::vector<uint8_t>& shared_training() {
+  static const std::vector<uint8_t> training = test::quantized_walk(7, 64);
+  return training;
+}
+
+std::shared_ptr<const E2mcCompressor> shared_model() {
+  static const std::shared_ptr<const E2mcCompressor> model =
+      E2mcCompressor::train(shared_training(), E2mcConfig{});
+  return model;
+}
+
+SlcCodec make_slc(std::shared_ptr<FingerprintCache> cache, size_t threshold_bytes = 16,
+                  SlcVariant variant = SlcVariant::kOpt) {
+  SlcConfig cfg;
+  cfg.mag_bytes = 32;
+  cfg.threshold_bytes = threshold_bytes;
+  cfg.variant = variant;
+  cfg.cache = std::move(cache);
+  return SlcCodec(shared_model(), cfg);
+}
+
+CodecOptions cached_options(std::shared_ptr<FingerprintCache> cache) {
+  CodecOptions opts = test::test_options(shared_training());
+  opts.trained_e2mc = shared_model();
+  opts.fingerprint_cache = std::move(cache);
+  return opts;
+}
+
+std::vector<BlockView> views_of(const std::vector<Block>& blocks) {
+  std::vector<BlockView> v;
+  v.reserve(blocks.size());
+  for (const Block& b : blocks) v.push_back(b.view());
+  return v;
+}
+
+struct NamedCorpus {
+  const char* name;
+  std::vector<Block> blocks;
+};
+
+/// The adversarial stream mix every differential test replays: heavy
+/// duplication, one-byte near-duplicates, zero pages, and an all-fresh
+/// control stream.
+std::vector<NamedCorpus> fuzz_corpora() {
+  std::vector<NamedCorpus> out;
+  out.push_back({"dup-heavy", test::dedup_corpus({.blocks = 192,
+                                                  .dup_fraction = 0.55,
+                                                  .flip_fraction = 0.05,
+                                                  .zero_fraction = 0.05,
+                                                  .seed = 11})});
+  out.push_back({"near-duplicates", test::dedup_corpus({.blocks = 192,
+                                                        .dup_fraction = 0.15,
+                                                        .flip_fraction = 0.55,
+                                                        .zero_fraction = 0.0,
+                                                        .seed = 12})});
+  out.push_back({"zero-pages", test::dedup_corpus({.blocks = 128,
+                                                   .dup_fraction = 0.1,
+                                                   .flip_fraction = 0.1,
+                                                   .zero_fraction = 0.6,
+                                                   .seed = 13})});
+  out.push_back({"all-fresh", test::dedup_corpus({.blocks = 128, .seed = 14})});
+  return out;
+}
+
+void expect_info_eq(const SlcEncodeInfo& a, const SlcEncodeInfo& b, const std::string& what) {
+  EXPECT_EQ(a.lossy, b.lossy) << what;
+  EXPECT_EQ(a.stored_uncompressed, b.stored_uncompressed) << what;
+  EXPECT_EQ(a.lossless_bits, b.lossless_bits) << what;
+  EXPECT_EQ(a.final_bits, b.final_bits) << what;
+  EXPECT_EQ(a.bursts, b.bursts) << what;
+  EXPECT_EQ(a.truncated_symbols, b.truncated_symbols) << what;
+  EXPECT_EQ(a.truncated_bits, b.truncated_bits) << what;
+  EXPECT_EQ(a.extra_bits, b.extra_bits) << what;
+}
+
+void expect_result_eq(const BlockCodecResult& a, const BlockCodecResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.bursts, b.bursts) << what;
+  EXPECT_EQ(a.lossless_bits, b.lossless_bits) << what;
+  EXPECT_EQ(a.final_bits, b.final_bits) << what;
+  EXPECT_EQ(a.lossy, b.lossy) << what;
+  EXPECT_EQ(a.stored_uncompressed, b.stored_uncompressed) << what;
+  EXPECT_EQ(a.truncated_symbols, b.truncated_symbols) << what;
+  EXPECT_EQ(a.decoded, b.decoded) << what;
+  // The cache_* outcome flags are deliberately NOT compared: hit-rate
+  // bookkeeping, never part of the determinism contract.
+}
+
+SlcCodec::Decision arbitrary_decision(size_t tag) {
+  SlcCodec::Decision d;
+  d.info.final_bits = 100 + tag;
+  d.info.bursts = 1 + tag % 4;
+  d.info.lossy = (tag % 2) != 0;
+  d.skip_start = tag;
+  d.skip_count = tag * 2;
+  return d;
+}
+
+// --- block_fingerprint ------------------------------------------------------
+
+TEST(BlockFingerprint, EqualContentEqualFingerprint) {
+  const auto corpus = test::dedup_corpus({.blocks = 8, .seed = 3});
+  for (const Block& b : corpus) {
+    const Block copy = b;
+    EXPECT_EQ(block_fingerprint(b.bytes()), block_fingerprint(copy.bytes()));
+  }
+}
+
+TEST(BlockFingerprint, EveryByteFlipChangesFingerprint) {
+  const Block base = test::dedup_corpus({.blocks = 1, .seed = 5})[0];
+  const uint64_t fp = block_fingerprint(base.bytes());
+  for (size_t pos = 0; pos < kBlockBytes; ++pos) {
+    Block mutated = base;
+    mutated.mutable_bytes()[pos] ^= 0x01;
+    EXPECT_NE(block_fingerprint(mutated.bytes()), fp) << "byte " << pos;
+  }
+}
+
+TEST(BlockFingerprint, PrefixLengthsHashDistinctly) {
+  // Tail handling (8/4/1-byte remainders) must feed the final mix: every
+  // prefix of one block, including the empty one, hashes distinctly.
+  const Block base = test::dedup_corpus({.blocks = 1, .seed = 6})[0];
+  std::set<uint64_t> seen;
+  for (size_t len = 0; len <= kBlockBytes; ++len)
+    seen.insert(block_fingerprint(base.bytes().subspan(0, len)));
+  EXPECT_EQ(seen.size(), kBlockBytes + 1);
+}
+
+// --- FingerprintCache unit behaviour ----------------------------------------
+
+TEST(FingerprintCache, InsertThenLookupRoundTripsTheDecision) {
+  FingerprintCache cache;
+  const SlcCodec::Decision in = arbitrary_decision(9);
+  const Block b = test::dedup_corpus({.blocks = 1, .seed = 8})[0];
+  EXPECT_FALSE(cache.insert(1, 42, b.bytes(), in));
+  SlcCodec::Decision out;
+  EXPECT_EQ(cache.lookup(1, 42, b.bytes(), out), FingerprintCache::Lookup::kHit);
+  expect_info_eq(out.info, in.info, "roundtrip");
+  EXPECT_EQ(out.skip_start, in.skip_start);
+  EXPECT_EQ(out.skip_count, in.skip_count);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.counters().hits, 1u);
+}
+
+TEST(FingerprintCache, LruEvictsTheColdestEntry) {
+  FingerprintCache cache({.capacity = 4, .shards = 1, .verify_on_hit = false});
+  ASSERT_EQ(cache.capacity(), 4u);
+  const Block b;
+  for (uint64_t fp = 0; fp < 4; ++fp)
+    EXPECT_FALSE(cache.insert(1, fp, b.bytes(), arbitrary_decision(fp)));
+  // Touch fp=0 so fp=1 becomes the LRU victim.
+  SlcCodec::Decision d;
+  EXPECT_EQ(cache.lookup(1, 0, b.bytes(), d), FingerprintCache::Lookup::kHit);
+  EXPECT_TRUE(cache.insert(1, 99, b.bytes(), arbitrary_decision(99)));
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.lookup(1, 1, b.bytes(), d), FingerprintCache::Lookup::kMiss);
+  EXPECT_EQ(cache.lookup(1, 0, b.bytes(), d), FingerprintCache::Lookup::kHit);
+  EXPECT_EQ(cache.counters().evictions, 1u);
+}
+
+TEST(FingerprintCache, ReinsertRefreshesWithoutEvicting) {
+  FingerprintCache cache({.capacity = 2, .shards = 1, .verify_on_hit = false});
+  const Block b;
+  EXPECT_FALSE(cache.insert(1, 7, b.bytes(), arbitrary_decision(1)));
+  EXPECT_FALSE(cache.insert(1, 7, b.bytes(), arbitrary_decision(2)));  // refresh, no growth
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.counters().evictions, 0u);
+  SlcCodec::Decision d;
+  EXPECT_EQ(cache.lookup(1, 7, b.bytes(), d), FingerprintCache::Lookup::kHit);
+  EXPECT_EQ(d.info.final_bits, arbitrary_decision(2).info.final_bits);  // last writer wins
+}
+
+TEST(FingerprintCache, VerifyOnHitCatchesCollision) {
+  FingerprintCache cache({.capacity = 8, .shards = 1, .verify_on_hit = true});
+  ASSERT_TRUE(cache.verify_on_hit());
+  const auto corpus = test::dedup_corpus({.blocks = 2, .seed = 21});
+  cache.insert(1, 5, corpus[0].bytes(), arbitrary_decision(0));
+  SlcCodec::Decision d;
+  // Same (key, fp), different content: a forced 64-bit collision. Must be
+  // reported, never served.
+  EXPECT_EQ(cache.lookup(1, 5, corpus[1].bytes(), d), FingerprintCache::Lookup::kCollision);
+  EXPECT_EQ(cache.counters().collisions, 1u);
+  EXPECT_EQ(cache.lookup(1, 5, corpus[0].bytes(), d), FingerprintCache::Lookup::kHit);
+}
+
+TEST(FingerprintCache, ShardIndexStaysInRangeAndSingleShardPinsToZero) {
+  FingerprintCache sharded({.capacity = 64, .shards = 8, .verify_on_hit = false});
+  EXPECT_EQ(sharded.num_shards(), 8u);
+  FingerprintCache single({.capacity = 64, .shards = 1, .verify_on_hit = false});
+  Rng rng(31);
+  for (int i = 0; i < 256; ++i) {
+    const uint64_t key = rng.next(), fp = rng.next();
+    EXPECT_LT(sharded.shard_index(key, fp), sharded.num_shards());
+    EXPECT_EQ(single.shard_index(key, fp), 0u);
+  }
+}
+
+TEST(FingerprintCache, ShardCountRoundsUpToPowerOfTwo) {
+  FingerprintCache cache({.capacity = 60, .shards = 6, .verify_on_hit = false});
+  EXPECT_EQ(cache.num_shards(), 8u);
+  EXPECT_EQ(cache.capacity(), 8u * (60 / 8));
+}
+
+TEST(FingerprintCache, ClearDropsEntriesKeepsCounters) {
+  FingerprintCache cache;
+  const Block b;
+  cache.insert(1, 3, b.bytes(), arbitrary_decision(3));
+  SlcCodec::Decision d;
+  cache.lookup(1, 3, b.bytes(), d);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(1, 3, b.bytes(), d), FingerprintCache::Lookup::kMiss);
+  EXPECT_EQ(cache.counters().hits, 1u);  // totals survive clear()
+}
+
+TEST(FingerprintCache, RuntimeEnabledMatchesEnvironment) {
+  // The CI job that sets SLC_FINGERPRINT_CACHE=0 relies on this mapping to
+  // force the uncached oracle path through the whole suite.
+  const char* v = std::getenv("SLC_FINGERPRINT_CACHE");
+  const std::string s = v ? v : "";
+  const bool disabled = (s == "0" || s == "off" || s == "OFF");
+  EXPECT_EQ(FingerprintCache::runtime_enabled(), !disabled);
+}
+
+// --- SlcCodec-level differential --------------------------------------------
+
+TEST(CachedDecision, CodecKeysIsolateConfigurationsAndModels) {
+  if (!FingerprintCache::runtime_enabled()) GTEST_SKIP() << "cache force-disabled";
+  auto cache = std::make_shared<FingerprintCache>();
+  const SlcCodec a = make_slc(cache, /*threshold=*/16);
+  const SlcCodec b = make_slc(cache, /*threshold=*/4);
+  ASSERT_NE(a.cache_key(), b.cache_key());
+  // A second model trained on the same sample is still a distinct key —
+  // identity is the model instance, not its contents.
+  SlcConfig cfg;
+  cfg.mag_bytes = 32;
+  cfg.cache = cache;
+  const SlcCodec c(E2mcCompressor::train(shared_training(), E2mcConfig{}), cfg);
+  ASSERT_NE(c.cache_key(), a.cache_key());
+
+  const Block block = test::dedup_corpus({.blocks = 1, .seed = 40})[0];
+  SlcCodec::CacheOutcome oc;
+  a.analyze(block.view(), oc);
+  EXPECT_TRUE(oc.probed);
+  EXPECT_FALSE(oc.hit);
+  a.analyze(block.view(), oc);
+  EXPECT_TRUE(oc.hit);  // repeat through the same codec hits
+  b.analyze(block.view(), oc);
+  EXPECT_FALSE(oc.hit);  // different threshold: separate entry
+  c.analyze(block.view(), oc);
+  EXPECT_FALSE(oc.hit);  // different trained model: separate entry
+}
+
+TEST(CachedDecision, AnalyzeMatchesUncachedForEveryVariantAndStream) {
+  for (const auto& [cname, blocks] : fuzz_corpora()) {
+    const auto views = views_of(blocks);
+    for (const SlcVariant variant : {SlcVariant::kSimp, SlcVariant::kPred, SlcVariant::kOpt}) {
+      for (const size_t threshold : {size_t{16}, size_t{4}}) {
+        const SlcCodec uncached = make_slc(nullptr, threshold, variant);
+        const SlcCodec cached = make_slc(std::make_shared<FingerprintCache>(), threshold, variant);
+        std::vector<SlcEncodeInfo> expected(views.size());
+        uncached.analyze_batch(views, expected.data());
+        // Two passes: pass 0 populates (misses + in-span twins), pass 1 is
+        // served from the memo; both must reproduce the oracle exactly.
+        for (int pass = 0; pass < 2; ++pass) {
+          std::vector<SlcEncodeInfo> got(views.size());
+          cached.analyze_batch(views, got.data());
+          for (size_t i = 0; i < views.size(); ++i)
+            expect_info_eq(got[i], expected[i],
+                           std::string(cname) + " variant " + to_string(variant) + " thr " +
+                               std::to_string(threshold) + " pass " + std::to_string(pass) +
+                               " block " + std::to_string(i));
+        }
+        if (FingerprintCache::runtime_enabled()) {
+          EXPECT_GE(cached.cache()->counters().hits, views.size())
+              << cname << " second pass should be all hits";
+        }
+      }
+    }
+  }
+}
+
+TEST(CachedDecision, DecideCachedMatchesBatchOracleIncludingSkipWindow) {
+  const auto blocks = test::dedup_corpus(
+      {.blocks = 160, .dup_fraction = 0.4, .flip_fraction = 0.3, .zero_fraction = 0.1, .seed = 51});
+  const auto views = views_of(blocks);
+  const SlcCodec uncached = make_slc(nullptr, /*threshold=*/16);
+  const SlcCodec cached = make_slc(std::make_shared<FingerprintCache>(), /*threshold=*/16);
+  SlcCodec::LengthScratch scratch;
+  std::vector<SlcCodec::Decision> expected(views.size());
+  uncached.decide_batch(views, scratch, expected.data());
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < views.size(); ++i) {
+      SlcCodec::CacheOutcome oc;
+      const SlcCodec::Decision got = cached.decide_cached(views[i], oc);
+      const std::string what = "pass " + std::to_string(pass) + " block " + std::to_string(i);
+      expect_info_eq(got.info, expected[i].info, what);
+      EXPECT_EQ(got.skip_start, expected[i].skip_start) << what;
+      EXPECT_EQ(got.skip_count, expected[i].skip_count) << what;
+    }
+  }
+}
+
+TEST(CachedDecision, EvictionChurnNeverChangesDecisions) {
+  // A cache far smaller than the stream: every block cycles through insert/
+  // evict, and duplicates straddle eviction boundaries. Decisions must not
+  // care.
+  const auto blocks = test::dedup_corpus(
+      {.blocks = 384, .dup_fraction = 0.5, .flip_fraction = 0.2, .zero_fraction = 0.1, .seed = 52});
+  const auto views = views_of(blocks);
+  const SlcCodec uncached = make_slc(nullptr);
+  auto tiny = std::make_shared<FingerprintCache>(
+      FingerprintCache::Config{.capacity = 8, .shards = 1, .verify_on_hit = false});
+  const SlcCodec cached = make_slc(tiny);
+  std::vector<SlcEncodeInfo> expected(views.size()), got(views.size());
+  uncached.analyze_batch(views, expected.data());
+  cached.analyze_batch(views, got.data());
+  for (size_t i = 0; i < views.size(); ++i)
+    expect_info_eq(got[i], expected[i], "block " + std::to_string(i));
+  if (FingerprintCache::runtime_enabled()) {
+    EXPECT_GT(tiny->counters().evictions, 0u) << "stream was sized to churn the cache";
+  }
+}
+
+TEST(CachedDecision, VerifyOnHitModeStaysIdenticalOnNearDuplicates) {
+  const auto blocks = test::dedup_corpus(
+      {.blocks = 256, .dup_fraction = 0.3, .flip_fraction = 0.5, .zero_fraction = 0.05, .seed = 53});
+  const auto views = views_of(blocks);
+  const SlcCodec uncached = make_slc(nullptr);
+  auto paranoid = std::make_shared<FingerprintCache>(
+      FingerprintCache::Config{.capacity = 1024, .shards = 1, .verify_on_hit = true});
+  const SlcCodec cached = make_slc(paranoid);
+  std::vector<SlcEncodeInfo> expected(views.size()), got(views.size());
+  uncached.analyze_batch(views, expected.data());
+  cached.analyze_batch(views, got.data());
+  for (size_t i = 0; i < views.size(); ++i)
+    expect_info_eq(got[i], expected[i], "block " + std::to_string(i));
+  // One-byte neighbours must never verify as each other's content.
+  EXPECT_EQ(paranoid->counters().collisions, 0u);
+}
+
+// --- BlockCodec-level differential (satellite: registry-wide sweep) ---------
+
+TEST(BlockCodecDifferential, TslcProcessAndBatchMatchUncached) {
+  struct Annotation {
+    bool safe;
+    size_t threshold;
+  };
+  const Annotation annotations[] = {{false, 16}, {true, 16}, {true, 4}, {true, 64}, {true, 0}};
+  for (const auto& [cname, blocks] : fuzz_corpora()) {
+    const auto views = views_of(blocks);
+    const auto uncached =
+        CodecRegistry::instance().create_block_codec("TSLC-OPT", cached_options(nullptr));
+    const auto cached = CodecRegistry::instance().create_block_codec(
+        "TSLC-OPT", cached_options(std::make_shared<FingerprintCache>()));
+    for (const auto& [safe, threshold] : annotations) {
+      std::vector<BlockCodecResult> expected(views.size()), got(views.size());
+      uncached->process_batch(views, safe, threshold, expected.data());
+      cached->process_batch(views, safe, threshold, got.data());
+      for (size_t i = 0; i < views.size(); ++i) {
+        const std::string what = std::string(cname) + " safe=" + std::to_string(safe) +
+                                 " thr=" + std::to_string(threshold) + " block " +
+                                 std::to_string(i);
+        expect_result_eq(got[i], expected[i], what);
+        // The scalar entry point must agree with both batch kernels.
+        expect_result_eq(cached->process(views[i], safe, threshold), expected[i],
+                         what + " (scalar)");
+      }
+    }
+  }
+}
+
+TEST(BlockCodecDifferential, RegistrySweepEverySchemeCachedVsUncached) {
+  // Satellite property sweep: for every registered scheme and every
+  // (safe, threshold) annotation, attaching a fingerprint cache must be
+  // invisible in the output. Lossless schemes ignore the cache entirely;
+  // the TSLC variants route their decision through it.
+  struct Annotation {
+    bool safe;
+    size_t threshold;
+  };
+  const Annotation annotations[] = {{false, 16}, {true, 16}, {true, 4}, {true, 0}};
+  const auto corpora = fuzz_corpora();
+  for (const std::string& name : CodecRegistry::instance().names()) {
+    const auto uncached =
+        CodecRegistry::instance().create_block_codec(name, cached_options(nullptr));
+    const auto cached = CodecRegistry::instance().create_block_codec(
+        name, cached_options(std::make_shared<FingerprintCache>()));
+    for (const auto& [cname, blocks] : corpora) {
+      const auto views = views_of(blocks);
+      for (const auto& [safe, threshold] : annotations) {
+        std::vector<BlockCodecResult> expected(views.size()), got(views.size());
+        uncached->process_batch(views, safe, threshold, expected.data());
+        cached->process_batch(views, safe, threshold, got.data());
+        for (size_t i = 0; i < views.size(); ++i)
+          expect_result_eq(got[i], expected[i],
+                           name + " " + cname + " safe=" + std::to_string(safe) +
+                               " thr=" + std::to_string(threshold) + " block " +
+                               std::to_string(i));
+      }
+    }
+  }
+}
+
+// --- engine / commit-level differential -------------------------------------
+
+struct CommitOutcome {
+  std::vector<uint8_t> image;
+  CommitStats stats;
+};
+
+CommitOutcome run_commit(const std::vector<uint8_t>& bytes,
+                         std::shared_ptr<const BlockCodec> codec,
+                         std::shared_ptr<CodecEngine> engine) {
+  ApproxMemory mem;
+  mem.set_engine(std::move(engine));
+  mem.set_codec(std::move(codec));
+  const RegionId r = mem.alloc("fuzz", bytes.size(), /*safe=*/true, 16);
+  auto dst = mem.span<uint8_t>(r);
+  std::copy(bytes.begin(), bytes.end(), dst.begin());
+  mem.commit(r);
+  CommitOutcome out;
+  const auto img = mem.span<const uint8_t>(r);
+  out.image.assign(img.begin(), img.end());
+  out.stats = mem.stats();
+  return out;
+}
+
+TEST(EngineCache, CommitsMatchUncachedAtEveryThreadCount) {
+  for (const auto& [cname, blocks] : fuzz_corpora()) {
+    const auto bytes = test::corpus_bytes(blocks);
+    const CommitOutcome reference =
+        run_commit(bytes, CodecRegistry::instance().create_block_codec(
+                              "TSLC-OPT", cached_options(nullptr)),
+                   nullptr);  // inline, single-threaded, uncached: the oracle
+    for (const unsigned threads : {1u, 4u}) {
+      auto cache = std::make_shared<FingerprintCache>();
+      const CommitOutcome cached = run_commit(
+          bytes, CodecRegistry::instance().create_block_codec("TSLC-OPT", cached_options(cache)),
+          std::make_shared<CodecEngine>(threads));
+      EXPECT_EQ(cached.image, reference.image) << cname << " threads=" << threads;
+      EXPECT_TRUE(cached.stats.same_decisions(reference.stats))
+          << cname << " threads=" << threads;
+      if (FingerprintCache::runtime_enabled()) {
+        EXPECT_EQ(cached.stats.cache.probes(), cached.stats.blocks)
+            << cname << " every committed block must be probed";
+      }
+    }
+  }
+}
+
+TEST(EngineCache, RepeatTrafficHitsTheMemo) {
+  if (!FingerprintCache::runtime_enabled()) GTEST_SKIP() << "cache force-disabled";
+  const auto bytes =
+      test::corpus_bytes(test::dedup_corpus({.blocks = 128, .seed = 61}));
+  auto cache = std::make_shared<FingerprintCache>();
+  ApproxMemory mem;
+  mem.set_engine(nullptr);
+  mem.set_codec(CodecRegistry::instance().create_block_codec("TSLC-OPT", cached_options(cache)));
+  const RegionId a = mem.alloc("a", bytes.size(), true, 16);
+  const RegionId b = mem.alloc("b", bytes.size(), true, 16);
+  for (const RegionId r : {a, b}) {
+    auto dst = mem.span<uint8_t>(r);
+    std::copy(bytes.begin(), bytes.end(), dst.begin());
+  }
+  mem.commit(a);
+  mem.commit(b);  // identical initial contents: every block was just decided
+  const CommitStats sb = mem.region_stats(b);
+  EXPECT_EQ(sb.cache.hits, sb.blocks);
+  EXPECT_EQ(sb.cache.hit_rate(), 1.0);
+}
+
+TEST(EngineCache, AnalyzeStreamFoldsCacheCounters) {
+  const auto blocks = test::dedup_corpus(
+      {.blocks = 200, .dup_fraction = 0.4, .flip_fraction = 0.1, .zero_fraction = 0.1, .seed = 62});
+  auto cache = std::make_shared<FingerprintCache>();
+  const auto cached = CodecRegistry::instance().create("TSLC-OPT", cached_options(cache));
+  const auto uncached = CodecRegistry::instance().create("TSLC-OPT", cached_options(nullptr));
+  CodecEngine engine(2);
+  const auto expected = engine.analyze_stream(*uncached, blocks);
+  const auto first = engine.analyze_stream(*cached, blocks);
+  const auto second = engine.analyze_stream(*cached, blocks);
+  ASSERT_EQ(first.blocks.size(), expected.blocks.size());
+  for (size_t i = 0; i < expected.blocks.size(); ++i) {
+    for (const auto* a : {&first, &second}) {
+      EXPECT_EQ(a->blocks[i].bit_size, expected.blocks[i].bit_size) << i;
+      EXPECT_EQ(a->blocks[i].lossy, expected.blocks[i].lossy) << i;
+      EXPECT_EQ(a->blocks[i].truncated_symbols, expected.blocks[i].truncated_symbols) << i;
+    }
+  }
+  EXPECT_EQ(expected.cache.probes(), 0u);  // uncached codec never probes
+  if (FingerprintCache::runtime_enabled()) {
+    EXPECT_EQ(first.cache.probes(), blocks.size());
+    EXPECT_EQ(second.cache.hits, blocks.size());  // the whole stream repeats
+  }
+}
+
+TEST(EngineCache, SharedCacheConcurrentCommitsStayDeterministic) {
+  // The concurrency regression: N harness threads, each with its own
+  // ApproxMemory, committing interleaved duplicate (shared corpus) and
+  // unique (per-thread corpus) regions through ONE engine and ONE shared
+  // fingerprint cache. Every thread must reproduce the single-threaded
+  // uncached reference bit for bit, and no probe may be lost.
+  constexpr unsigned kThreads = 4;
+  const auto shared_blocks = test::dedup_corpus(
+      {.blocks = 256, .dup_fraction = 0.5, .flip_fraction = 0.1, .zero_fraction = 0.1, .seed = 71});
+  const auto shared_bytes = test::corpus_bytes(shared_blocks);
+  const auto uncached_codec =
+      CodecRegistry::instance().create_block_codec("TSLC-OPT", cached_options(nullptr));
+  const CommitOutcome shared_ref = run_commit(shared_bytes, uncached_codec, nullptr);
+
+  std::vector<std::vector<uint8_t>> unique_bytes(kThreads);
+  std::vector<CommitOutcome> unique_ref(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    unique_bytes[t] =
+        test::corpus_bytes(test::dedup_corpus({.blocks = 128, .seed = 100 + t}));
+    unique_ref[t] = run_commit(unique_bytes[t], uncached_codec, nullptr);
+  }
+
+  auto engine = std::make_shared<CodecEngine>(kThreads);
+  auto cache = std::make_shared<FingerprintCache>();
+  const auto cached_codec =
+      CodecRegistry::instance().create_block_codec("TSLC-OPT", cached_options(cache));
+
+  std::vector<CommitOutcome> shared_got(kThreads), unique_got(kThreads);
+  {
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        ApproxMemory mem;
+        mem.set_engine(engine);
+        mem.set_codec(cached_codec);
+        const RegionId dup = mem.alloc("dup", shared_bytes.size(), true, 16);
+        const RegionId uniq = mem.alloc("uniq", unique_bytes[t].size(), true, 16);
+        {
+          auto d = mem.span<uint8_t>(dup);
+          std::copy(shared_bytes.begin(), shared_bytes.end(), d.begin());
+          auto u = mem.span<uint8_t>(uniq);
+          std::copy(unique_bytes[t].begin(), unique_bytes[t].end(), u.begin());
+        }
+        mem.commit_async(dup);  // both regions in flight at once
+        mem.commit_async(uniq);
+        mem.flush();
+        const auto di = mem.span<const uint8_t>(dup);
+        shared_got[t].image.assign(di.begin(), di.end());
+        shared_got[t].stats = mem.region_stats(dup);
+        const auto ui = mem.span<const uint8_t>(uniq);
+        unique_got[t].image.assign(ui.begin(), ui.end());
+        unique_got[t].stats = mem.region_stats(uniq);
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  uint64_t total_blocks = 0, total_probes = 0;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(shared_got[t].image, shared_ref.image) << "thread " << t;
+    EXPECT_TRUE(shared_got[t].stats.same_decisions(shared_ref.stats)) << "thread " << t;
+    EXPECT_EQ(unique_got[t].image, unique_ref[t].image) << "thread " << t;
+    EXPECT_TRUE(unique_got[t].stats.same_decisions(unique_ref[t].stats)) << "thread " << t;
+    total_blocks += shared_got[t].stats.blocks + unique_got[t].stats.blocks;
+    total_probes += shared_got[t].stats.cache.probes() + unique_got[t].stats.cache.probes();
+  }
+  if (FingerprintCache::runtime_enabled()) {
+    // No lost updates: every committed block probed exactly once, whichever
+    // worker carried it, and the cache's own tally agrees with the sum of
+    // the per-commit tallies (in-span dedup twins aside, which only the
+    // CommitStats side counts — hence <=).
+    EXPECT_EQ(total_probes, total_blocks);
+    EXPECT_LE(cache->counters().probes(), total_probes);
+    EXPECT_GT(cache->counters().hits, 0u);
+  }
+}
+
+// --- server-level knobs -----------------------------------------------------
+
+StreamConfig tslc_stream(const char* name, std::shared_ptr<FingerprintCache> cache = nullptr) {
+  StreamConfig cfg;
+  cfg.name = name;
+  cfg.codec = "TSLC-OPT";
+  cfg.options = cached_options(std::move(cache));
+  cfg.use_fingerprint_cache = true;
+  return cfg;
+}
+
+TEST(ServerCache, CachedStreamMatchesUncachedStream) {
+  const auto bytes = test::corpus_bytes(test::dedup_corpus(
+      {.blocks = 300, .dup_fraction = 0.5, .flip_fraction = 0.2, .zero_fraction = 0.1, .seed = 81}));
+  CodecServer::Config scfg;
+  scfg.engine = std::make_shared<CodecEngine>(2);
+  CodecServer server(scfg);
+  StreamConfig uncached = tslc_stream("uncached");
+  uncached.use_fingerprint_cache = false;
+  const StreamId u = server.open_stream(std::move(uncached));
+  const StreamId c = server.open_stream(tslc_stream("cached"));
+  auto tu = server.submit(u, std::span<const uint8_t>(bytes));
+  auto tc = server.submit(c, std::span<const uint8_t>(bytes));
+  const auto ru = tu.wait();
+  const auto rc = tc.wait();
+  ASSERT_EQ(ru.blocks.size(), rc.blocks.size());
+  for (size_t i = 0; i < ru.blocks.size(); ++i) {
+    EXPECT_EQ(rc.blocks[i].bit_size, ru.blocks[i].bit_size) << i;
+    EXPECT_EQ(rc.blocks[i].lossy, ru.blocks[i].lossy) << i;
+  }
+  server.drain();
+  EXPECT_TRUE(server.stream_stats(c).commit.same_decisions(server.stream_stats(u).commit));
+}
+
+TEST(ServerCache, SharedCacheDedupsAcrossStreams) {
+  if (!FingerprintCache::runtime_enabled()) GTEST_SKIP() << "cache force-disabled";
+  const auto bytes =
+      test::corpus_bytes(test::dedup_corpus({.blocks = 256, .seed = 82}));
+  CodecServer::Config scfg;
+  scfg.engine = std::make_shared<CodecEngine>(2);
+  ASSERT_TRUE(scfg.share_fingerprint_cache);  // the default: cross-stream dedup
+  CodecServer server(scfg);
+  const StreamId a = server.open_stream(tslc_stream("tenant-a"));
+  const StreamId b = server.open_stream(tslc_stream("tenant-b"));
+  server.submit(a, std::span<const uint8_t>(bytes)).wait();
+  server.submit(b, std::span<const uint8_t>(bytes)).wait();
+  server.drain();
+  const CommitStats sa = server.stream_stats(a).commit;
+  const CommitStats sb = server.stream_stats(b).commit;
+  EXPECT_EQ(sa.cache.probes(), sa.blocks);
+  // Stream b replays stream a's traffic; with the engine-shared cache (and
+  // identical codec identity: same trained model, MAG, threshold) it pays
+  // zero decision probes' worth of misses.
+  EXPECT_EQ(sb.cache.hits, sb.blocks);
+  EXPECT_TRUE(sa.same_decisions(sb));
+}
+
+TEST(ServerCache, PrivateCachesIsolateStreams) {
+  if (!FingerprintCache::runtime_enabled()) GTEST_SKIP() << "cache force-disabled";
+  const auto bytes =
+      test::corpus_bytes(test::dedup_corpus({.blocks = 256, .seed = 83}));  // all-fresh stream
+  CodecServer::Config scfg;
+  scfg.engine = std::make_shared<CodecEngine>(2);
+  scfg.share_fingerprint_cache = false;
+  scfg.verify_cache_hits = true;  // private caches run in paranoia mode
+  CodecServer server(scfg);
+  const StreamId a = server.open_stream(tslc_stream("iso-a"));
+  const StreamId b = server.open_stream(tslc_stream("iso-b"));
+  auto ta = server.submit(a, std::span<const uint8_t>(bytes));
+  const auto ra = ta.wait();
+  // wait() between the two b submits so the warm pass provably runs after
+  // the cold pass finished inserting (concurrent batches would race the
+  // hit/miss tallies this test pins down).
+  auto tb1 = server.submit(b, std::span<const uint8_t>(bytes));  // same traffic, cold cache
+  const auto rb1 = tb1.wait();
+  auto tb2 = server.submit(b, std::span<const uint8_t>(bytes));  // warm now
+  const auto rb2 = tb2.wait();
+  server.drain();
+  const CommitStats sa = server.stream_stats(a).commit;
+  const CommitStats sb = server.stream_stats(b).commit;
+  EXPECT_EQ(sa.cache.hits, 0u);  // nothing repeats within an all-fresh stream
+  // b's first pass missed everything (no cross-stream sharing); the second
+  // pass hit everything, all under verify-on-hit.
+  EXPECT_EQ(sb.cache.misses, sb.blocks / 2);
+  EXPECT_EQ(sb.cache.hits, sb.blocks / 2);
+  ASSERT_EQ(rb1.blocks.size(), rb2.blocks.size());
+  for (size_t i = 0; i < rb1.blocks.size(); ++i) {
+    EXPECT_EQ(rb2.blocks[i].bit_size, rb1.blocks[i].bit_size) << i;
+    EXPECT_EQ(rb2.blocks[i].bit_size, ra.blocks[i].bit_size) << i;
+  }
+}
+
+}  // namespace
+}  // namespace slc

@@ -10,9 +10,17 @@ row — the machine-readable perf gate CI runs against a committed baseline.
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--metric M] [--threshold T]
+    bench_compare.py --self-test
 
     --metric     blocks_per_sec (default) | gbps | speedup | p50_ms | p99_ms
     --threshold  allowed relative regression, default 0.15 (= 15%)
+    --self-test  run the built-in sanity suite (CI invokes this so a broken
+                 gate tool can never silently wave regressions through)
+
+Every malformed-input failure exits non-zero and names the offending file:
+missing or unparsable JSON, a non-object top level, a missing 'measurements'
+array, non-object measurement rows, duplicate (scheme, kernel, path) keys,
+and non-numeric metric values are all hard errors, never silent skips.
 
 Metric semantics: for rate-like metrics (blocks_per_sec, gbps, speedup)
 lower-than-baseline is a regression; for latency metrics (p50_ms, p99_ms)
@@ -46,11 +54,17 @@ def load(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"error: cannot read {path}: {e}")
+    if not isinstance(doc, dict):
+        sys.exit(f"error: {path}: top-level JSON is {type(doc).__name__}, "
+                 f"expected an object with a 'measurements' array")
     rows = doc.get("measurements")
     if not isinstance(rows, list):
         sys.exit(f"error: {path} has no 'measurements' array")
     out = {}
-    for row in rows:
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            sys.exit(f"error: {path}: measurements[{i}] is "
+                     f"{type(row).__name__}, expected an object")
         key = (row.get("scheme", "?"), row.get("kernel", "?"), row.get("path", "?"))
         if key in out:
             sys.exit(f"error: {path} has duplicate measurement {key}")
@@ -59,21 +73,112 @@ def load(path):
     return doc.get("bench", "?"), out, meta if isinstance(meta, dict) else {}
 
 
+def metric_value(path, row, name, metric):
+    v = row.get(metric, 0.0)
+    try:
+        return float(v)
+    except (TypeError, ValueError):
+        sys.exit(f"error: {path}: measurement {name} has non-numeric "
+                 f"{metric!r}: {v!r}")
+
+
 def fmt_meta(meta):
     return ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
 
 
+def self_test():
+    """Exercises the gate end-to-end in subprocesses: the pass/fail verdicts
+    and every malformed-input error path (exit code + file named in the
+    message). Returns 0 when all cases behave, 1 otherwise."""
+    import os
+    import subprocess
+    import tempfile
+
+    def run(argv):
+        p = subprocess.run([sys.executable, os.path.abspath(__file__)] + argv,
+                           capture_output=True, text=True)
+        return p.returncode, p.stdout + p.stderr
+
+    def row(bps=100.0, speedup=2.0):
+        return {"scheme": "S", "kernel": "k", "path": "p",
+                "blocks_per_sec": bps, "speedup": speedup}
+
+    failures = 0
+    with tempfile.TemporaryDirectory() as td:
+        def write(name, content):
+            path = os.path.join(td, name)
+            with open(path, "w") as f:
+                f.write(content)
+            return path
+
+        good = write("good.json", json.dumps({"bench": "t", "measurements": [row()]}))
+        cases = [
+            ("identical files pass",
+             [good, good], 0, "OK: no"),
+            ("regression beyond threshold fails",
+             [good, write("slow.json",
+                          json.dumps({"bench": "t", "measurements": [row(bps=50.0)]}))],
+             1, "REGRESSION"),
+            ("small regression within threshold passes",
+             [good, write("near.json",
+                          json.dumps({"bench": "t", "measurements": [row(bps=95.0)]})),
+              "--threshold", "0.15"], 0, "OK: no"),
+            ("baseline row missing from current fails under --require-all",
+             [good, write("empty.json", json.dumps({"bench": "t", "measurements": []})),
+              "--require-all"], 1, "missing"),
+            ("missing file is a named error",
+             [good, os.path.join(td, "absent.json")], "nonzero", "absent.json"),
+            ("unparsable JSON names the file",
+             [good, write("bad.json", "{not json")], "nonzero", "bad.json"),
+            ("non-object top level rejected",
+             [good, write("arr.json", "[1, 2]")], "nonzero", "expected an object"),
+            ("non-object measurement row rejected",
+             [good, write("rows.json", json.dumps({"measurements": [42]}))],
+             "nonzero", "measurements[0]"),
+            ("non-numeric metric value is a named error",
+             [good, write("nan.json",
+                          json.dumps({"bench": "t",
+                                      "measurements": [dict(row(), blocks_per_sec="fast")]}))],
+             "nonzero", "non-numeric"),
+            ("duplicate measurement keys rejected",
+             [good, write("dup.json", json.dumps({"bench": "t",
+                                                  "measurements": [row(), row()]}))],
+             "nonzero", "duplicate"),
+        ]
+        for desc, argv, want_code, want_text in cases:
+            code, out = run(argv)
+            code_ok = (code != 0) if want_code == "nonzero" else (code == want_code)
+            if code_ok and want_text in out:
+                print(f"PASS  {desc}")
+            else:
+                failures += 1
+                print(f"FAIL  {desc}: exit={code} (wanted {want_code}), "
+                      f"output missing {want_text!r}:\n{out}")
+    if failures:
+        print(f"\nself-test FAILED: {failures} case(s)")
+        return 1
+    print("\nself-test OK")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("current", nargs="?")
     ap.add_argument("--metric", choices=METRICS, default="blocks_per_sec")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="allowed relative regression (default 0.15 = 15%%)")
     ap.add_argument("--require-all", action="store_true",
                     help="fail when a baseline row is missing from the "
                          "current file (default: report and continue)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in sanity suite and exit")
     args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        ap.error("baseline and current files are required (or use --self-test)")
 
     base_name, base, base_meta = load(args.baseline)
     cur_name, cur, cur_meta = load(args.current)
@@ -107,8 +212,8 @@ def main():
             side = "baseline" if args.metric in base[key] else "current"
             print(f"{name:<{width}}  metric {args.metric!r} only in {side}; skipped")
             continue
-        b = float(base[key].get(args.metric, 0.0))
-        c = float(cur[key].get(args.metric, 0.0))
+        b = metric_value(args.baseline, base[key], name, args.metric)
+        c = metric_value(args.current, cur[key], name, args.metric)
         if b == 0.0:
             skipped += 1
             continue
