@@ -11,6 +11,8 @@ namespace {
 std::atomic<bool> g_force_scalar{false};
 
 bool env_force_scalar() {
+  // Probed once per process (see dispatch init below) before any worker
+  // thread could call setenv. NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* e = std::getenv("SLC_FORCE_SCALAR");
   return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
 }

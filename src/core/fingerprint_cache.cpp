@@ -125,7 +125,7 @@ FingerprintCache::Lookup FingerprintCache::lookup(uint64_t codec_key, uint64_t f
                                                   SlcCodec::Decision& out) {
   const Key key{codec_key, fp};
   Shard& sh = shard_for(codec_key, fp);
-  std::lock_guard<std::mutex> lk(sh.m);
+  MutexLock lk(sh.m);
   auto it = sh.index.find(key);
   if (it == sh.index.end()) {
     sh.counters.record(/*probed=*/true, /*hit=*/false, false, false);
@@ -150,7 +150,7 @@ bool FingerprintCache::insert(uint64_t codec_key, uint64_t fp,
                               const SlcCodec::Decision& d) {
   const Key key{codec_key, fp};
   Shard& sh = shard_for(codec_key, fp);
-  std::lock_guard<std::mutex> lk(sh.m);
+  MutexLock lk(sh.m);
   auto it = sh.index.find(key);
   if (it != sh.index.end()) {
     // Refresh (a concurrent worker inserted the same content first, or a
@@ -180,8 +180,9 @@ bool FingerprintCache::insert(uint64_t codec_key, uint64_t fp,
 size_t FingerprintCache::size() const {
   size_t n = 0;
   for (size_t s = 0; s < num_shards_; ++s) {
-    std::lock_guard<std::mutex> lk(shards_[s].m);
-    n += shards_[s].lru.size();
+    Shard& sh = shards_[s];
+    MutexLock lk(sh.m);
+    n += sh.lru.size();
   }
   return n;
 }
@@ -189,22 +190,26 @@ size_t FingerprintCache::size() const {
 CacheCounters FingerprintCache::counters() const {
   CacheCounters total;
   for (size_t s = 0; s < num_shards_; ++s) {
-    std::lock_guard<std::mutex> lk(shards_[s].m);
-    total.merge(shards_[s].counters);
+    Shard& sh = shards_[s];
+    MutexLock lk(sh.m);
+    total.merge(sh.counters);
   }
   return total;
 }
 
 void FingerprintCache::clear() {
   for (size_t s = 0; s < num_shards_; ++s) {
-    std::lock_guard<std::mutex> lk(shards_[s].m);
-    shards_[s].lru.clear();
-    shards_[s].index.clear();
+    Shard& sh = shards_[s];
+    MutexLock lk(sh.m);
+    sh.lru.clear();
+    sh.index.clear();
   }
 }
 
 bool FingerprintCache::runtime_enabled() {
   static const bool enabled = [] {
+    // Read once at startup under a static initializer, never written:
+    // getenv's thread-unsafety cannot bite. NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* e = std::getenv("SLC_FINGERPRINT_CACHE");
     if (e == nullptr || *e == '\0') return true;
     return std::strcmp(e, "0") != 0 && std::strcmp(e, "off") != 0 &&

@@ -26,12 +26,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/stats.h"
+#include "common/thread_safety.h"
 #include "core/slc_codec.h"
 
 namespace slc {
@@ -107,13 +107,14 @@ class FingerprintCache {
     std::vector<uint8_t> content;  ///< populated only in verify-on-hit mode
   };
   /// One shard: its own lock, recency list (front = most recent) and index.
-  /// Shards are neither movable nor copyable (std::mutex), hence the
-  /// unique_ptr<Shard[]> storage.
+  /// Shards are neither movable nor copyable (Mutex), hence the
+  /// unique_ptr<Shard[]> storage. Shard mutexes are leaf locks: lookup and
+  /// insert touch exactly one shard and acquire nothing under it.
   struct Shard {
-    mutable std::mutex m;
-    std::list<Entry> lru;
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
-    CacheCounters counters;
+    mutable Mutex m;
+    std::list<Entry> lru SLC_GUARDED_BY(m);
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index SLC_GUARDED_BY(m);
+    CacheCounters counters SLC_GUARDED_BY(m);
   };
 
   Shard& shard_for(uint64_t codec_key, uint64_t fp) const;

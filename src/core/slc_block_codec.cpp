@@ -39,7 +39,7 @@ const SlcCodec& SlcBlockCodec::codec_for(bool safe_to_approx, size_t threshold_b
   // The effective budget is min(region threshold, config threshold); at or
   // above the config the configured codec already applies.
   if (threshold_bytes >= cfg_.threshold_bytes) return codec_;
-  std::lock_guard<std::mutex> lk(tight_mutex_);
+  MutexLock lk(tight_mutex_);
   std::unique_ptr<const SlcCodec>& slot = tight_codecs_[threshold_bytes];
   if (!slot) {
     SlcConfig c = cfg_;

@@ -7,8 +7,8 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/thread_safety.h"
 #include "compress/block_codec.h"
 #include "core/slc_codec.h"
 
@@ -43,10 +43,12 @@ class SlcBlockCodec final : public BlockCodec {
   SlcCodec codec_lossless_only_;  ///< threshold 0, for unsafe regions
 
   /// Lazily-built codecs for region thresholds tighter than the config.
-  /// Entries are never erased, so returned references stay valid; the map
-  /// only guards concurrent insertion from CodecEngine workers.
-  mutable std::mutex tight_mutex_;
-  mutable std::map<size_t, std::unique_ptr<const SlcCodec>> tight_codecs_;
+  /// Entries are never erased, so returned references stay valid past the
+  /// lock; the mutex (a leaf lock) only guards concurrent insertion from
+  /// CodecEngine workers.
+  mutable Mutex tight_mutex_;
+  mutable std::map<size_t, std::unique_ptr<const SlcCodec>> tight_codecs_
+      SLC_GUARDED_BY(tight_mutex_);
 };
 
 }  // namespace slc

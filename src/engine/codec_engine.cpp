@@ -9,8 +9,9 @@ namespace detail {
 
 void EngineJob::finish_shard(size_t items, std::exception_ptr thrown) {
   std::function<void(size_t, size_t, unsigned)> release;
+  std::function<void(std::exception_ptr)> dropped_hook;  // never invoked
   {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     if (thrown && !error_) error_ = thrown;
     completed_ += items;
     if (completed_ < count || finished_) return;
@@ -18,40 +19,58 @@ void EngineJob::finish_shard(size_t items, std::exception_ptr thrown) {
     // Release captures as soon as the job drained; destroy outside the lock.
     release = std::move(body);
     body = nullptr;
+    dropped_hook = std::move(abandon_hook_);
+    abandon_hook_ = nullptr;
   }
   cv_.notify_all();
 }
 
 void EngineJob::abandon(std::exception_ptr reason) {
   std::function<void(size_t, size_t, unsigned)> release;
+  std::function<void(std::exception_ptr)> hook;
+  std::exception_ptr err;
   {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     if (finished_) return;
     if (!error_) error_ = std::move(reason);
+    err = error_;
     finished_ = true;
     release = std::move(body);
     body = nullptr;
+    hook = std::move(abandon_hook_);
+    abandon_hook_ = nullptr;
   }
   cv_.notify_all();
+  // Outside m_ and outside every engine lock (abandon's callers hold none):
+  // the hook may take arbitrary downstream locks (the server takes lock_).
+  if (hook) hook(err);
+}
+
+bool EngineJob::set_abandon_hook(std::function<void(std::exception_ptr)> hook) {
+  MutexLock lk(m_);
+  if (finished_) return false;
+  abandon_hook_ = std::move(hook);
+  return true;
 }
 
 void EngineJob::wait() {
-  std::unique_lock<std::mutex> lk(m_);
-  cv_.wait(lk, [&] { return finished_; });
-  if (error_) {
-    const std::exception_ptr e = error_;
-    lk.unlock();
-    std::rethrow_exception(e);
+  std::exception_ptr err;
+  {
+    MutexLock lk(m_);
+    while (!finished_) cv_.wait(m_);
+    err = error_;
   }
+  // Rethrow outside the lock: nothing below may touch guarded state.
+  if (err) std::rethrow_exception(err);
 }
 
 bool EngineJob::ready() const {
-  std::lock_guard<std::mutex> lk(m_);
+  MutexLock lk(m_);
   return finished_;
 }
 
 bool EngineJob::cancelled() const {
-  std::lock_guard<std::mutex> lk(m_);
+  MutexLock lk(m_);
   return error_ != nullptr;
 }
 
@@ -69,12 +88,12 @@ CodecEngine::~CodecEngine() { shutdown(); }
 
 void CodecEngine::shutdown() {
   {
-    std::unique_lock<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     if (stop_) {
       // A later caller (e.g. the destructor after an explicit shutdown, or
       // a concurrent one) must not return — and let the engine be freed —
       // while the first caller is still joining workers.
-      shutdown_cv_.wait(lk, [&] { return shutdown_done_; });
+      while (!shutdown_done_) shutdown_cv_.wait(mutex_);
       return;
     }
     stop_ = true;
@@ -86,14 +105,14 @@ void CodecEngine::shutdown() {
   // outlived the engine then throws from wait() instead of deadlocking.
   std::deque<std::shared_ptr<detail::EngineJob>> leftover;
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     leftover.swap(queue_);
   }
   for (const auto& job : leftover)
     job->abandon(std::make_exception_ptr(
         std::runtime_error("CodecEngine shut down with the job still queued")));
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     shutdown_done_ = true;
     // Notify under the lock: a woken waiter can only proceed (and possibly
     // destroy the engine) after we release it, with nothing left to touch.
@@ -107,13 +126,13 @@ std::shared_ptr<CodecEngine> CodecEngine::shared_default() {
 }
 
 std::shared_ptr<FingerprintCache> CodecEngine::fingerprint_cache() {
-  std::lock_guard<std::mutex> lk(cache_mutex_);
+  MutexLock lk(cache_mutex_);
   if (!fingerprint_cache_) fingerprint_cache_ = std::make_shared<FingerprintCache>();
   return fingerprint_cache_;
 }
 
 void CodecEngine::set_fingerprint_cache(std::shared_ptr<FingerprintCache> cache) {
-  std::lock_guard<std::mutex> lk(cache_mutex_);
+  MutexLock lk(cache_mutex_);
   fingerprint_cache_ = std::move(cache);
 }
 
@@ -138,7 +157,7 @@ std::shared_ptr<detail::EngineJob> CodecEngine::enqueue(
   job->shard = std::min<size_t>(shard, 4096);
   bool accepted = false;
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     if (!stop_) {
       queue_.push_back(job);
       accepted = true;
@@ -155,9 +174,9 @@ std::shared_ptr<detail::EngineJob> CodecEngine::enqueue(
 }
 
 void CodecEngine::worker_loop(unsigned id) {
-  std::unique_lock<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   for (;;) {
-    work_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) work_cv_.wait(mutex_);
     if (stop_) return;
     // Claim from the highest-priority job with unclaimed shards; ties drain
     // FIFO. Priority only reorders claims across jobs — a job's own result
@@ -223,7 +242,9 @@ CodecFuture<CodecEngine::StreamAnalysis> CodecEngine::submit_analyze_indexed(
   auto ctx = std::make_shared<Ctx>();
   ctx->out.blocks.resize(n_blocks);
   ctx->out.ratios = RatioAccumulator(mag_bytes);
-  ctx->per_worker.assign(num_threads(), WorkerStats{RatioAccumulator(mag_bytes)});
+  WorkerStats seed;
+  seed.ratios = RatioAccumulator(mag_bytes);
+  ctx->per_worker.assign(num_threads(), seed);
   ctx->produce = std::move(produce);
   ctx->original_bits = std::move(original_bits);
 

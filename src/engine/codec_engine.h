@@ -29,17 +29,16 @@
 // CodecServer's batch dispatch (src/server/).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "common/stats.h"
+#include "common/thread_safety.h"
 #include "compress/compressor.h"
 
 namespace slc {
@@ -56,6 +55,10 @@ namespace detail {
 /// job even after the engine that ran it is gone; the shard cursor (`next`)
 /// stays under the engine mutex with the queue.
 struct EngineJob {
+  /// The shard body. Written only while the job is unshared (enqueue) or
+  /// after it drained (finish_shard/abandon release it under m_); workers
+  /// call it unlocked — the completed_ == count handoff, not a mutex, is
+  /// what proves no call is in flight when it is released.
   std::function<void(size_t begin, size_t end, unsigned worker_id)> body;
   size_t count = 0;
   size_t shard = 1;
@@ -67,7 +70,15 @@ struct EngineJob {
   void finish_shard(size_t items, std::exception_ptr thrown);
   /// Marks a never-to-be-drained job finished with `reason` so waiters
   /// throw instead of hanging (engine shutdown with jobs still queued).
+  /// Invokes the abandon hook, if one is installed, after the job is marked.
   void abandon(std::exception_ptr reason);
+  /// Installs `hook`, invoked exactly once — with the stored exception, on
+  /// the abandoning thread, outside every engine lock — if this job is
+  /// abandoned. Returns false when the job already finished (drained or
+  /// abandoned): the hook is neither stored nor invoked, and the caller owns
+  /// handling that state. Fire-and-forget submitters (the CodecServer's
+  /// batches) use this so work the pool will never run still completes.
+  bool set_abandon_hook(std::function<void(std::exception_ptr)> hook);
   /// Blocks until the job drained; rethrows its first shard exception.
   void wait();
   /// Non-blocking: has the job drained (result or exception ready)?
@@ -76,11 +87,12 @@ struct EngineJob {
   bool cancelled() const;
 
  private:
-  mutable std::mutex m_;
-  std::condition_variable cv_;
-  size_t completed_ = 0;  ///< items whose body returned (or were cancelled)
-  bool finished_ = false;
-  std::exception_ptr error_;
+  mutable Mutex m_;
+  CondVar cv_;  ///< signals finished_ (the only predicate waited on m_)
+  size_t completed_ SLC_GUARDED_BY(m_) = 0;  ///< items whose body returned
+  bool finished_ SLC_GUARDED_BY(m_) = false;
+  std::exception_ptr error_ SLC_GUARDED_BY(m_);
+  std::function<void(std::exception_ptr)> abandon_hook_ SLC_GUARDED_BY(m_);
 };
 
 }  // namespace detail
@@ -110,6 +122,14 @@ class CodecFuture {
   /// Blocks until the job drained, then returns its result (one-shot).
   /// Rethrows the first exception thrown by any shard of this job.
   T wait();
+  /// For fire-and-forget submitters that drop the future instead of
+  /// waiting: installs a hook invoked exactly once if the engine abandons
+  /// the job (shutdown with it still queued). Returns false when the job
+  /// already finished — the hook is not stored and the caller must check
+  /// ready() itself. See detail::EngineJob::set_abandon_hook.
+  bool on_abandon(std::function<void(std::exception_ptr)> hook) {
+    return state_ && state_->job->set_abandon_hook(std::move(hook));
+  }
 
  private:
   friend class CodecEngine;
@@ -249,15 +269,18 @@ class CodecEngine {
   unsigned n_threads_ = 1;           // fixed at construction
   std::vector<std::thread> workers_;  // touched only by the ctor + first shutdown()
 
-  mutable std::mutex cache_mutex_;   // guards lazy fingerprint_cache_ creation
-  std::shared_ptr<FingerprintCache> fingerprint_cache_;
+  mutable Mutex cache_mutex_;  // guards lazy fingerprint_cache_ creation; leaf lock
+  std::shared_ptr<FingerprintCache> fingerprint_cache_ SLC_GUARDED_BY(cache_mutex_);
 
-  mutable std::mutex mutex_;         // guards queue_ + per-job shard cursors
-  std::condition_variable work_cv_;  // wakes workers on a new job / stop
-  std::condition_variable shutdown_cv_;  // later shutdown() callers wait here
-  bool stop_ = false;
-  bool shutdown_done_ = false;
-  std::deque<std::shared_ptr<detail::EngineJob>> queue_;  // jobs with unclaimed shards
+  /// Guards the queue, the stop/shutdown flags and — by convention the
+  /// analysis cannot spell — every queued job's shard cursor (EngineJob::
+  /// next), which only worker_loop and enqueue touch under this mutex.
+  mutable Mutex mutex_;
+  CondVar work_cv_;      // signals: queue_ non-empty, or stop_
+  CondVar shutdown_cv_;  // signals: shutdown_done_
+  bool stop_ SLC_GUARDED_BY(mutex_) = false;
+  bool shutdown_done_ SLC_GUARDED_BY(mutex_) = false;
+  std::deque<std::shared_ptr<detail::EngineJob>> queue_ SLC_GUARDED_BY(mutex_);
 };
 
 template <typename T>

@@ -40,15 +40,23 @@ struct CodecServer::Batch {
   std::vector<std::shared_ptr<detail::ServerRequest>> requests;
   std::atomic<size_t> done{0};
 
-  std::mutex error_m;
-  std::exception_ptr error;  ///< first shard exception, if any
+  /// First-wins delivery guard between complete_batch (all shards ran) and
+  /// fail_batch_locked (no shard will ever run). The two are mutually
+  /// exclusive by construction — a job is abandoned only while shards remain
+  /// unclaimed, so `done` can never reach the block count afterwards — but
+  /// the inline at-enqueue rejection check and the abandon hook can overlap
+  /// on a racing shutdown, and exactly one of them may deliver.
+  std::atomic<bool> delivered{false};
+
+  Mutex error_m;  ///< leaf lock: nothing else is acquired under it
+  std::exception_ptr error SLC_GUARDED_BY(error_m);  ///< first shard exception
 };
 
 // --- ServerTicket -----------------------------------------------------------
 
 bool ServerTicket::ready() const {
   if (!req_) return false;
-  std::lock_guard<std::mutex> lk(req_->m);
+  MutexLock lk(req_->m);
   return req_->done;
 }
 
@@ -62,18 +70,21 @@ CodecEngine::StreamAnalysis ServerTicket::wait() {
   // (Called without holding req->m: the server lock nests outside it.)
   bool done;
   {
-    std::lock_guard<std::mutex> dlk(req->m);
+    MutexLock lk(req->m);
     done = req->done;
   }
   if (!done && server_) server_->flush_stream(stream_);
-  std::unique_lock<std::mutex> lk(req->m);
-  req->cv.wait(lk, [&] { return req->done; });
-  if (req->error) {
-    const std::exception_ptr e = req->error;
-    lk.unlock();
-    std::rethrow_exception(e);
+  std::exception_ptr err;
+  CodecEngine::StreamAnalysis result;
+  {
+    MutexLock lk(req->m);
+    while (!req->done) req->cv.wait(req->m);
+    err = req->error;
+    if (!err) result = std::move(req->result);
   }
-  return std::move(req->result);
+  // Rethrow outside the lock; the result move already happened under it.
+  if (err) std::rethrow_exception(err);
+  return result;
 }
 
 // --- CodecServer ------------------------------------------------------------
@@ -103,18 +114,21 @@ StreamId CodecServer::open_stream(StreamConfig cfg) {
   stream->codec = CodecRegistry::instance().create(cfg.codec, cfg.options);
   stream->engine_priority = to_engine_priority(cfg.priority);
   stream->cfg = std::move(cfg);
-  std::lock_guard<std::mutex> lk(lock_);
+  MutexLock lk(lock_);
   streams_.push_back(std::move(stream));
   return static_cast<StreamId>(streams_.size() - 1);
 }
 
 size_t CodecServer::num_streams() const {
-  std::lock_guard<std::mutex> lk(lock_);
+  MutexLock lk(lock_);
   return streams_.size();
 }
 
 const std::string& CodecServer::stream_name(StreamId s) const {
-  std::lock_guard<std::mutex> lk(lock_);
+  MutexLock lk(lock_);
+  // The returned reference outlives the lock safely: streams are never
+  // removed, Stream objects are pointer-stable, and cfg.name is immutable
+  // after open_stream.
   return streams_.at(s)->cfg.name;
 }
 
@@ -131,7 +145,7 @@ ServerTicket CodecServer::submit_blocks(StreamId s, std::vector<Block>&& blocks)
   req->submitted = std::chrono::steady_clock::now();
   req->n_blocks = blocks.size();
 
-  std::unique_lock<std::mutex> lk(lock_);
+  MutexLock lk(lock_);
   Stream& st = *streams_.at(s);
 
   if (blocks.empty()) {
@@ -139,8 +153,8 @@ ServerTicket CodecServer::submit_blocks(StreamId s, std::vector<Block>&& blocks)
     // stranded in an empty batch.
     st.stats.requests += 1;
     st.stats.latency.record(0.0);
+    MutexLock rlk(req->m);
     req->result.ratios = RatioAccumulator(st.cfg.options.mag_bytes);
-    std::lock_guard<std::mutex> rlk(req->m);
     req->done = true;
     return ServerTicket(this, s, std::move(req));
   }
@@ -148,27 +162,23 @@ ServerTicket CodecServer::submit_blocks(StreamId s, std::vector<Block>&& blocks)
   const size_t n = blocks.size();
   if (cfg_.max_inflight_blocks != 0) {
     // Backpressure: admit once dispatched + queued blocks leave room. The
-    // empty-server escape admits a request larger than the whole budget
-    // (dispatched immediately below) instead of deadlocking. Admission is a
-    // FIFO turnstile — each submitter waits its turn — so an oversized
-    // request cannot be starved by a steady stream of small ones: younger
-    // submitters queue behind it while the server drains to empty.
+    // empty-server escape (admit_fits_locked) admits a request larger than
+    // the whole budget (dispatched immediately below) instead of
+    // deadlocking. Admission is a FIFO turnstile — each submitter waits its
+    // turn — so an oversized request cannot be starved by a steady stream
+    // of small ones: younger submitters queue behind it while the server
+    // drains to empty.
     const uint64_t turn = admit_tail_++;
-    auto fits = [&] {
-      return inflight_blocks_ + pending_blocks_total_ + n <= cfg_.max_inflight_blocks ||
-             inflight_blocks_ + pending_blocks_total_ == 0;
-    };
-    auto admitted = [&] { return admit_head_ == turn && fits(); };
-    while (!admitted()) {
+    while (!(admit_head_ == turn && admit_fits_locked(n))) {
       // Queued-but-undispatched batches never retire on their own; push
       // them out on every re-check — a submit admitted ahead of us may
       // have parked new pending blocks — so the wait is always on engine
       // progress.
-      if (!fits()) {
-        for (StreamId sid = 0; sid < streams_.size(); ++sid) dispatch_locked(sid, lk);
+      if (!admit_fits_locked(n)) {
+        for (StreamId sid = 0; sid < streams_.size(); ++sid) dispatch_locked(sid);
       }
-      if (admitted()) break;
-      backpressure_cv_.wait(lk);
+      if (admit_head_ == turn && admit_fits_locked(n)) break;
+      backpressure_cv_.wait(lock_);
     }
     admit_head_ += 1;
     backpressure_cv_.notify_all();  // hand the turnstile to the next waiter
@@ -184,11 +194,16 @@ ServerTicket CodecServer::submit_blocks(StreamId s, std::vector<Block>&& blocks)
   // as the batch retires.
   const bool over_budget = cfg_.max_inflight_blocks != 0 &&
                            inflight_blocks_ + pending_blocks_total_ > cfg_.max_inflight_blocks;
-  if (st.pending_blocks.size() >= cfg_.batch_blocks || over_budget) dispatch_locked(s, lk);
+  if (st.pending_blocks.size() >= cfg_.batch_blocks || over_budget) dispatch_locked(s);
   return ServerTicket(this, s, std::move(req));
 }
 
-void CodecServer::dispatch_locked(StreamId s, std::unique_lock<std::mutex>& lk) {
+bool CodecServer::admit_fits_locked(size_t n) const {
+  return inflight_blocks_ + pending_blocks_total_ + n <= cfg_.max_inflight_blocks ||
+         inflight_blocks_ + pending_blocks_total_ == 0;
+}
+
+void CodecServer::dispatch_locked(StreamId s) {
   Stream& st = *streams_.at(s);
   if (st.pending.empty()) return;
 
@@ -220,23 +235,55 @@ void CodecServer::dispatch_locked(StreamId s, std::unique_lock<std::mutex>& lk) 
         if (finished == batch->blocks.size()) batch->server->complete_batch(batch);
       },
       st.engine_priority);
+  // If the engine is shut down with this batch still queued (accepted at
+  // enqueue, shards never claimed), the job is abandoned and no shard will
+  // ever complete it — without this hook every ticket wait() and the server's
+  // own drain()/~CodecServer would hang. The hook runs on the shutdown
+  // thread, outside every engine lock, so taking lock_ here is safe.
+  CodecServer* self = this;
+  fut.on_abandon([self, batch](std::exception_ptr reason) {
+    MutexLock lk(self->lock_);
+    self->fail_batch_locked(batch, reason);
+  });
   if (fut.ready() && batch->done.load() < batch->blocks.size()) {
     // Ready with no shard run: the engine abandoned the job at enqueue (it
     // was shut down). Fail the batch inline so tickets throw the stored
     // exception instead of the server hanging in drain()/~CodecServer.
+    // Delivery happens without dropping lock_ — the old unlock/relock here
+    // let admission-turnstile state shift mid-dispatch under a waiter
+    // parked in submit_blocks.
+    std::exception_ptr err;
     try {
       fut.wait();
-      std::lock_guard<std::mutex> elk(batch->error_m);
-      batch->error = std::make_exception_ptr(
+      err = std::make_exception_ptr(
           std::runtime_error("CodecServer: engine rejected the batch"));
     } catch (...) {
-      std::lock_guard<std::mutex> elk(batch->error_m);
-      batch->error = std::current_exception();
+      err = std::current_exception();
     }
-    lk.unlock();  // complete_batch takes lock_ (and request mutexes) itself
-    complete_batch(batch);
-    lk.lock();
+    fail_batch_locked(batch, err);
   }
+}
+
+void CodecServer::fail_batch_locked(const std::shared_ptr<Batch>& batch,
+                                    std::exception_ptr err) {
+  if (batch->delivered.exchange(true)) return;  // abandon hook vs inline check
+  const auto now = std::chrono::steady_clock::now();
+  Stream& st = *streams_.at(batch->stream);
+  for (const auto& req : batch->requests) {
+    st.stats.requests += 1;
+    st.stats.latency.record(std::chrono::duration<double>(now - req->submitted).count());
+    {
+      MutexLock rlk(req->m);  // lock order: lock_ then req->m
+      req->result.ratios = RatioAccumulator(batch->mag_bytes);
+      req->error = err;
+      req->done = true;
+    }
+    req->cv.notify_all();
+  }
+  inflight_blocks_ -= batch->blocks.size();
+  inflight_batches_ -= 1;
+  backpressure_cv_.notify_all();
+  drain_cv_.notify_all();
 }
 
 void CodecServer::run_shard(Batch& batch, size_t begin, size_t end) const {
@@ -250,13 +297,22 @@ void CodecServer::run_shard(Batch& batch, size_t begin, size_t end) const {
   } catch (...) {
     // Keep the exception out of the engine so the batch still drains and
     // completes; it is delivered per request by complete_batch.
-    std::lock_guard<std::mutex> lk(batch.error_m);
+    MutexLock lk(batch.error_m);
     if (!batch.error) batch.error = std::current_exception();
   }
 }
 
 void CodecServer::complete_batch(const std::shared_ptr<Batch>& batch) {
+  if (batch->delivered.exchange(true)) return;  // see Batch::delivered
   const auto now = std::chrono::steady_clock::now();
+
+  // One locked read of the first-shard error; every shard body finished
+  // (and published through the done counter) before this hook runs.
+  std::exception_ptr batch_error;
+  {
+    MutexLock elk(batch->error_m);
+    batch_error = batch->error;
+  }
 
   // Scatter per-request results sequentially — same bytes no matter which
   // worker runs this hook. Delivery (request mutex + cv) happens after the
@@ -264,7 +320,7 @@ void CodecServer::complete_batch(const std::shared_ptr<Batch>& batch) {
   for (const auto& req : batch->requests) {
     CodecEngine::StreamAnalysis res;
     res.ratios = RatioAccumulator(batch->mag_bytes);
-    if (!batch->error) {
+    if (!batch_error) {
       res.blocks.assign(batch->analyses.begin() + static_cast<ptrdiff_t>(req->offset),
                         batch->analyses.begin() + static_cast<ptrdiff_t>(req->offset + req->n_blocks));
       for (size_t j = 0; j < res.blocks.size(); ++j) {
@@ -275,21 +331,21 @@ void CodecServer::complete_batch(const std::shared_ptr<Batch>& batch) {
         res.cache.record(a.cache_probed, a.cache_hit, a.cache_evicted, a.cache_collision);
       }
     }
-    std::lock_guard<std::mutex> rlk(req->m);
-    req->error = batch->error;
+    MutexLock rlk(req->m);
+    req->error = batch_error;
     req->result = std::move(res);
     req->done = true;
   }
   for (const auto& req : batch->requests) req->cv.notify_all();
 
   {
-    std::lock_guard<std::mutex> lk(lock_);
+    MutexLock lk(lock_);
     Stream& st = *streams_.at(batch->stream);
     for (const auto& req : batch->requests) {
       st.stats.requests += 1;
       st.stats.latency.record(std::chrono::duration<double>(now - req->submitted).count());
     }
-    if (!batch->error) {
+    if (!batch_error) {
       CommitStats& cs = st.stats.commit;
       for (size_t i = 0; i < batch->analyses.size(); ++i) {
         const BlockAnalysis& a = batch->analyses[i];
@@ -315,30 +371,30 @@ void CodecServer::complete_batch(const std::shared_ptr<Batch>& batch) {
 }
 
 void CodecServer::flush_stream(StreamId s) {
-  std::unique_lock<std::mutex> lk(lock_);
-  dispatch_locked(s, lk);
+  MutexLock lk(lock_);
+  dispatch_locked(s);
 }
 
 void CodecServer::drain() {
-  std::unique_lock<std::mutex> lk(lock_);
-  for (StreamId s = 0; s < streams_.size(); ++s) dispatch_locked(s, lk);
-  drain_cv_.wait(lk, [&] { return inflight_batches_ == 0; });
+  MutexLock lk(lock_);
+  for (StreamId s = 0; s < streams_.size(); ++s) dispatch_locked(s);
+  while (inflight_batches_ != 0) drain_cv_.wait(lock_);
 }
 
 StreamStats CodecServer::stream_stats(StreamId s) const {
-  std::lock_guard<std::mutex> lk(lock_);
+  MutexLock lk(lock_);
   return streams_.at(s)->stats;
 }
 
 StreamStats CodecServer::aggregate_stats() const {
-  std::lock_guard<std::mutex> lk(lock_);
+  MutexLock lk(lock_);
   StreamStats out;
   for (const auto& st : streams_) out.merge(st->stats);
   return out;
 }
 
 size_t CodecServer::inflight_blocks() const {
-  std::lock_guard<std::mutex> lk(lock_);
+  MutexLock lk(lock_);
   return inflight_blocks_;
 }
 

@@ -39,15 +39,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
+#include "common/thread_safety.h"
 #include "compress/codec_registry.h"
 #include "engine/codec_engine.h"
 #include "workloads/approx_memory.h"
@@ -100,17 +99,19 @@ struct StreamStats {
 namespace detail {
 
 /// One queued request: its slice of the batch it rides in, and its own
-/// completion state (the batch's last shard delivers into it).
+/// completion state (the batch's last shard delivers into it). Lock order:
+/// `m` nests inside the server lock (CodecServer::lock_ may be held while
+/// taking m; never the reverse).
 struct ServerRequest {
   size_t offset = 0;    ///< first block inside the dispatched batch
   size_t n_blocks = 0;
   std::chrono::steady_clock::time_point submitted{};
 
-  std::mutex m;
-  std::condition_variable cv;
-  bool done = false;
-  CodecEngine::StreamAnalysis result;
-  std::exception_ptr error;
+  Mutex m;
+  CondVar cv;  ///< signals done
+  bool done SLC_GUARDED_BY(m) = false;
+  CodecEngine::StreamAnalysis result SLC_GUARDED_BY(m);
+  std::exception_ptr error SLC_GUARDED_BY(m);
 };
 
 }  // namespace detail
@@ -230,28 +231,40 @@ class CodecServer {
 
   /// Shared core of the submit overloads; takes ownership of the blocks.
   ServerTicket submit_blocks(StreamId s, std::vector<Block>&& blocks);
-  /// `lk` must hold lock_. Packages the stream's pending requests into one
-  /// batch and submits it as a single engine job at the stream's priority.
-  /// If the engine abandoned the job at enqueue (shut down), the batch is
-  /// failed inline — lock_ is briefly released to deliver the tickets.
-  void dispatch_locked(StreamId s, std::unique_lock<std::mutex>& lk);
+  /// Packages the stream's pending requests into one batch and submits it as
+  /// a single engine job at the stream's priority. If the engine abandoned
+  /// the job at enqueue (shut down), the batch is failed inline via
+  /// fail_batch_locked — without ever dropping lock_.
+  void dispatch_locked(StreamId s) SLC_REQUIRES(lock_);
+  /// Delivers `err` to every request of a batch the engine never ran and
+  /// retires its backpressure debt. Takes each request's mutex while holding
+  /// lock_ (the documented lock order).
+  void fail_batch_locked(const std::shared_ptr<Batch>& batch, std::exception_ptr err)
+      SLC_REQUIRES(lock_);
+  /// Backpressure predicate: would admitting `n` more blocks fit the budget
+  /// (or is the server drained empty — the oversized-request escape)?
+  bool admit_fits_locked(size_t n) const SLC_REQUIRES(lock_);
   /// Runs on the engine worker that finishes a batch's last shard: scatters
   /// per-request results, folds stream stats, releases backpressure.
-  void complete_batch(const std::shared_ptr<Batch>& batch);
+  void complete_batch(const std::shared_ptr<Batch>& batch) SLC_EXCLUDES(lock_);
   void run_shard(Batch& batch, size_t begin, size_t end) const;
 
   Config cfg_;
   std::shared_ptr<CodecEngine> engine_;
 
-  mutable std::mutex lock_;
-  std::condition_variable backpressure_cv_;  ///< submit() waits budget here
-  std::condition_variable drain_cv_;         ///< drain() waits batches here
-  std::vector<std::unique_ptr<Stream>> streams_;
-  size_t inflight_blocks_ = 0;
-  size_t inflight_batches_ = 0;
-  size_t pending_blocks_total_ = 0;  ///< queued but not yet dispatched, all streams
-  uint64_t admit_head_ = 0;  ///< backpressure turnstile: next turn to admit
-  uint64_t admit_tail_ = 0;  ///< next turn to hand out
+  /// Guards every field below. Streams are never removed and Stream objects
+  /// are pointer-stable (unique_ptr), but the vector and all Stream contents
+  /// (pending queues, stats) are only touched under this lock.
+  mutable Mutex lock_;
+  CondVar backpressure_cv_;  ///< signals: budget freed / turnstile advanced
+  CondVar drain_cv_;         ///< signals: inflight_batches_ reached 0
+  std::vector<std::unique_ptr<Stream>> streams_ SLC_GUARDED_BY(lock_);
+  size_t inflight_blocks_ SLC_GUARDED_BY(lock_) = 0;
+  size_t inflight_batches_ SLC_GUARDED_BY(lock_) = 0;
+  /// Queued but not yet dispatched, all streams.
+  size_t pending_blocks_total_ SLC_GUARDED_BY(lock_) = 0;
+  uint64_t admit_head_ SLC_GUARDED_BY(lock_) = 0;  ///< turnstile: next turn to admit
+  uint64_t admit_tail_ SLC_GUARDED_BY(lock_) = 0;  ///< next turn to hand out
 };
 
 }  // namespace slc

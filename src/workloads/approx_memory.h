@@ -34,6 +34,14 @@
 // mutate lazily-deferred state) — must come from a single thread or be
 // externally synchronized. Distinct ApproxMemory instances may share an
 // engine freely.
+//
+// Deliberately mutex-free, so it carries none of the thread-safety
+// annotations the locked subsystems use (common/thread_safety.h): the only
+// cross-thread sharing is engine workers writing block-disjoint slices of a
+// committing region, and the settle-on-access path synchronizes with them
+// through CodecFuture::wait() (the job's mutex + the completed-count
+// handoff) before any harness-side read. There is no lock hierarchy to
+// annotate; the TSan CI tier is this file's race watchdog.
 #pragma once
 
 #include <cstdint>

@@ -1,9 +1,9 @@
 #include "workloads/workload.h"
 
 #include <map>
-#include <mutex>
 #include <stdexcept>
 
+#include "common/thread_safety.h"
 #include "workloads/workload_factories.h"
 
 namespace slc {
@@ -18,9 +18,11 @@ struct GoldenResult {
 };
 
 const GoldenResult& golden_run(const std::string& name, WorkloadScale scale) {
+  // The returned reference stays valid past the lock: entries are never
+  // erased and std::map nodes are pointer-stable across later inserts.
   static std::map<std::string, GoldenResult> cache;
-  static std::mutex mutex;
-  std::lock_guard<std::mutex> lock(mutex);
+  static Mutex mutex;
+  MutexLock lock(mutex);
   const std::string key = name + (scale == WorkloadScale::kDefault ? "/d" : "/t");
   auto it = cache.find(key);
   if (it != cache.end()) return it->second;

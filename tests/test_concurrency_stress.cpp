@@ -1,0 +1,233 @@
+// Race-hunting stress suite for the concurrent stack, written for the TSan
+// CI tier (the plain tier runs it too; the race detector gives it teeth).
+// Three families:
+//   * engine lifetime vs outstanding futures — the stored-exception
+//     contract: shutting down or destroying the engine with futures alive
+//     must deliver every result or a std::runtime_error, never a hang, leak
+//     or racy read;
+//   * server submits racing engine shutdown — every ticket completes, the
+//     job abandon hook fails batches the pool will never run, and
+//     drain()/~CodecServer return instead of waiting on a counter that can
+//     no longer move;
+//   * shared fingerprint-cache traffic — concurrent analyze jobs through one
+//     engine-owned cache stay byte-identical to the uncached oracle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "compress/codec_registry.h"
+#include "engine/codec_engine.h"
+#include "server/codec_server.h"
+#include "test_util.h"
+
+namespace slc {
+namespace {
+
+using test::quantized_walk;
+using test::test_options;
+
+const std::vector<uint8_t>& training() {
+  static const std::vector<uint8_t> data = quantized_walk(31, 256);
+  return data;
+}
+
+StreamConfig e2mc_stream(const char* name) {
+  StreamConfig cfg;
+  cfg.name = name;
+  cfg.codec = "E2MC";
+  cfg.options = test_options(training());
+  return cfg;
+}
+
+// --- engine lifetime vs futures ---------------------------------------------
+
+// Destroying the engine with futures still outstanding: each future must
+// resolve afterwards — normally (the job drained before the stop) or with
+// the stored std::runtime_error (abandoned in the queue) — at 1 worker and
+// at N workers.
+TEST(ConcurrencyStress, EngineDestroyedWithOutstandingFutures) {
+  for (const unsigned threads : {1u, 4u}) {
+    constexpr size_t kJobs = 32, kItems = 4;
+    std::vector<CodecFuture<void>> futs;
+    futs.reserve(kJobs);
+    std::atomic<size_t> ran{0};
+    {
+      CodecEngine engine(threads);
+      for (size_t j = 0; j < kJobs; ++j)
+        futs.push_back(engine.submit(kItems, [&ran](size_t b, size_t e, unsigned) {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          ran.fetch_add(e - b);
+        }));
+    }  // ~CodecEngine: shuts down; jobs still queued are abandoned
+    size_t ok = 0, abandoned = 0;
+    for (auto& f : futs) {
+      try {
+        f.wait();
+        ++ok;
+      } catch (const std::runtime_error&) {
+        ++abandoned;
+      }
+    }
+    EXPECT_EQ(ok + abandoned, kJobs) << "threads=" << threads;
+    // A job that resolved normally ran every item (abandoned jobs may have
+    // run the shards claimed before the stop, hence >=, not ==).
+    EXPECT_GE(ran.load(), kItems * ok) << "threads=" << threads;
+  }
+}
+
+// wait() racing shutdown() from concurrent waiter threads: every waiter
+// returns (result or stored exception); none deadlocks on a condvar whose
+// notifier is gone.
+TEST(ConcurrencyStress, FutureWaitRacesEngineShutdown) {
+  for (const unsigned threads : {1u, 4u}) {
+    CodecEngine engine(threads);
+    constexpr size_t kJobs = 48, kWaiters = 4;
+    std::vector<CodecFuture<void>> futs;
+    futs.reserve(kJobs);
+    for (size_t j = 0; j < kJobs; ++j)
+      futs.push_back(engine.submit(4, [](size_t, size_t, unsigned) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }));
+    std::atomic<size_t> ok{0}, abandoned{0};
+    std::vector<std::thread> waiters;
+    waiters.reserve(kWaiters);
+    for (size_t w = 0; w < kWaiters; ++w)
+      waiters.emplace_back([&futs, &ok, &abandoned, w] {
+        for (size_t j = w; j < kJobs; j += kWaiters) {
+          try {
+            futs[j].wait();
+            ok.fetch_add(1);
+          } catch (const std::runtime_error&) {
+            abandoned.fetch_add(1);
+          }
+        }
+      });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    engine.shutdown();
+    for (auto& w : waiters) w.join();
+    EXPECT_EQ(ok.load() + abandoned.load(), kJobs) << "threads=" << threads;
+  }
+}
+
+// --- server vs engine shutdown ----------------------------------------------
+
+// Deterministic reproduction of the stranded-batch deadlock: a single-worker
+// engine is pinned on a blocker job while the server dispatches a batch, so
+// the batch is accepted at enqueue but its shards are never claimed. The
+// shutdown abandons it; the abandon hook must fail the ticket and retire the
+// batch — before the hook existed, ticket.wait(), drain() and ~CodecServer
+// all hung here.
+TEST(ConcurrencyStress, EngineShutdownFailsEnqueuedServerBatch) {
+  auto engine = std::make_shared<CodecEngine>(1);
+  std::atomic<bool> started{false}, release{false};
+  auto blocker = engine->submit(1, [&started, &release](size_t, size_t, unsigned) {
+    started = true;
+    while (!release) std::this_thread::sleep_for(std::chrono::microseconds(100));
+  });
+  while (!started) std::this_thread::sleep_for(std::chrono::microseconds(100));
+
+  CodecServer::Config cfg;
+  cfg.engine = engine;
+  cfg.batch_blocks = 1;  // dispatch at once: the batch queues behind the blocker
+  CodecServer server(cfg);
+  const StreamId s = server.open_stream(e2mc_stream("stuck"));
+  const auto data = quantized_walk(32, 2);
+  auto ticket = server.submit(s, std::span<const uint8_t>(data));
+
+  std::thread stopper([&engine] { engine->shutdown(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  release = true;  // worker finishes the blocker, sees stop_, never claims the batch
+  EXPECT_THROW(ticket.wait(), std::runtime_error);
+  stopper.join();
+  server.drain();  // regression: returned only because the hook retired the batch
+  EXPECT_EQ(server.inflight_blocks(), 0u);
+  blocker.wait();  // the blocker itself drained normally
+}
+
+// Free-running submitters racing an engine shutdown, with backpressure
+// enabled so parked submitters must also be released. Every ticket resolves,
+// and the server drains cleanly afterwards.
+TEST(ConcurrencyStress, ServerSubmitsRaceEngineShutdown) {
+  auto engine = std::make_shared<CodecEngine>(4);
+  CodecServer::Config cfg;
+  cfg.engine = engine;
+  cfg.batch_blocks = 4;
+  cfg.max_inflight_blocks = 16;
+  CodecServer server(cfg);
+  const StreamId s = server.open_stream(e2mc_stream("race"));
+
+  constexpr size_t kSubmitters = 3, kIters = 40;
+  std::atomic<size_t> ok{0}, failed{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (size_t t = 0; t < kSubmitters; ++t)
+    submitters.emplace_back([&server, &ok, &failed, s, t] {
+      const auto data = quantized_walk(100 + t, 2);
+      for (size_t i = 0; i < kIters; ++i) {
+        try {
+          server.submit(s, std::span<const uint8_t>(data)).wait();
+          ok.fetch_add(1);
+        } catch (const std::runtime_error&) {
+          failed.fetch_add(1);  // rejected at enqueue or abandoned by shutdown
+        }
+      }
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  engine->shutdown();
+  for (auto& th : submitters) th.join();
+  EXPECT_EQ(ok.load() + failed.load(), kSubmitters * kIters);
+  server.drain();  // no batch may be stranded by the shutdown
+  EXPECT_EQ(server.inflight_blocks(), 0u);
+}
+
+// --- shared fingerprint cache -----------------------------------------------
+
+// Concurrent client threads pushing overlapping analyze jobs through one
+// engine and its shared fingerprint cache: every result must equal the
+// single-threaded uncached oracle, no matter how probes interleave. (The
+// decisions are the contract; hit/miss tallies are not.)
+TEST(ConcurrencyStress, SharedCacheConcurrentAnalyzeJobs) {
+  const auto blocks = test::dedup_corpus({.blocks = 96,
+                                          .dup_fraction = 0.5,
+                                          .flip_fraction = 0.2,
+                                          .zero_fraction = 0.1,
+                                          .seed = 91});
+  auto engine = std::make_shared<CodecEngine>(4);
+  CodecOptions cached_opts = test_options(training());
+  cached_opts.fingerprint_cache = engine->fingerprint_cache();
+  const auto cached = CodecRegistry::instance().create("TSLC-OPT", cached_opts);
+  const auto uncached = CodecRegistry::instance().create("TSLC-OPT", test_options(training()));
+  CodecEngine reference(1);
+  const auto want = reference.analyze_stream(*uncached, blocks, 32);
+
+  constexpr size_t kClients = 3, kIters = 4;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c)
+    clients.emplace_back([&engine, &cached, &blocks, &want, &mismatches] {
+      for (size_t i = 0; i < kIters; ++i) {
+        const auto got = engine->analyze_stream(*cached, blocks, 32);
+        if (got.blocks.size() != want.blocks.size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t b = 0; b < want.blocks.size(); ++b) {
+          if (got.blocks[b].bit_size != want.blocks[b].bit_size ||
+              got.blocks[b].lossy != want.blocks[b].lossy ||
+              got.blocks[b].truncated_symbols != want.blocks[b].truncated_symbols)
+            mismatches.fetch_add(1);
+        }
+      }
+    });
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+}  // namespace
+}  // namespace slc

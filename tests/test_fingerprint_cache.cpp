@@ -13,6 +13,7 @@
 // SLC_FINGERPRINT_CACHE force-disables the memo — the differential checks
 // still run and must pass trivially in that configuration.
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <memory>
 #include <set>
@@ -247,6 +248,79 @@ TEST(FingerprintCache, ClearDropsEntriesKeepsCounters) {
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.lookup(1, 3, b.bytes(), d), FingerprintCache::Lookup::kMiss);
   EXPECT_EQ(cache.counters().hits, 1u);  // totals survive clear()
+}
+
+// Shard selection and eviction under concurrent mixed hit/miss traffic with
+// verify-on-hit enabled (the ASan and TSan CI tiers both run this). Shard
+// pinning via shard_index makes the assertions deterministic even under
+// racing LRU churn: hot keys live alone in shard 0 (fewer keys than the
+// shard holds, so they are never evicted and every post-populate probe must
+// hit), while per-thread disjoint cold sets oversubscribe the other shards
+// to force insert/evict churn.
+TEST(FingerprintCache, ConcurrentMixedHitMissTrafficWithVerifyOnHit) {
+  FingerprintCache cache({.capacity = 64, .shards = 4, .verify_on_hit = true});
+  ASSERT_EQ(cache.num_shards(), 4u);
+  const size_t per_shard = cache.capacity() / cache.num_shards();
+
+  // Deterministic content and decision per fingerprint, so a verified hit
+  // can be checked against exactly what the inserter stored, and honest
+  // content can never trip the verify-on-hit collision path.
+  const auto block_for = [](uint64_t fp) {
+    Block b;
+    auto bytes = b.mutable_bytes();
+    for (size_t i = 0; i < bytes.size(); ++i)
+      bytes[i] = static_cast<uint8_t>((fp * 0x9E3779B97F4A7C15ull + i * 0x85EBCA77ull) >> 32);
+    return b;
+  };
+
+  constexpr uint64_t kKey = 7;
+  std::vector<uint64_t> hot;
+  for (uint64_t fp = 0; hot.size() < per_shard / 2; ++fp)
+    if (cache.shard_index(kKey, fp) == 0) hot.push_back(fp);
+  constexpr unsigned kThreads = 4;
+  std::vector<std::vector<uint64_t>> cold(kThreads);
+  uint64_t next_fp = 1'000'000;
+  for (unsigned t = 0; t < kThreads; ++t)
+    while (cold[t].size() < 4 * per_shard)
+      if (cache.shard_index(kKey, ++next_fp) != 0) cold[t].push_back(next_fp);
+
+  for (const uint64_t fp : hot)
+    EXPECT_FALSE(cache.insert(kKey, fp, block_for(fp).bytes(), arbitrary_decision(fp)));
+
+  std::atomic<size_t> bad_decisions{0}, missed_hot{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t)
+    workers.emplace_back([&, t] {
+      for (int iter = 0; iter < 40; ++iter) {
+        for (const uint64_t fp : cold[t]) {
+          SlcCodec::Decision d;
+          const auto r = cache.lookup(kKey, fp, block_for(fp).bytes(), d);
+          if (r == FingerprintCache::Lookup::kHit &&
+              d.info.final_bits != arbitrary_decision(fp).info.final_bits)
+            bad_decisions.fetch_add(1);
+          if (r == FingerprintCache::Lookup::kMiss)
+            cache.insert(kKey, fp, block_for(fp).bytes(), arbitrary_decision(fp));
+        }
+        for (const uint64_t fp : hot) {
+          SlcCodec::Decision d;
+          if (cache.lookup(kKey, fp, block_for(fp).bytes(), d) != FingerprintCache::Lookup::kHit)
+            missed_hot.fetch_add(1);
+          else if (d.skip_start != arbitrary_decision(fp).skip_start ||
+                   d.info.final_bits != arbitrary_decision(fp).info.final_bits)
+            bad_decisions.fetch_add(1);
+        }
+      }
+    });
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(bad_decisions.load(), 0u);
+  EXPECT_EQ(missed_hot.load(), 0u);
+  EXPECT_LE(cache.size(), cache.capacity());
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.collisions, 0u);  // content always matches its fingerprint here
+  EXPECT_GT(c.evictions, 0u);   // the cold sets oversubscribe their shards
+  EXPECT_EQ(c.probes(), c.hits + c.misses);
 }
 
 TEST(FingerprintCache, RuntimeEnabledMatchesEnvironment) {

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the project's own sources, in parallel, as a gate.
+
+Reads compile_commands.json from the build directory (exported
+unconditionally by CMakeLists.txt), keeps the entries under src/ — tests,
+bench drivers and examples are exercised by the test tiers, not tidied —
+and fails with a non-zero exit code if any check fires. The check set and
+WarningsAsErrors policy live in .clang-tidy at the repo root.
+
+Usage:
+    python3 tools/run_clang_tidy.py [--build-dir build] [--jobs N]
+                                    [--clang-tidy clang-tidy-18] [files...]
+
+Positional `files` (repo-relative or absolute) restrict the run to matching
+database entries — handy to iterate on one translation unit.
+
+Suppressing a finding inline: append `// NOLINT(check-name)` to the line
+(or put `NOLINTNEXTLINE(check-name)` at the end of the comment line above)
+together with a short reason. Bare NOLINT without a named check or a reason
+does not pass review; .clang-tidy documents the project-wide disables.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def find_clang_tidy(explicit):
+    candidates = [explicit] if explicit else []
+    candidates += [os.environ.get("CLANG_TIDY"), "clang-tidy"]
+    candidates += [f"clang-tidy-{v}" for v in range(21, 13, -1)]
+    for c in candidates:
+        if c and shutil.which(c):
+            return c
+    sys.exit("run_clang_tidy.py: no clang-tidy binary found "
+             "(pass --clang-tidy or set CLANG_TIDY)")
+
+
+def load_entries(build_dir, only):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        sys.exit(f"run_clang_tidy.py: {db_path} not found — configure the "
+                 "build first (CMAKE_EXPORT_COMPILE_COMMANDS is always on)")
+    with open(db_path) as f:
+        database = json.load(f)
+    src_prefix = os.path.join(REPO_ROOT, "src") + os.sep
+    files = []
+    for entry in database:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        if not path.startswith(src_prefix):
+            continue
+        if only and not any(path.endswith(o) for o in only):
+            continue
+        files.append(path)
+    return db_path, sorted(set(files))
+
+
+def tidy_one(binary, db_path, path):
+    proc = subprocess.run(
+        [binary, "-p", os.path.dirname(db_path), "--quiet", path],
+        capture_output=True, text=True)
+    # clang-tidy writes findings to stdout; stderr carries the noisy
+    # "N warnings generated" tallies plus real driver errors, so keep stderr
+    # only when the run itself failed.
+    out = proc.stdout.strip()
+    if proc.returncode != 0 and not out:
+        out = proc.stderr.strip()
+    return path, proc.returncode, out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    ap.add_argument("--clang-tidy", default=None)
+    ap.add_argument("files", nargs="*")
+    args = ap.parse_args()
+
+    binary = find_clang_tidy(args.clang_tidy)
+    db_path, files = load_entries(args.build_dir, args.files)
+    if not files:
+        sys.exit("run_clang_tidy.py: no src/ entries matched")
+    print(f"{binary}: {len(files)} translation units, {args.jobs} jobs")
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [pool.submit(tidy_one, binary, db_path, f) for f in files]
+        for fut in concurrent.futures.as_completed(futures):
+            path, rc, out = fut.result()
+            rel = os.path.relpath(path, REPO_ROOT)
+            if rc != 0:
+                failures += 1
+                print(f"FAIL {rel}\n{out}\n")
+            else:
+                print(f"  ok {rel}")
+    if failures:
+        sys.exit(f"run_clang_tidy.py: {failures} of {len(files)} files "
+                 "have findings")
+    print(f"clang-tidy clean: {len(files)} files")
+
+
+if __name__ == "__main__":
+    main()
