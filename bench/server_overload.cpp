@@ -1,0 +1,235 @@
+// CodecServer under open-loop load: tail latency vs offered load, and
+// goodput under overload with admission control shedding.
+//
+// An open-loop generator submits kCompress requests with Poisson
+// (exponential) inter-arrival times at a sweep of offered loads — fractions
+// of the host's calibrated direct compress_batch capacity — against a
+// kReject stream with a per-request deadline. Unlike the closed-loop
+// server_throughput bench, arrivals here do not wait for completions, so
+// queueing delay and the admission decision are actually exercised: below
+// saturation the server must serve (almost) everything it is offered; past
+// saturation goodput must plateau near capacity while the rejection counter
+// absorbs the excess instead of latency growing without bound.
+//
+// Rows (per offered-load point): goodput in blocks/s, latency p50/p99 from
+// the server's enqueue-to-completion percentiles, and for the sub-saturation
+// points `speedup` = goodput / offered rate (the served fraction, ~1.0 when
+// the server keeps up). The overload points' served fraction is
+// machine-dependent by design, so their speedup is zeroed and
+// tools/bench_compare.py skips them; the sub-saturation rows are gated in CI
+// against bench/baselines/BENCH_server.json.
+//
+// The run also cross-checks the serving contract: payloads coming back
+// through the server must be byte-identical to the direct codec path. Any
+// mismatch exits non-zero, so CI smoke runs double as a correctness gate.
+//
+// Usage: server_overload [benchmark] [scheme] [--json[=path]]
+//   defaults: SRAD2 TSLC-OPT
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "server/codec_server.h"
+
+using namespace slc;
+using namespace slc::bench;
+
+namespace {
+
+constexpr size_t kBlocksPerRequest = 32;
+constexpr size_t kRequestsPerPoint = 400;
+constexpr auto kDeadline = std::chrono::milliseconds(5);
+constexpr double kOfferedFractions[] = {0.25, 0.5, 1.0, 2.0};
+// Points at or past this fraction are overload by construction: their served
+// fraction measures the shedding policy, not a regression, so they are
+// reported but not gated.
+constexpr double kSaturationFraction = 1.0;
+
+std::vector<Block> pool_blocks(const std::string& benchmark, size_t blocks) {
+  const std::vector<uint8_t>& image = workload_image_cached(benchmark);
+  std::vector<uint8_t> bytes(blocks * kBlockBytes);
+  for (size_t i = 0; i < bytes.size(); ++i) bytes[i] = image[i % image.size()];
+  return to_blocks(bytes);
+}
+
+/// Direct-path capacity in blocks/s: the same compress_batch kernel the
+/// server's shards run, timed without any serving machinery around it.
+double calibrate_capacity(const Compressor& comp, const std::vector<Block>& pool) {
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto payloads = comp.compress_batch(pool);
+    const double s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (payloads.size() != pool.size()) std::abort();
+    best = std::max(best, static_cast<double>(pool.size()) / s);
+  }
+  return best;
+}
+
+/// Byte-identity of the served payload path vs the direct codec path; the
+/// contract the round-trip tests pin, re-checked here on the bench host.
+bool payloads_match_direct(const Compressor& comp, const CodecOptions& opts,
+                           const std::string& scheme, const std::vector<Block>& pool) {
+  CodecServer::Config cfg;
+  cfg.engine = std::make_shared<CodecEngine>(2);
+  cfg.batch_blocks = 64;
+  CodecServer server(cfg);
+  StreamConfig sc;
+  sc.name = "identity";
+  sc.codec = scheme;
+  sc.options = opts;
+  const StreamId s = server.open_stream(sc);
+  auto ticket = server.submit(s, Request{.kind = RequestKind::kCompress, .blocks = pool});
+  const Response res = ticket.wait();
+  if (!res.ok() || res.payloads.size() != pool.size()) return false;
+  const std::vector<CompressedBlock> want = comp.compress_batch(pool);
+  for (size_t i = 0; i < want.size(); ++i) {
+    if (res.payloads[i].payload != want[i].payload ||
+        res.payloads[i].bit_size != want[i].bit_size ||
+        res.payloads[i].is_compressed != want[i].is_compressed)
+      return false;
+  }
+  return true;
+}
+
+struct PointResult {
+  double offered_blocks_per_sec = 0.0;
+  double goodput_blocks_per_sec = 0.0;
+  uint64_t served_blocks = 0;
+  uint64_t rejected = 0;
+  uint64_t deadline_misses = 0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+};
+
+PointResult run_point(double fraction, double capacity, const std::string& scheme,
+                      const CodecOptions& opts, const std::vector<Block>& pool, uint64_t seed) {
+  CodecServer::Config cfg;
+  cfg.engine = std::make_shared<CodecEngine>(2);
+  cfg.batch_blocks = 64;
+  cfg.max_inflight_blocks = 256;  // the admission budget overload pushes against
+  CodecServer server(cfg);
+  StreamConfig sc;
+  sc.name = "serve";
+  sc.codec = scheme;
+  sc.options = opts;
+  sc.admission = AdmissionPolicy::kReject;
+  const StreamId s = server.open_stream(sc);
+
+  PointResult out;
+  out.offered_blocks_per_sec = fraction * capacity;
+  const double req_rate = out.offered_blocks_per_sec / kBlocksPerRequest;
+
+  Rng rng(seed);
+  std::vector<ServerTicket> tickets;
+  tickets.reserve(kRequestsPerPoint);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto arrival = t0;
+  for (size_t i = 0; i < kRequestsPerPoint; ++i) {
+    // Exponential inter-arrival: a Poisson process at req_rate.
+    const double gap_s = -std::log(1.0 - rng.uniform()) / req_rate;
+    arrival += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(gap_s));
+    // Open loop: hold to the schedule regardless of server progress. Sleep
+    // the bulk, yield the rest — inter-arrivals run down to a few µs.
+    while (std::chrono::steady_clock::now() < arrival) {
+      const auto left = arrival - std::chrono::steady_clock::now();
+      if (left > std::chrono::milliseconds(1))
+        std::this_thread::sleep_for(left - std::chrono::microseconds(500));
+      else
+        std::this_thread::yield();
+    }
+    const size_t off = (i * kBlocksPerRequest) % (pool.size() - kBlocksPerRequest + 1);
+    tickets.push_back(server.submit(
+        s, Request{.kind = RequestKind::kCompress,
+                   .blocks = std::span<const Block>(pool).subspan(off, kBlocksPerRequest),
+                   .deadline = kDeadline}));
+  }
+  for (auto& t : tickets) {
+    const Response res = t.wait();
+    if (res.ok()) out.served_blocks += res.payloads.size();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  server.drain();
+
+  const StreamStats st = server.stream_stats(s);
+  out.goodput_blocks_per_sec = static_cast<double>(out.served_blocks) / wall;
+  out.rejected = st.rejected;
+  out.deadline_misses = st.deadline_misses;
+  out.p50_s = st.latency.percentile(50);
+  out.p99_s = st.latency.percentile(99);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const std::string json_path = parse_json_flag(argc, argv, "BENCH_server.json");
+  const std::string benchmark = argc > 1 ? argv[1] : "SRAD2";
+  const std::string scheme = argc > 2 ? argv[2] : "TSLC-OPT";
+
+  print_banner("CodecServer overload — open-loop Poisson load, admission control",
+               "server layer validation (no paper figure)");
+
+  const CodecOptions opts = codec_options_for(benchmark, kDefaultMagBytes, 16);
+  const auto comp = CodecRegistry::instance().create(scheme, opts);
+  const std::vector<Block> pool = pool_blocks(benchmark, 2048);
+
+  if (!payloads_match_direct(*comp, opts, scheme, pool)) {
+    std::printf("FATAL: served payloads differ from the direct codec path\n");
+    return 1;
+  }
+  std::printf("served payloads byte-identical to direct %s compress_batch: yes\n", scheme.c_str());
+
+  const double capacity = calibrate_capacity(*comp, pool);
+  std::printf("calibrated direct-path capacity: %.3f Mblk/s; %zu requests x %zu blocks per "
+              "point, %lld ms deadline, kReject admission\n\n",
+              capacity / 1e6, kRequestsPerPoint, kBlocksPerRequest,
+              static_cast<long long>(kDeadline.count()));
+
+  BenchReport report("server_overload");
+  report.set_meta("benchmark", benchmark);
+  report.set_meta("capacity_blocks_per_sec", TextTable::fmt(capacity, 1));
+
+  TextTable t({"Offered", "Goodput Mblk/s", "Served frac", "Rejected", "Misses", "p50 (us)",
+               "p99 (us)"});
+  uint64_t seed = 1;
+  for (const double fraction : kOfferedFractions) {
+    const PointResult pr = run_point(fraction, capacity, scheme, opts, pool, seed++);
+    const double served_fraction = pr.goodput_blocks_per_sec / pr.offered_blocks_per_sec;
+    const std::string label = TextTable::fmt(fraction, 2) + "x";
+    t.add_row({label, TextTable::fmt(pr.goodput_blocks_per_sec / 1e6, 3),
+               TextTable::fmt(served_fraction, 3), std::to_string(pr.rejected),
+               std::to_string(pr.deadline_misses), TextTable::fmt(pr.p50_s * 1e6, 0),
+               TextTable::fmt(pr.p99_s * 1e6, 0)});
+
+    Measurement m;
+    m.scheme = scheme;
+    m.kernel = "serve";
+    m.path = "offered=" + label;
+    m.blocks = pr.served_blocks;
+    m.reps = kRequestsPerPoint;
+    m.blocks_per_sec = pr.goodput_blocks_per_sec;
+    m.gbps = pr.goodput_blocks_per_sec * kBlockBytes / 1e9;
+    m.p50_ms = pr.p50_s * 1e3;
+    m.p99_ms = pr.p99_s * 1e3;
+    m.speedup = fraction < kSaturationFraction ? served_fraction : 0.0;
+    report.add(m);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("sub-saturation rows carry speedup = served fraction (gated in CI);\n");
+  std::printf("the 1x/2x rows' served fraction is the shedding policy at work, not gated.\n");
+
+  if (!json_path.empty() && !report.write_json(json_path)) return 1;
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "server_overload: %s\n", e.what());
+  return 1;
+}

@@ -97,18 +97,22 @@ ScenarioResult run_scenario(bool prioritize, unsigned threads, const std::string
   // the latency stream submits small requests and waits each one — the
   // serving pattern a shared compression tier actually sees.
   size_t bulk_i = 0;
+  auto served = [](Response res) {
+    res.throw_if_failed();  // a failed batch voids the whole bench run
+    return std::move(res.analysis);
+  };
   for (size_t i = 0; i < kWarmupBulkRequests; ++i)
-    bulk_tickets.push_back(server.submit(bulk, bulk_slice(bulk_i++)));
+    bulk_tickets.push_back(server.submit(bulk, Request{.bytes = bulk_slice(bulk_i++)}));
   for (size_t it = 0; it < kLatencyIterations; ++it) {
     for (size_t i = 0; i < kBulkRequestsPerIteration; ++i)
-      bulk_tickets.push_back(server.submit(bulk, bulk_slice(bulk_i++)));
-    auto ticket = server.submit(lat, lat_slice(it));
-    out.latency_results.push_back(ticket.wait());
+      bulk_tickets.push_back(server.submit(bulk, Request{.bytes = bulk_slice(bulk_i++)}));
+    auto ticket = server.submit(lat, Request{.bytes = lat_slice(it)});
+    out.latency_results.push_back(served(ticket.wait()));
   }
   server.drain();
   out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
-  for (auto& t : bulk_tickets) out.bulk_results.push_back(t.wait());
+  for (auto& t : bulk_tickets) out.bulk_results.push_back(served(t.wait()));
   out.bulk_stats = server.stream_stats(bulk);
   out.latency_stats = server.stream_stats(lat);
   return out;

@@ -11,12 +11,16 @@
 // Each stream keeps its own registry-selected codec, error budget
 // (threshold_bytes) and stats; requests coalesce into engine-sized batches;
 // drain() is the barrier. All three streams opt into the engine's shared
-// fingerprint memo, so the commits client's retry resubmission dedups against
-// its first copy. The final table prints per-stream CommitStats, the memo hit
-// rate and latency percentiles.
+// fingerprint memo (CacheMode::kShared), so the commits client's retry
+// resubmission dedups against its first copy. The commits client also shows
+// the typed Request surface: a kCompress request returning real payloads
+// under a deadline, and a kReject stream shedding at saturation. The final
+// table prints per-stream CommitStats, the memo hit rate, latency
+// percentiles, and the rejected/deadline-miss counters.
 //
 // Build & run:   cmake -B build && cmake --build build
 //                ./build/examples/multi_stream_server
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -67,19 +71,24 @@ int main() {
   StreamConfig sweep{"sweep", "E2MC", opts, StreamPriority::kBulk};
   StreamConfig commits{"commits", "TSLC-OPT", opts, StreamPriority::kLatency};
   StreamConfig probe{"probe", "BDI", CodecOptions{.mag_bytes = 32}, StreamPriority::kNormal};
-  // Opt every stream into the engine-wide fingerprint memo
-  // (Config::share_fingerprint_cache is on by default): repeated block
+  // Opt every stream into the engine-wide fingerprint memo: repeated block
   // content skips the Fig. 4 probe and shows up in the hit-rate column.
-  sweep.use_fingerprint_cache = true;
-  commits.use_fingerprint_cache = true;
-  probe.use_fingerprint_cache = true;
+  sweep.cache_mode = CacheMode::kShared;
+  commits.cache_mode = CacheMode::kShared;
+  probe.cache_mode = CacheMode::kShared;
+  // The probe stream sheds rather than queues when the budget saturates —
+  // the policy a best-effort diagnostic client wants.
+  probe.admission = AdmissionPolicy::kReject;
   const StreamId s_sweep = server.open_stream(sweep);
   const StreamId s_commits = server.open_stream(commits);
   const StreamId s_probe = server.open_stream(probe);
 
   // Bulk client: eight large requests, fire-and-forget (tickets dropped —
   // the in-flight budget still retires through batch completion).
-  for (uint64_t i = 0; i < 8; ++i) server.submit(s_sweep, make_stream(10 + i, 96));
+  for (uint64_t i = 0; i < 8; ++i) {
+    const auto bulk = make_stream(10 + i, 96);
+    server.submit(s_sweep, Request{.bytes = bulk});
+  }
 
   // Latency client: small requests, each waited synchronously. With
   // kLatency priority these preempt the sweep backlog instead of queueing
@@ -87,30 +96,53 @@ int main() {
   // second copy's decisions come straight from the fingerprint memo.
   for (uint64_t i = 0; i < 4; ++i) {
     const auto payload = make_stream(30 + i, 8);
-    server.submit(s_commits, payload).wait();
-    auto ticket = server.submit(s_commits, payload);
-    const auto res = ticket.wait();
+    server.submit(s_commits, Request{.bytes = payload}).wait();
+    auto ticket = server.submit(s_commits, Request{.bytes = payload, .tag = i});
+    const Response res = ticket.wait();
     std::printf("commit %llu (retry): %zu blocks, %llu lossy, effective ratio %.3f\n",
-                static_cast<unsigned long long>(i), res.blocks.size(),
-                static_cast<unsigned long long>(res.lossy_blocks),
-                res.ratios.effective_ratio());
+                static_cast<unsigned long long>(res.tag), res.analysis.blocks.size(),
+                static_cast<unsigned long long>(res.analysis.lossy_blocks),
+                res.analysis.ratios.effective_ratio());
   }
 
-  // Probe client: a ticket can be polled before it is waited.
-  auto probe_ticket = server.submit(s_probe, make_stream(50, 24));
-  std::printf("\nprobe ready before wait: %s (still coalescing until waited/flushed)\n",
+  // Compress client: the same stream can ask for real payloads. A deadline
+  // arms the server's flush timer, so the partial batch dispatches within
+  // the budget even if no later submit pushes it out.
+  {
+    const auto payload = make_stream(40, 8);
+    auto ticket = server.submit(
+        s_commits, Request{.kind = RequestKind::kCompress,
+                           .bytes = payload,
+                           .deadline = std::chrono::milliseconds(5)});
+    const Response res = ticket.wait();
+    size_t payload_bits = 0;
+    for (const CompressedBlock& cb : res.payloads) payload_bits += cb.bit_size;
+    std::printf("\ncompress under 5 ms deadline: %zu payloads, %zu bits total%s\n",
+                res.payloads.size(), payload_bits,
+                res.deadline_missed ? " (deadline missed)" : "");
+  }
+
+  // Probe client: a ticket can be polled before it is waited, and a shed
+  // request reports kRejected instead of blocking the caller.
+  auto probe_ticket = server.submit(s_probe, Request{.bytes = make_stream(50, 24)});
+  std::printf("probe ready before wait: %s (still coalescing until waited/flushed)\n",
               probe_ticket.ready() ? "yes" : "no");
-  const auto probe_res = probe_ticket.wait();
-  std::printf("probe: %zu blocks through BDI, raw ratio %.3f\n", probe_res.blocks.size(),
-              probe_res.ratios.raw_ratio());
+  const Response probe_res = probe_ticket.wait();
+  if (probe_res.status == ResponseStatus::kRejected) {
+    std::printf("probe: shed at admission (budget saturated)\n");
+  } else {
+    std::printf("probe: %zu blocks through BDI, raw ratio %.3f\n",
+                probe_res.analysis.blocks.size(), probe_res.analysis.ratios.raw_ratio());
+  }
 
   // Barrier, then per-stream + aggregate accounting.
   server.drain();
-  TextTable t({"Stream", "Requests", "Batches", "Blocks", "Lossy", "Avg bursts", "Memo hits",
-               "p50 (us)", "p99 (us)"});
+  TextTable t({"Stream", "Requests", "Rejected", "Misses", "Batches", "Blocks", "Lossy",
+               "Avg bursts", "Memo hits", "p50 (us)", "p99 (us)"});
   for (const StreamId s : {s_sweep, s_commits, s_probe}) {
     const StreamStats st = server.stream_stats(s);
-    t.add_row({server.stream_name(s), std::to_string(st.requests), std::to_string(st.batches),
+    t.add_row({server.stream_name(s), std::to_string(st.requests), std::to_string(st.rejected),
+               std::to_string(st.deadline_misses), std::to_string(st.batches),
                std::to_string(st.commit.blocks), std::to_string(st.commit.lossy_blocks),
                TextTable::fmt(st.commit.avg_bursts(), 2),
                TextTable::fmt(st.commit.cache.hit_rate() * 100.0, 1) + "%",
@@ -118,7 +150,8 @@ int main() {
                TextTable::fmt(st.latency.percentile(99) * 1e6, 0)});
   }
   const StreamStats agg = server.aggregate_stats();
-  t.add_row({"<all>", std::to_string(agg.requests), std::to_string(agg.batches),
+  t.add_row({"<all>", std::to_string(agg.requests), std::to_string(agg.rejected),
+             std::to_string(agg.deadline_misses), std::to_string(agg.batches),
              std::to_string(agg.commit.blocks), std::to_string(agg.commit.lossy_blocks),
              TextTable::fmt(agg.commit.avg_bursts(), 2),
              TextTable::fmt(agg.commit.cache.hit_rate() * 100.0, 1) + "%",

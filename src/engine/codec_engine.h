@@ -144,9 +144,15 @@ class CodecFuture {
 class CodecEngine {
  public:
   /// Priority landmarks for submit*(). Any int works (higher = sooner);
-  /// these name the two ends the CodecServer schedules between.
+  /// bulk/latency name the two ends the CodecServer schedules between.
   static constexpr int kPriorityBulk = 0;
   static constexpr int kPriorityLatency = 100;
+  /// Above kPriorityLatency: the CodecServer dispatches batches that carry
+  /// explicit request deadlines at this landmark, so a deadline's shards
+  /// claim ahead of everything scheduled between the two ends — the
+  /// deadline-aware claim that makes a timer-flushed partial batch finish
+  /// inside its budget even behind queued bulk work.
+  static constexpr int kPriorityDeadline = 150;
 
   /// `num_threads` = 0 picks std::thread::hardware_concurrency() (min 1).
   explicit CodecEngine(unsigned num_threads = 0);

@@ -23,20 +23,41 @@ int to_engine_priority(StreamPriority p) {
   return CodecEngine::kPriorityBulk;
 }
 
+constexpr auto kNoFlush = std::chrono::steady_clock::time_point::max();
+
+/// When a parked request must be force-dispatched: deadline-carrying
+/// requests get half their deadline as coalescing budget (capped by the
+/// configured linger) so the engine keeps the other half; deadline-free
+/// requests linger at most `max_coalesce_delay` (0 = never auto-flush).
+std::chrono::steady_clock::time_point flush_deadline(
+    std::chrono::steady_clock::time_point submitted, std::chrono::nanoseconds deadline,
+    std::chrono::microseconds linger) {
+  if (deadline.count() > 0) {
+    auto budget = deadline / 2;
+    if (linger.count() > 0) budget = std::min(budget, std::chrono::nanoseconds(linger));
+    return submitted + budget;
+  }
+  if (linger.count() > 0) return submitted + linger;
+  return kNoFlush;
+}
+
 }  // namespace
 
 /// One dispatched batch: the concatenated blocks of the requests it carries,
-/// index-aligned analysis slots, and a shard-completion counter. Exceptions
-/// are caught inside the shard body (never surfaced to the engine) so the
-/// counter always reaches the block count and the batch always completes —
-/// errors are delivered per request instead.
+/// index-aligned result slots (analyses or payloads, by kind), and a
+/// shard-completion counter. Exceptions are caught inside the shard body
+/// (never surfaced to the engine) so the counter always reaches the block
+/// count and the batch always completes — errors are delivered per request
+/// instead.
 struct CodecServer::Batch {
   CodecServer* server = nullptr;
   StreamId stream = 0;
+  RequestKind kind = RequestKind::kAnalyze;
   std::shared_ptr<const Compressor> codec;
   size_t mag_bytes = kDefaultMagBytes;
   std::vector<Block> blocks;
-  std::vector<BlockAnalysis> analyses;
+  std::vector<BlockAnalysis> analyses;      ///< kAnalyze / kDecide
+  std::vector<CompressedBlock> payloads;    ///< kCompress
   std::vector<std::shared_ptr<detail::ServerRequest>> requests;
   std::atomic<size_t> done{0};
 
@@ -60,13 +81,14 @@ bool ServerTicket::ready() const {
   return req_->done;
 }
 
-CodecEngine::StreamAnalysis ServerTicket::wait() {
+Response ServerTicket::wait() {
   if (!req_) throw std::logic_error("ServerTicket::wait on an empty ticket");
   auto req = std::move(req_);  // one-shot: consume before any throw
   // The request may still be coalescing in its stream's pending batch; a
-  // waiter must force dispatch or it would block until someone else fills
-  // the batch. Skip the flush when already complete so waiting a finished
-  // ticket does not dispatch the stream's unrelated half-full batch.
+  // waiter must force dispatch or it would block until the flush timer (or
+  // someone else's submit) fills the batch. Skip the flush when already
+  // complete so waiting a finished ticket does not dispatch the stream's
+  // unrelated half-full batch.
   // (Called without holding req->m: the server lock nests outside it.)
   bool done;
   {
@@ -74,17 +96,9 @@ CodecEngine::StreamAnalysis ServerTicket::wait() {
     done = req->done;
   }
   if (!done && server_) server_->flush_stream(stream_);
-  std::exception_ptr err;
-  CodecEngine::StreamAnalysis result;
-  {
-    MutexLock lk(req->m);
-    while (!req->done) req->cv.wait(req->m);
-    err = req->error;
-    if (!err) result = std::move(req->result);
-  }
-  // Rethrow outside the lock; the result move already happened under it.
-  if (err) std::rethrow_exception(err);
-  return result;
+  MutexLock lk(req->m);
+  while (!req->done) req->cv.wait(req->m);
+  return std::move(req->resp);
 }
 
 // --- CodecServer ------------------------------------------------------------
@@ -94,19 +108,50 @@ CodecServer::CodecServer() : CodecServer(Config{}) {}
 CodecServer::CodecServer(Config cfg) : cfg_(std::move(cfg)) {
   engine_ = cfg_.engine ? cfg_.engine : CodecEngine::shared_default();
   if (cfg_.batch_blocks == 0) cfg_.batch_blocks = 1;
+  timer_ = std::thread([this] { timer_loop(); });
 }
 
-CodecServer::~CodecServer() { drain(); }
+CodecServer::~CodecServer() {
+  {
+    MutexLock lk(lock_);
+    stopping_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+  drain();
+}
+
+std::shared_ptr<FingerprintCache> CodecServer::shared_verify_cache() {
+  MutexLock lk(lock_);
+  if (!shared_verify_cache_) {
+    FingerprintCache::Config cache_cfg;
+    cache_cfg.verify_on_hit = true;
+    shared_verify_cache_ = std::make_shared<FingerprintCache>(cache_cfg);
+  }
+  return shared_verify_cache_;
+}
 
 StreamId CodecServer::open_stream(StreamConfig cfg) {
   auto stream = std::make_unique<Stream>();
-  if (cfg.use_fingerprint_cache && !cfg.options.fingerprint_cache) {
-    if (cfg_.share_fingerprint_cache) {
-      cfg.options.fingerprint_cache = engine_->fingerprint_cache();
-    } else {
-      FingerprintCache::Config cache_cfg;
-      cache_cfg.verify_on_hit = cfg_.verify_cache_hits;
-      cfg.options.fingerprint_cache = std::make_shared<FingerprintCache>(cache_cfg);
+  // Cache wiring precedence: an explicitly pre-set options.fingerprint_cache
+  // always wins; cache_mode is only consulted when it is null.
+  if (!cfg.options.fingerprint_cache) {
+    switch (cfg.cache_mode) {
+      case CacheMode::kOff:
+        break;
+      case CacheMode::kShared:
+        cfg.options.fingerprint_cache = engine_->fingerprint_cache();
+        break;
+      case CacheMode::kSharedVerify:
+        cfg.options.fingerprint_cache = shared_verify_cache();
+        break;
+      case CacheMode::kPrivate:
+      case CacheMode::kPrivateVerify: {
+        FingerprintCache::Config cache_cfg;
+        cache_cfg.verify_on_hit = cfg.cache_mode == CacheMode::kPrivateVerify;
+        cfg.options.fingerprint_cache = std::make_shared<FingerprintCache>(cache_cfg);
+        break;
+      }
     }
   }
   // Registry lookup first: an unknown codec or missing training data must
@@ -132,18 +177,36 @@ const std::string& CodecServer::stream_name(StreamId s) const {
   return streams_.at(s)->cfg.name;
 }
 
+ServerTicket CodecServer::submit(StreamId s, const Request& request) {
+  std::vector<Block> blocks =
+      !request.blocks.empty()
+          ? std::vector<Block>(request.blocks.begin(), request.blocks.end())
+          : to_blocks(request.bytes);
+  return submit_request(s, request, std::move(blocks));
+}
+
 ServerTicket CodecServer::submit(StreamId s, std::span<const uint8_t> data) {
-  return submit_blocks(s, to_blocks(data));
+  Request r;
+  r.bytes = data;
+  return submit(s, r);
 }
 
 ServerTicket CodecServer::submit(StreamId s, std::span<const Block> blocks) {
-  return submit_blocks(s, std::vector<Block>(blocks.begin(), blocks.end()));
+  Request r;
+  r.blocks = blocks;
+  return submit(s, r);
 }
 
-ServerTicket CodecServer::submit_blocks(StreamId s, std::vector<Block>&& blocks) {
+ServerTicket CodecServer::submit_request(StreamId s, const Request& r,
+                                         std::vector<Block>&& blocks) {
   auto req = std::make_shared<detail::ServerRequest>();
+  // Latency is measured from here — before any admission wait or coalescing
+  // delay — so percentiles reflect what the client experienced.
   req->submitted = std::chrono::steady_clock::now();
   req->n_blocks = blocks.size();
+  req->kind = r.kind;
+  req->tag = r.tag;
+  req->deadline = r.deadline;
 
   MutexLock lk(lock_);
   Stream& st = *streams_.at(s);
@@ -152,15 +215,33 @@ ServerTicket CodecServer::submit_blocks(StreamId s, std::vector<Block>&& blocks)
     // Nothing to schedule; complete inline so the request can never be
     // stranded in an empty batch.
     st.stats.requests += 1;
-    st.stats.latency.record(0.0);
+    st.stats.latency.record(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                          req->submitted)
+                                .count());
     MutexLock rlk(req->m);
-    req->result.ratios = RatioAccumulator(st.cfg.options.mag_bytes);
+    req->resp.tag = req->tag;
+    req->resp.analysis.ratios = RatioAccumulator(st.cfg.options.mag_bytes);
     req->done = true;
     return ServerTicket(this, s, std::move(req));
   }
 
   const size_t n = blocks.size();
-  if (cfg_.max_inflight_blocks != 0) {
+  if (cfg_.max_inflight_blocks != 0 && st.cfg.admission == AdmissionPolicy::kReject) {
+    // Load shedding: a kReject stream never waits. The request is shed
+    // unless it could be admitted *right now* — budget room and no older
+    // submitter already queued at the turnstile (jumping the FIFO would
+    // starve waiting kBlock submitters of the room they were promised).
+    if (admit_tail_ != admit_head_ || !admit_fits_locked(n)) {
+      st.stats.requests += 1;
+      st.stats.rejected += 1;
+      MutexLock rlk(req->m);
+      req->resp.status = ResponseStatus::kRejected;
+      req->resp.tag = req->tag;
+      req->resp.analysis.ratios = RatioAccumulator(st.cfg.options.mag_bytes);
+      req->done = true;
+      return ServerTicket(this, s, std::move(req));
+    }
+  } else if (cfg_.max_inflight_blocks != 0) {
     // Backpressure: admit once dispatched + queued blocks leave room. The
     // empty-server escape (admit_fits_locked) admits a request larger than
     // the whole budget (dispatched immediately below) instead of
@@ -184,23 +265,64 @@ ServerTicket CodecServer::submit_blocks(StreamId s, std::vector<Block>&& blocks)
     backpressure_cv_.notify_all();  // hand the turnstile to the next waiter
   }
 
+  // Batches are kind-homogeneous: a kind switch flushes the pending batch.
+  if (!st.pending.empty() && st.pending_kind != r.kind) dispatch_locked(s);
+
   req->offset = st.pending_blocks.size();
+  if (st.pending.empty()) {
+    st.pending_kind = r.kind;
+    st.flush_by = kNoFlush;
+    st.pending_has_deadline = false;
+  }
   st.pending_blocks.insert(st.pending_blocks.end(), std::make_move_iterator(blocks.begin()),
                            std::make_move_iterator(blocks.end()));
   st.pending.push_back(req);
   pending_blocks_total_ += n;
+  if (r.deadline.count() > 0) st.pending_has_deadline = true;
   // Over budget is only reachable through the empty-server escape (an
   // oversized request): dispatch at once so the bound is restored as soon
   // as the batch retires.
   const bool over_budget = cfg_.max_inflight_blocks != 0 &&
                            inflight_blocks_ + pending_blocks_total_ > cfg_.max_inflight_blocks;
-  if (st.pending_blocks.size() >= cfg_.batch_blocks || over_budget) dispatch_locked(s);
+  if (st.pending_blocks.size() >= cfg_.batch_blocks || over_budget) {
+    dispatch_locked(s);
+  } else {
+    // Parked: arm the flush timer so a submit lull cannot strand the batch.
+    const auto when = flush_deadline(req->submitted, req->deadline, cfg_.max_coalesce_delay);
+    if (when < st.flush_by) {
+      st.flush_by = when;
+      timer_cv_.notify_all();
+    }
+  }
   return ServerTicket(this, s, std::move(req));
 }
 
 bool CodecServer::admit_fits_locked(size_t n) const {
   return inflight_blocks_ + pending_blocks_total_ + n <= cfg_.max_inflight_blocks ||
          inflight_blocks_ + pending_blocks_total_ == 0;
+}
+
+void CodecServer::timer_loop() {
+  MutexLock lk(lock_);
+  while (!stopping_) {
+    const auto now = std::chrono::steady_clock::now();
+    auto next = kNoFlush;
+    for (StreamId s = 0; s < streams_.size(); ++s) {
+      Stream& st = *streams_[s];
+      if (st.pending.empty()) continue;
+      if (st.flush_by <= now) {
+        dispatch_locked(s);
+      } else {
+        next = std::min(next, st.flush_by);
+      }
+    }
+    if (stopping_) break;
+    if (next == kNoFlush) {
+      timer_cv_.wait(lock_);
+    } else {
+      timer_cv_.wait_for(lock_, next - now);
+    }
+  }
 }
 
 void CodecServer::dispatch_locked(StreamId s) {
@@ -210,13 +332,25 @@ void CodecServer::dispatch_locked(StreamId s) {
   auto batch = std::make_shared<Batch>();
   batch->server = this;
   batch->stream = s;
+  batch->kind = st.pending_kind;
   batch->codec = st.codec;
   batch->mag_bytes = st.cfg.options.mag_bytes;
   batch->blocks = std::move(st.pending_blocks);
   batch->requests = std::move(st.pending);
   st.pending_blocks.clear();
   st.pending.clear();
-  batch->analyses.resize(batch->blocks.size());
+  if (batch->kind == RequestKind::kCompress) {
+    batch->payloads.resize(batch->blocks.size());
+  } else {
+    batch->analyses.resize(batch->blocks.size());
+  }
+  // A batch carrying any explicit deadline claims shards ahead of everything
+  // priority-scheduled between the bulk/latency ends.
+  const int priority = st.pending_has_deadline
+                           ? std::max(st.engine_priority, CodecEngine::kPriorityDeadline)
+                           : st.engine_priority;
+  st.flush_by = kNoFlush;
+  st.pending_has_deadline = false;
 
   pending_blocks_total_ -= batch->blocks.size();
   inflight_blocks_ += batch->blocks.size();
@@ -234,7 +368,7 @@ void CodecServer::dispatch_locked(StreamId s) {
         const size_t finished = batch->done.fetch_add(end - begin) + (end - begin);
         if (finished == batch->blocks.size()) batch->server->complete_batch(batch);
       },
-      st.engine_priority);
+      priority);
   // If the engine is shut down with this batch still queued (accepted at
   // enqueue, shards never claimed), the job is abandoned and no shard will
   // ever complete it — without this hook every ticket wait() and the server's
@@ -251,7 +385,7 @@ void CodecServer::dispatch_locked(StreamId s) {
     // exception instead of the server hanging in drain()/~CodecServer.
     // Delivery happens without dropping lock_ — the old unlock/relock here
     // let admission-turnstile state shift mid-dispatch under a waiter
-    // parked in submit_blocks.
+    // parked in submit_request.
     std::exception_ptr err;
     try {
       fut.wait();
@@ -270,12 +404,17 @@ void CodecServer::fail_batch_locked(const std::shared_ptr<Batch>& batch,
   const auto now = std::chrono::steady_clock::now();
   Stream& st = *streams_.at(batch->stream);
   for (const auto& req : batch->requests) {
+    const bool missed = req->deadline.count() > 0 && now - req->submitted > req->deadline;
     st.stats.requests += 1;
+    st.stats.deadline_misses += missed ? 1 : 0;
     st.stats.latency.record(std::chrono::duration<double>(now - req->submitted).count());
     {
       MutexLock rlk(req->m);  // lock order: lock_ then req->m
-      req->result.ratios = RatioAccumulator(batch->mag_bytes);
-      req->error = err;
+      req->resp.status = ResponseStatus::kError;
+      req->resp.tag = req->tag;
+      req->resp.deadline_missed = missed;
+      req->resp.error = err;
+      req->resp.analysis.ratios = RatioAccumulator(batch->mag_bytes);
       req->done = true;
     }
     req->cv.notify_all();
@@ -288,12 +427,17 @@ void CodecServer::fail_batch_locked(const std::shared_ptr<Batch>& batch,
 
 void CodecServer::run_shard(Batch& batch, size_t begin, size_t end) const {
   try {
-    // Straight into the batch's index-aligned analysis slots through the
-    // codec's batch kernel — coalesced server batches hit vectorized
-    // overrides the same way engine stream jobs do.
-    batch.codec->analyze_batch(
-        to_views(std::span<const Block>(batch.blocks).subspan(begin, end - begin)),
-        batch.analyses.data() + begin);
+    // Straight into the batch's index-aligned result slots through the
+    // codec's batch kernels — coalesced server batches hit vectorized
+    // overrides (and the prefix-sum payload scatter for compress) the same
+    // way engine stream jobs do.
+    const auto views =
+        to_views(std::span<const Block>(batch.blocks).subspan(begin, end - begin));
+    if (batch.kind == RequestKind::kCompress) {
+      batch.codec->compress_batch(views, batch.payloads.data() + begin);
+    } else {
+      batch.codec->analyze_batch(views, batch.analyses.data() + begin);
+    }
   } catch (...) {
     // Keep the exception out of the engine so the batch still drains and
     // completes; it is delivered per request by complete_batch.
@@ -314,26 +458,44 @@ void CodecServer::complete_batch(const std::shared_ptr<Batch>& batch) {
     batch_error = batch->error;
   }
 
-  // Scatter per-request results sequentially — same bytes no matter which
+  // Scatter per-request responses sequentially — same bytes no matter which
   // worker runs this hook. Delivery (request mutex + cv) happens after the
-  // result is fully built.
+  // response is fully built.
   for (const auto& req : batch->requests) {
-    CodecEngine::StreamAnalysis res;
-    res.ratios = RatioAccumulator(batch->mag_bytes);
-    if (!batch_error) {
-      res.blocks.assign(batch->analyses.begin() + static_cast<ptrdiff_t>(req->offset),
-                        batch->analyses.begin() + static_cast<ptrdiff_t>(req->offset + req->n_blocks));
-      for (size_t j = 0; j < res.blocks.size(); ++j) {
-        const BlockAnalysis& a = res.blocks[j];
-        res.ratios.add(batch->blocks[req->offset + j].size() * 8, a.bit_size);
-        res.lossy_blocks += a.lossy ? 1 : 0;
-        res.truncated_symbols += a.truncated_symbols;
-        res.cache.record(a.cache_probed, a.cache_hit, a.cache_evicted, a.cache_collision);
+    Response resp;
+    resp.tag = req->tag;
+    resp.deadline_missed = req->deadline.count() > 0 && now - req->submitted > req->deadline;
+    resp.analysis.ratios = RatioAccumulator(batch->mag_bytes);
+    if (batch_error) {
+      resp.status = ResponseStatus::kError;
+      resp.error = batch_error;
+    } else if (batch->kind == RequestKind::kCompress) {
+      resp.payloads.assign(
+          std::make_move_iterator(batch->payloads.begin() + static_cast<ptrdiff_t>(req->offset)),
+          std::make_move_iterator(batch->payloads.begin() +
+                                  static_cast<ptrdiff_t>(req->offset + req->n_blocks)));
+      for (size_t j = 0; j < resp.payloads.size(); ++j) {
+        resp.analysis.ratios.add(batch->blocks[req->offset + j].size() * 8,
+                                 resp.payloads[j].bit_size);
+      }
+    } else {
+      for (size_t j = 0; j < req->n_blocks; ++j) {
+        const BlockAnalysis& a = batch->analyses[req->offset + j];
+        resp.analysis.ratios.add(batch->blocks[req->offset + j].size() * 8, a.bit_size);
+        resp.analysis.lossy_blocks += a.lossy ? 1 : 0;
+        resp.analysis.truncated_symbols += a.truncated_symbols;
+        resp.analysis.cache.record(a.cache_probed, a.cache_hit, a.cache_evicted,
+                                   a.cache_collision);
+      }
+      if (batch->kind == RequestKind::kAnalyze) {
+        // kDecide keeps the per-block vector empty — aggregates only.
+        resp.analysis.blocks.assign(
+            batch->analyses.begin() + static_cast<ptrdiff_t>(req->offset),
+            batch->analyses.begin() + static_cast<ptrdiff_t>(req->offset + req->n_blocks));
       }
     }
     MutexLock rlk(req->m);
-    req->error = batch_error;
-    req->result = std::move(res);
+    req->resp = std::move(resp);
     req->done = true;
   }
   for (const auto& req : batch->requests) req->cv.notify_all();
@@ -343,21 +505,39 @@ void CodecServer::complete_batch(const std::shared_ptr<Batch>& batch) {
     Stream& st = *streams_.at(batch->stream);
     for (const auto& req : batch->requests) {
       st.stats.requests += 1;
+      if (req->deadline.count() > 0 && now - req->submitted > req->deadline) {
+        st.stats.deadline_misses += 1;
+      }
       st.stats.latency.record(std::chrono::duration<double>(now - req->submitted).count());
     }
     if (!batch_error) {
       CommitStats& cs = st.stats.commit;
-      for (size_t i = 0; i < batch->analyses.size(); ++i) {
-        const BlockAnalysis& a = batch->analyses[i];
-        cs.blocks += 1;
-        cs.lossy_blocks += a.lossy ? 1 : 0;
-        cs.uncompressed_blocks += a.is_compressed ? 0 : 1;
-        cs.bursts += bursts_for_bits(a.bit_size, batch->mag_bytes, batch->blocks[i].size());
-        cs.truncated_symbols += a.truncated_symbols;
-        cs.original_bits += batch->blocks[i].size() * 8;
-        cs.lossless_bits += a.lossless_bits;
-        cs.final_bits += a.bit_size;
-        cs.cache.record(a.cache_probed, a.cache_hit, a.cache_evicted, a.cache_collision);
+      if (batch->kind == RequestKind::kCompress) {
+        // Payload batches fold the size/burst counters only; the decision
+        // bookkeeping (lossy/truncated/lossless/cache) is an analyze-path
+        // concept the compress kernels do not report. bit_size/is_compressed
+        // are scalar fields, untouched by the payload moves above.
+        for (size_t i = 0; i < batch->payloads.size(); ++i) {
+          const CompressedBlock& p = batch->payloads[i];
+          cs.blocks += 1;
+          cs.uncompressed_blocks += p.is_compressed ? 0 : 1;
+          cs.bursts += bursts_for_bits(p.bit_size, batch->mag_bytes, batch->blocks[i].size());
+          cs.original_bits += batch->blocks[i].size() * 8;
+          cs.final_bits += p.bit_size;
+        }
+      } else {
+        for (size_t i = 0; i < batch->analyses.size(); ++i) {
+          const BlockAnalysis& a = batch->analyses[i];
+          cs.blocks += 1;
+          cs.lossy_blocks += a.lossy ? 1 : 0;
+          cs.uncompressed_blocks += a.is_compressed ? 0 : 1;
+          cs.bursts += bursts_for_bits(a.bit_size, batch->mag_bytes, batch->blocks[i].size());
+          cs.truncated_symbols += a.truncated_symbols;
+          cs.original_bits += batch->blocks[i].size() * 8;
+          cs.lossless_bits += a.lossless_bits;
+          cs.final_bits += a.bit_size;
+          cs.cache.record(a.cache_probed, a.cache_hit, a.cache_evicted, a.cache_collision);
+        }
       }
     }
     inflight_blocks_ -= batch->blocks.size();

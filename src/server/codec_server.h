@@ -2,35 +2,43 @@
 //
 // A server manages N independent client *streams*. Each stream names its
 // codec in the CodecRegistry, carries its own CodecOptions (MAG, lossy
-// threshold — the stream's error budget — and training sample) and a
-// scheduling priority, and owns a FIFO of byte-stream / block-stream
-// requests. The server:
+// threshold — the stream's error budget — and training sample), a
+// scheduling priority, a fingerprint-cache mode and an admission policy,
+// and owns a FIFO of typed requests. The server:
 //
 //   * coalesces small requests into engine-sized batches (one engine job per
 //     batch, `Config::batch_blocks` blocks), so a thousand 1 KB requests do
 //     not pay a thousand queue round-trips;
-//   * maps stream priority onto the engine's priority-aware shard claim, so
-//     a latency-sensitive stream's batch preempts queued bulk analysis at
-//     shard granularity without cancelling it;
+//   * serves three request kinds through one contract (Request/Response):
+//     size-only analysis, decision aggregates, and full compressed payloads
+//     (the codec's batched compress kernels, per-request payload scatter);
+//   * flushes partial batches on a timer: a request is dispatched no later
+//     than its deadline budget (or `Config::max_coalesce_delay` without
+//     one), so a submit lull can no longer strand a coalescing batch;
+//   * maps stream priority onto the engine's priority-aware shard claim, and
+//     boosts batches that carry explicit deadlines to
+//     CodecEngine::kPriorityDeadline;
 //   * enforces a bounded in-flight budget (`Config::max_inflight_blocks`):
-//     submit() blocks — backpressure — until enough queued work retired;
-//   * tracks per-stream and aggregate CommitStats plus request-latency
-//     percentiles (PercentileTracker, p50/p99).
+//     AdmissionPolicy::kBlock streams wait (backpressure) while
+//     AdmissionPolicy::kReject streams get an immediate kRejected response
+//     instead of queueing — overload sheds load instead of growing latency;
+//   * tracks per-stream and aggregate CommitStats, request-latency
+//     percentiles (PercentileTracker, p50/p99), rejections and deadline
+//     misses.
 //
 // Stream lifecycle: open_stream() -> submit() xN (tickets) -> wait()/drain().
 // Streams live as long as the server; there is no close — drain() is the
 // barrier, and the destructor drains.
 //
-// Determinism: a request's StreamAnalysis and a stream's CommitStats are
-// byte-identical for any engine thread count. Per-block analysis does not
-// depend on which batch carried it; analyses land in index-aligned slots;
-// the scatter to per-request results and the stats fold walk blocks in
-// order on a single thread; cross-batch merges add integer counters, which
-// commute. Batch *boundaries* (StreamStats::batches) follow the client's
-// call order only while no backpressure wait intervenes — a blocked
-// submit() force-dispatches partial batches at engine-completion-dependent
-// moments — and the latency percentiles are wall clock; neither is covered
-// by the guarantee.
+// Determinism: a request's Response payloads/analysis and a stream's
+// CommitStats are byte-identical for any engine thread count. Per-block
+// results do not depend on which batch carried them; they land in
+// index-aligned slots; the scatter to per-request responses and the stats
+// fold walk blocks in order on a single thread; cross-batch merges add
+// integer counters, which commute. Batch *boundaries* (StreamStats::batches)
+// additionally depend on wall clock (the coalesce timer) and backpressure
+// waits; the latency percentiles, `rejected` and `deadline_misses` are wall
+// clock too — none of those four are covered by the guarantee.
 //
 // Threading: any thread may call any member; the server is internally
 // locked. Tickets may be waited from any thread. The engine passed in (or
@@ -40,9 +48,11 @@
 
 #include <chrono>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/stats.h"
@@ -62,6 +72,39 @@ enum class StreamPriority {
   kLatency,  ///< latency-sensitive (interactive commits); preempts bulk
 };
 
+/// What a Request asks the stream's codec to produce.
+enum class RequestKind : uint8_t {
+  kAnalyze,   ///< per-block BlockAnalysis + merged ratios (size-only sweep)
+  kDecide,    ///< aggregate decision counters only (no per-block vector) —
+              ///< same computation as kAnalyze, cheapest response
+  kCompress,  ///< full compressed payloads, byte-identical to the direct
+              ///< codec path (Compressor::compress_batch)
+};
+
+/// How a stream behaves when the server's in-flight budget is saturated.
+enum class AdmissionPolicy : uint8_t {
+  kBlock,   ///< submit() waits in the FIFO admission turnstile (backpressure)
+  kReject,  ///< submit() returns an immediate ResponseStatus::kRejected
+            ///< ticket instead of waiting (load shedding; never blocks)
+};
+
+/// Fingerprint decision-memo wiring for a stream (lossy TSLC-* streams only
+/// — the lossless schemes have no decision to memoize and ignore it).
+/// Precedence rule: a non-null `StreamConfig::options.fingerprint_cache`
+/// always wins — the mode is only consulted when the caller did not pre-set
+/// a cache.
+enum class CacheMode : uint8_t {
+  kOff,            ///< no memo (default)
+  kShared,         ///< the engine's shared cache (cross-stream dedup; its
+                   ///< verify mode is configured on the engine via
+                   ///< CodecEngine::set_fingerprint_cache before streams open)
+  kPrivate,        ///< stream-private cache (isolation: one tenant's traffic
+                   ///< cannot evict another's entries)
+  kSharedVerify,   ///< a server-owned verify-on-hit cache shared by this
+                   ///< server's kSharedVerify streams (paranoia + dedup)
+  kPrivateVerify,  ///< stream-private verify-on-hit cache
+};
+
 /// Everything needed to open a stream. `options.threshold_bytes` is the
 /// stream's error budget for lossy codecs; `options.training_data` is only
 /// read while open_stream() constructs the codec.
@@ -70,28 +113,84 @@ struct StreamConfig {
   std::string codec = "E2MC";  ///< CodecRegistry name
   CodecOptions options{};
   StreamPriority priority = StreamPriority::kNormal;
-  /// Enables the fingerprint decision memo for this stream's codec (lossy
-  /// TSLC-* streams only — the lossless schemes have no decision to memoize
-  /// and ignore it). The cache used is the server engine's shared one, or a
-  /// stream-private one when Config::share_fingerprint_cache is off; either
-  /// way `options.fingerprint_cache` wins if the caller pre-set it.
-  bool use_fingerprint_cache = false;
+  CacheMode cache_mode = CacheMode::kOff;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
 };
 
 using StreamId = uint32_t;
 
-/// Per-stream (or aggregate) serving counters. `commit` is deterministic;
-/// `latency` is wall-clock (seconds from submit() to batch completion).
+/// One typed request. Exactly one of `blocks` / `bytes` should be set;
+/// `blocks` wins when both are non-empty. The spans are copied at submit()
+/// and need not outlive the call.
+struct Request {
+  RequestKind kind = RequestKind::kAnalyze;
+  /// Flat byte buffer, sliced into 128 B blocks (ragged tail zero-padded
+  /// like to_blocks).
+  std::span<const uint8_t> bytes{};
+  /// Pre-blocked input (takes precedence over `bytes`).
+  std::span<const Block> blocks{};
+  /// Completion deadline relative to submit(); 0 = none. A deadline arms the
+  /// flush timer with a budget of deadline/2 (capped by
+  /// Config::max_coalesce_delay) and boosts the carrying batch to
+  /// CodecEngine::kPriorityDeadline. Deadlines are advisory: a late response
+  /// is still delivered, with `Response::deadline_missed` set and the
+  /// stream's `deadline_misses` counter bumped.
+  std::chrono::nanoseconds deadline{0};
+  /// Opaque client cookie, echoed back in Response::tag.
+  uint64_t tag = 0;
+};
+
+enum class ResponseStatus : uint8_t {
+  kOk,        ///< served; `analysis` (and `payloads` for kCompress) valid
+  kRejected,  ///< shed at admission (AdmissionPolicy::kReject, budget full);
+              ///< nothing was scheduled
+  kError,     ///< the batch's codec threw; `error` holds the exception
+};
+
+/// What a ticket resolves to. `analysis.ratios` is always initialized with
+/// the stream's MAG; the rest depends on `status` and the request kind:
+/// kAnalyze fills `analysis` (per-block vector + aggregates), kDecide fills
+/// only the aggregates (empty `analysis.blocks`), kCompress fills
+/// `payloads` (index-aligned with the request's blocks) + the ratio
+/// aggregates derived from payload sizes.
+struct Response {
+  ResponseStatus status = ResponseStatus::kOk;
+  uint64_t tag = 0;                ///< echoed Request::tag
+  bool deadline_missed = false;    ///< served after Request::deadline elapsed
+  std::exception_ptr error{};      ///< set when status == kError
+  CodecEngine::StreamAnalysis analysis;
+  std::vector<CompressedBlock> payloads;
+
+  bool ok() const { return status == ResponseStatus::kOk; }
+  /// Legacy-style error propagation: rethrows the codec exception on
+  /// kError, throws std::runtime_error on kRejected, no-op on kOk.
+  void throw_if_failed() const {
+    if (error) std::rethrow_exception(error);
+    if (status == ResponseStatus::kRejected)
+      throw std::runtime_error("CodecServer: request rejected at admission");
+  }
+};
+
+/// Per-stream (or aggregate) serving counters. `commit` is deterministic.
+/// `latency` is wall-clock seconds from the steady_clock capture at the top
+/// of submit() — before any admission wait or coalescing delay — to response
+/// delivery, over served (kOk/kError) requests only. `requests` counts every
+/// submit() including rejected ones; `rejected` and `deadline_misses` are
+/// wall-clock-dependent shed/miss counters.
 struct StreamStats {
   CommitStats commit;
   uint64_t requests = 0;
   uint64_t batches = 0;
+  uint64_t rejected = 0;
+  uint64_t deadline_misses = 0;
   PercentileTracker latency;
 
   void merge(const StreamStats& o) {
     commit.merge(o.commit);
     requests += o.requests;
     batches += o.batches;
+    rejected += o.rejected;
+    deadline_misses += o.deadline_misses;
     latency.merge(o.latency);
   }
 };
@@ -105,22 +204,24 @@ namespace detail {
 struct ServerRequest {
   size_t offset = 0;    ///< first block inside the dispatched batch
   size_t n_blocks = 0;
+  RequestKind kind = RequestKind::kAnalyze;
+  uint64_t tag = 0;
+  std::chrono::nanoseconds deadline{0};  ///< 0 = none
   std::chrono::steady_clock::time_point submitted{};
 
   Mutex m;
   CondVar cv;  ///< signals done
   bool done SLC_GUARDED_BY(m) = false;
-  CodecEngine::StreamAnalysis result SLC_GUARDED_BY(m);
-  std::exception_ptr error SLC_GUARDED_BY(m);
+  Response resp SLC_GUARDED_BY(m);
 };
 
 }  // namespace detail
 
 /// Ticket for one submitted request. Move-only; wait() is one-shot: it
 /// forces dispatch of the request's batch if still coalescing, blocks until
-/// the batch completed, and returns this request's analysis (or rethrows
-/// the codec exception that failed its batch). The ticket must not outlive
-/// the server.
+/// the batch completed, and returns the Response (codec errors travel in
+/// Response::status / Response::error — wait() itself only throws on
+/// misuse). The ticket must not outlive the server.
 class ServerTicket {
  public:
   ServerTicket() = default;
@@ -131,10 +232,10 @@ class ServerTicket {
 
   /// True until wait() consumed this ticket (default-constructed: false).
   bool valid() const { return req_ != nullptr; }
-  /// Non-blocking: has the request's batch completed?
+  /// Non-blocking: has the request completed (served, failed or rejected)?
   bool ready() const;
   /// Blocks until this request completed; one-shot.
-  CodecEngine::StreamAnalysis wait();
+  Response wait();
 
  private:
   friend class CodecServer;
@@ -152,35 +253,32 @@ class CodecServer {
     /// Engine batches run on; null picks CodecEngine::shared_default().
     std::shared_ptr<CodecEngine> engine;
     /// Coalescing target: a stream's pending requests dispatch as one engine
-    /// job once they cover this many blocks (or on wait()/flush/drain).
+    /// job once they cover this many blocks (or on wait()/flush/drain/timer).
     size_t batch_blocks = 256;
-    /// Backpressure budget: submit() blocks while admitting the request
-    /// would push dispatched-plus-queued blocks past this. 0 = unbounded.
-    /// Admission is FIFO (so no request can be starved); a request larger
-    /// than the whole budget is admitted — and dispatched immediately —
-    /// once the server drains empty, rather than deadlocking. Fairness has
-    /// a flip side: while such an oversized request waits at the head of
-    /// the admission queue, every younger submit (including a kLatency
-    /// stream's) waits behind the drain. Size the budget at or above the
+    /// Backpressure budget: a kBlock submit() waits while admitting the
+    /// request would push dispatched-plus-queued blocks past this (a kReject
+    /// submit() is shed instead). 0 = unbounded. Admission is FIFO (so no
+    /// request can be starved); a request larger than the whole budget is
+    /// admitted — and dispatched immediately — once the server drains empty,
+    /// rather than deadlocking. Fairness has a flip side: while such an
+    /// oversized request waits at the head of the admission queue, every
+    /// younger submit (including a kLatency stream's) waits behind the drain
+    /// — and every kReject submit is shed. Size the budget at or above the
     /// largest request you serve — priority preemption then applies from
     /// the moment of dispatch and admission never head-of-line blocks.
     size_t max_inflight_blocks = 16384;
-    /// Cache-enabled streams share the engine's fingerprint cache (cross-
-    /// stream dedup: two tenants committing the same tensor pay one probe)
-    /// — safe because entries are keyed on the deciding codec's identity.
-    /// Off gives each cache-enabled stream a private cache instead
-    /// (isolation: one tenant's traffic cannot evict another's entries).
-    bool share_fingerprint_cache = true;
-    /// Applied to *private* per-stream caches (share off): verify-on-hit
-    /// paranoia mode, full-content compare on every hit. The shared engine
-    /// cache's mode is configured on the engine
-    /// (CodecEngine::set_fingerprint_cache) before streams open.
-    bool verify_cache_hits = false;
+    /// Upper bound on how long a parked request may coalesce before the
+    /// timer thread force-dispatches its batch. A request with a deadline
+    /// uses min(deadline/2, this) as its budget; one without uses this
+    /// directly. 0 disables idle flush for deadline-free requests (legacy
+    /// manual-flush behavior) — deadline-carrying requests always arm the
+    /// timer.
+    std::chrono::microseconds max_coalesce_delay{2000};
   };
 
   CodecServer();  ///< default Config (shared engine, default batching)
   explicit CodecServer(Config cfg);
-  /// Drains every stream, then releases the engine reference.
+  /// Stops the flush timer, drains every stream, then releases the engine.
   ~CodecServer();
 
   CodecServer(const CodecServer&) = delete;
@@ -188,17 +286,24 @@ class CodecServer {
 
   /// Opens a stream: resolves `cfg.codec` in the registry (throws
   /// std::out_of_range on an unknown name, std::invalid_argument when the
-  /// scheme needs training data the options lack) and constructs its codec.
+  /// scheme needs training data the options lack), wires the fingerprint
+  /// cache per `cfg.cache_mode` (unless `cfg.options.fingerprint_cache` is
+  /// already set — the explicit cache wins) and constructs its codec.
   StreamId open_stream(StreamConfig cfg);
 
   size_t num_streams() const;
   const std::string& stream_name(StreamId s) const;
 
-  /// Queues a byte-stream request on `s` (copied; sliced into 128 B blocks,
-  /// ragged tail zero-padded like to_blocks). Blocks on backpressure. An
-  /// empty request completes immediately.
+  /// Queues a typed request on `s` (input copied). kBlock streams may wait
+  /// on backpressure; kReject streams never block. An empty request
+  /// completes immediately. See Request/Response for the contract.
+  ServerTicket submit(StreamId s, const Request& request);
+
+  /// Legacy byte-stream analyze request.
+  [[deprecated("use submit(StreamId, const Request&)")]]
   ServerTicket submit(StreamId s, std::span<const uint8_t> data);
-  /// Queues a block-stream request on `s` (blocks are copied).
+  /// Legacy block-stream analyze request.
+  [[deprecated("use submit(StreamId, const Request&)")]]
   ServerTicket submit(StreamId s, std::span<const Block> blocks);
 
   /// Dispatches `s`'s partially-filled batch now (no-op when empty).
@@ -226,11 +331,20 @@ class CodecServer {
     int engine_priority = 0;
     std::vector<Block> pending_blocks;  ///< coalesced, owned until dispatch
     std::vector<std::shared_ptr<detail::ServerRequest>> pending;
+    /// Kind of the pending batch (a submit with a different kind dispatches
+    /// the pending batch first — batches are kind-homogeneous).
+    RequestKind pending_kind = RequestKind::kAnalyze;
+    /// Earliest force-dispatch time over `pending` (meaningful only while
+    /// `pending` is non-empty; time_point::max() = no timed flush armed).
+    std::chrono::steady_clock::time_point flush_by{};
+    /// Any pending request carries a deadline -> dispatch at
+    /// CodecEngine::kPriorityDeadline.
+    bool pending_has_deadline = false;
     StreamStats stats;
   };
 
-  /// Shared core of the submit overloads; takes ownership of the blocks.
-  ServerTicket submit_blocks(StreamId s, std::vector<Block>&& blocks);
+  /// Shared core of submit(); takes ownership of the blocks.
+  ServerTicket submit_request(StreamId s, const Request& r, std::vector<Block>&& blocks);
   /// Packages the stream's pending requests into one batch and submits it as
   /// a single engine job at the stream's priority. If the engine abandoned
   /// the job at enqueue (shut down), the batch is failed inline via
@@ -245,9 +359,14 @@ class CodecServer {
   /// (or is the server drained empty — the oversized-request escape)?
   bool admit_fits_locked(size_t n) const SLC_REQUIRES(lock_);
   /// Runs on the engine worker that finishes a batch's last shard: scatters
-  /// per-request results, folds stream stats, releases backpressure.
+  /// per-request responses, folds stream stats, releases backpressure.
   void complete_batch(const std::shared_ptr<Batch>& batch) SLC_EXCLUDES(lock_);
   void run_shard(Batch& batch, size_t begin, size_t end) const;
+  /// Body of the flush-timer thread: force-dispatches batches whose
+  /// flush_by elapsed, sleeps until the next one (or until notified).
+  void timer_loop() SLC_EXCLUDES(lock_);
+  /// Lazily builds the server-owned CacheMode::kSharedVerify cache.
+  std::shared_ptr<FingerprintCache> shared_verify_cache() SLC_EXCLUDES(lock_);
 
   Config cfg_;
   std::shared_ptr<CodecEngine> engine_;
@@ -258,6 +377,7 @@ class CodecServer {
   mutable Mutex lock_;
   CondVar backpressure_cv_;  ///< signals: budget freed / turnstile advanced
   CondVar drain_cv_;         ///< signals: inflight_batches_ reached 0
+  CondVar timer_cv_;         ///< signals: new flush_by armed / stopping_
   std::vector<std::unique_ptr<Stream>> streams_ SLC_GUARDED_BY(lock_);
   size_t inflight_blocks_ SLC_GUARDED_BY(lock_) = 0;
   size_t inflight_batches_ SLC_GUARDED_BY(lock_) = 0;
@@ -265,6 +385,9 @@ class CodecServer {
   size_t pending_blocks_total_ SLC_GUARDED_BY(lock_) = 0;
   uint64_t admit_head_ SLC_GUARDED_BY(lock_) = 0;  ///< turnstile: next turn to admit
   uint64_t admit_tail_ SLC_GUARDED_BY(lock_) = 0;  ///< next turn to hand out
+  bool stopping_ SLC_GUARDED_BY(lock_) = false;    ///< ~CodecServer: timer must exit
+  std::shared_ptr<FingerprintCache> shared_verify_cache_ SLC_GUARDED_BY(lock_);
+  std::thread timer_;  ///< flush-timer thread; started in ctor, joined in dtor
 };
 
 }  // namespace slc

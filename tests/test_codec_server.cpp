@@ -1,5 +1,7 @@
-// CodecServer: stream lifecycle, request coalescing, priority coexistence,
-// backpressure, per-request error delivery, and the determinism guarantee —
+// CodecServer: stream lifecycle, the typed Request/Response contract
+// (analyze / decide / compress kinds), request coalescing, the deadline
+// flush timer, admission control (backpressure vs rejection), priority
+// coexistence, per-request error delivery, and the determinism guarantee —
 // per-stream results are byte-identical for 1 and N engine threads.
 //
 // This file registers two test-only codecs (TEST-SLOW, TEST-THROW), so it
@@ -15,6 +17,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "compress/e2mc.h"
+#include "core/fingerprint_cache.h"
 #include "server/codec_server.h"
 #include "test_util.h"
 
@@ -27,11 +31,13 @@ using test::test_options;
 // --- test-only codecs -------------------------------------------------------
 
 /// Stores nothing, compresses nothing, but takes a configurable while per
-/// block — the knob the backpressure test needs to keep work in flight.
+/// block — the knob the backpressure/admission tests need to keep work in
+/// flight.
 class SlowCodec : public Compressor {
  public:
   std::string name() const override { return "TEST-SLOW"; }
   CompressedBlock compress(BlockView block) const override {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
     CompressedBlock cb;
     cb.bit_size = block.size() * 8;
     cb.is_compressed = false;
@@ -125,32 +131,35 @@ TEST(CodecServer, RequestMatchesEngineAnalyzeBytes) {
 
   CodecServer server;
   const StreamId s = server.open_stream(e2mc_stream("req", training));
-  auto ticket = server.submit(s, data);
-  const auto got = ticket.wait();  // forces dispatch of the partial batch
+  auto ticket = server.submit(s, Request{.bytes = data});
+  const Response got = ticket.wait();  // forces dispatch of the partial batch
+  ASSERT_TRUE(got.ok());
 
   const auto comp = CodecRegistry::instance().create("E2MC", test_options(training));
   CodecEngine reference(1);
   const auto want = reference.analyze_bytes(*comp, data, 32);
 
-  ASSERT_EQ(got.blocks.size(), want.blocks.size());
-  for (size_t i = 0; i < got.blocks.size(); ++i)
-    EXPECT_EQ(got.blocks[i].bit_size, want.blocks[i].bit_size) << "block " << i;
-  EXPECT_EQ(got.ratios.raw_ratio(), want.ratios.raw_ratio());
-  EXPECT_EQ(got.ratios.effective_ratio(), want.ratios.effective_ratio());
-  EXPECT_EQ(got.lossy_blocks, want.lossy_blocks);
-  EXPECT_EQ(got.truncated_symbols, want.truncated_symbols);
+  ASSERT_EQ(got.analysis.blocks.size(), want.blocks.size());
+  for (size_t i = 0; i < got.analysis.blocks.size(); ++i)
+    EXPECT_EQ(got.analysis.blocks[i].bit_size, want.blocks[i].bit_size) << "block " << i;
+  EXPECT_EQ(got.analysis.ratios.raw_ratio(), want.ratios.raw_ratio());
+  EXPECT_EQ(got.analysis.ratios.effective_ratio(), want.ratios.effective_ratio());
+  EXPECT_EQ(got.analysis.lossy_blocks, want.lossy_blocks);
+  EXPECT_EQ(got.analysis.truncated_symbols, want.truncated_symbols);
 }
 
 TEST(CodecServer, CoalescesSmallRequestsIntoBatches) {
   const auto training = quantized_walk(31, 256);
   CodecServer::Config cfg;
   cfg.batch_blocks = 8;
+  // Batch-count assertions need deterministic boundaries: no timer flush.
+  cfg.max_coalesce_delay = std::chrono::microseconds(0);
   CodecServer server(cfg);
   const StreamId s = server.open_stream(e2mc_stream("coalesce", training));
 
   std::vector<ServerTicket> tickets;
   const auto data = quantized_walk(43, 2);  // 2 blocks per request
-  for (int i = 0; i < 6; ++i) tickets.push_back(server.submit(s, data));
+  for (int i = 0; i < 6; ++i) tickets.push_back(server.submit(s, Request{.bytes = data}));
   server.drain();
 
   const StreamStats st = server.stream_stats(s);
@@ -161,8 +170,9 @@ TEST(CodecServer, CoalescesSmallRequestsIntoBatches) {
   EXPECT_EQ(st.latency.count(), 6u);
 
   for (auto& t : tickets) {
-    const auto res = t.wait();
-    EXPECT_EQ(res.blocks.size(), 2u);
+    const Response res = t.wait();
+    EXPECT_TRUE(res.ok());
+    EXPECT_EQ(res.analysis.blocks.size(), 2u);
   }
 }
 
@@ -170,10 +180,11 @@ TEST(CodecServer, EmptyRequestCompletesImmediately) {
   const auto training = quantized_walk(31, 256);
   CodecServer server;
   const StreamId s = server.open_stream(e2mc_stream("empty", training));
-  auto ticket = server.submit(s, std::span<const uint8_t>{});
+  auto ticket = server.submit(s, Request{});
   EXPECT_TRUE(ticket.ready());
-  const auto res = ticket.wait();
-  EXPECT_TRUE(res.blocks.empty());
+  const Response res = ticket.wait();
+  EXPECT_TRUE(res.ok());
+  EXPECT_TRUE(res.analysis.blocks.empty());
   EXPECT_EQ(server.stream_stats(s).requests, 1u);
   EXPECT_FALSE(ticket.valid());  // one-shot
 }
@@ -192,7 +203,7 @@ TEST(CodecServer, BackpressureBoundsInflightBlocks) {
 
   const auto data = quantized_walk(44, 16);  // one full batch per request
   for (int i = 0; i < 20; ++i) {
-    server.submit(s, data);  // fire-and-forget: budget must still retire
+    server.submit(s, Request{.bytes = data});  // fire-and-forget: budget must still retire
     EXPECT_LE(server.inflight_blocks(), cfg.max_inflight_blocks);
   }
   server.drain();
@@ -200,6 +211,7 @@ TEST(CodecServer, BackpressureBoundsInflightBlocks) {
   const StreamStats st = server.stream_stats(s);
   EXPECT_EQ(st.requests, 20u);
   EXPECT_EQ(st.commit.blocks, 20u * 16u);
+  EXPECT_EQ(st.rejected, 0u) << "kBlock streams never shed";
 }
 
 // An oversized request (bigger than the whole budget) is admitted once the
@@ -211,9 +223,11 @@ TEST(CodecServer, OversizedRequestDoesNotDeadlock) {
   CodecServer server(cfg);
   const auto training = quantized_walk(31, 256);
   const StreamId s = server.open_stream(e2mc_stream("big", training));
-  auto ticket = server.submit(s, quantized_walk(45, 32));  // 32 > budget 4
-  const auto res = ticket.wait();
-  EXPECT_EQ(res.blocks.size(), 32u);
+  const auto data = quantized_walk(45, 32);
+  auto ticket = server.submit(s, Request{.bytes = data});  // 32 > budget 4
+  const Response res = ticket.wait();
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.analysis.blocks.size(), 32u);
 }
 
 // Regression: over-budget requests below the coalescing threshold must not
@@ -229,10 +243,11 @@ TEST(CodecServer, OversizedRequestsSerializeThroughBudget) {
 
   std::vector<ServerTicket> tickets;
   for (uint64_t i = 0; i < 3; ++i) {
-    tickets.push_back(server.submit(s, quantized_walk(60 + i, 100)));  // 100 > budget 64
+    const auto data = quantized_walk(60 + i, 100);
+    tickets.push_back(server.submit(s, Request{.bytes = data}));  // 100 > budget 64
     EXPECT_LE(server.inflight_blocks(), 100u) << "only one oversized batch may be in flight";
   }
-  for (auto& t : tickets) EXPECT_EQ(t.wait().blocks.size(), 100u);
+  for (auto& t : tickets) EXPECT_EQ(t.wait().analysis.blocks.size(), 100u);
   server.drain();
   EXPECT_EQ(server.stream_stats(s).batches, 3u) << "one batch per oversized request";
 }
@@ -249,9 +264,11 @@ TEST(CodecServer, CrossStreamBackpressureMakesProgress) {
   const StreamId a = server.open_stream(e2mc_stream("a", training));
   const StreamId b = server.open_stream(e2mc_stream("b", training));
 
-  server.submit(a, quantized_walk(70, 60));  // queued, under both thresholds
-  auto ticket = server.submit(b, quantized_walk(71, 10));  // 60 + 10 > 64
-  EXPECT_EQ(ticket.wait().blocks.size(), 10u);
+  const auto data_a = quantized_walk(70, 60);
+  const auto data_b = quantized_walk(71, 10);
+  server.submit(a, Request{.bytes = data_a});  // queued, under both thresholds
+  auto ticket = server.submit(b, Request{.bytes = data_b});  // 60 + 10 > 64
+  EXPECT_EQ(ticket.wait().analysis.blocks.size(), 10u);
   server.drain();
   EXPECT_EQ(server.stream_stats(a).commit.blocks, 60u);
   EXPECT_EQ(server.stream_stats(b).commit.blocks, 10u);
@@ -262,20 +279,25 @@ TEST(CodecServer, CrossStreamBackpressureMakesProgress) {
 // pending batches on wakeup — with a one-shot flush it sleeps forever with
 // nothing in flight to notify it. The slow codec widens the race window;
 // pre-fix this hangs under the losing-waiter interleaving (ctest timeout).
+// The flush timer is disabled so only the re-flush path can save the test.
 TEST(CodecServer, ConcurrentWaitersReflushPendingBatches) {
   CodecServer::Config cfg;
   cfg.engine = std::make_shared<CodecEngine>(2);
   cfg.batch_blocks = 256;
   cfg.max_inflight_blocks = 64;
+  cfg.max_coalesce_delay = std::chrono::microseconds(0);
   CodecServer server(cfg);
   StreamConfig sc;
   sc.name = "slow";
   sc.codec = "TEST-SLOW";
   const StreamId s = server.open_stream(sc);
 
-  server.submit(s, quantized_walk(80, 64));  // parked pending, fills the budget
-  std::thread t1([&] { server.submit(s, quantized_walk(81, 10)); });
-  std::thread t2([&] { server.submit(s, quantized_walk(82, 60)); });
+  const auto d0 = quantized_walk(80, 64);
+  const auto d1 = quantized_walk(81, 10);
+  const auto d2 = quantized_walk(82, 60);
+  server.submit(s, Request{.bytes = d0});  // parked pending, fills the budget
+  std::thread t1([&] { server.submit(s, Request{.bytes = d1}); });
+  std::thread t2([&] { server.submit(s, Request{.bytes = d2}); });
   t1.join();
   t2.join();
   server.drain();
@@ -291,10 +313,15 @@ TEST(CodecServer, CodecErrorDeliveredPerRequestAndConfined) {
   const StreamId sb = server.open_stream(bad);
   const StreamId sg = server.open_stream(e2mc_stream("good", training));
 
-  auto bad_ticket = server.submit(sb, quantized_walk(46, 4));
-  auto good_ticket = server.submit(sg, quantized_walk(47, 4));
-  EXPECT_THROW(bad_ticket.wait(), std::runtime_error);
-  EXPECT_EQ(good_ticket.wait().blocks.size(), 4u);
+  const auto bad_data = quantized_walk(46, 4);
+  const auto good_data = quantized_walk(47, 4);
+  auto bad_ticket = server.submit(sb, Request{.bytes = bad_data});
+  auto good_ticket = server.submit(sg, Request{.bytes = good_data});
+  const Response bad_res = bad_ticket.wait();
+  EXPECT_EQ(bad_res.status, ResponseStatus::kError);
+  EXPECT_FALSE(bad_res.ok());
+  EXPECT_THROW(bad_res.throw_if_failed(), std::runtime_error);
+  EXPECT_EQ(good_ticket.wait().analysis.blocks.size(), 4u);
   server.drain();
 
   const StreamStats bad_stats = server.stream_stats(sb);
@@ -322,10 +349,11 @@ TEST(CodecServer, PerStreamResultsThreadCountInvariant) {
     std::vector<StreamId> owners;
     for (uint64_t i = 0; i < 12; ++i) {
       const StreamId sid = i % 3 == 0 ? lat : bulk;
-      tickets.push_back(server.submit(sid, quantized_walk(100 + i, 5 + i % 7)));
+      const auto data = quantized_walk(100 + i, 5 + i % 7);
+      tickets.push_back(server.submit(sid, Request{.bytes = data}));
       owners.push_back(sid);
     }
-    std::vector<CodecEngine::StreamAnalysis> results;
+    std::vector<Response> results;
     for (auto& t : tickets) results.push_back(t.wait());
     server.drain();
     return std::make_tuple(std::move(results), server.stream_stats(bulk).commit,
@@ -337,14 +365,17 @@ TEST(CodecServer, PerStreamResultsThreadCountInvariant) {
 
   ASSERT_EQ(res1.size(), res4.size());
   for (size_t r = 0; r < res1.size(); ++r) {
-    ASSERT_EQ(res1[r].blocks.size(), res4[r].blocks.size()) << "request " << r;
-    for (size_t i = 0; i < res1[r].blocks.size(); ++i)
-      EXPECT_EQ(res1[r].blocks[i].bit_size, res4[r].blocks[i].bit_size)
+    ASSERT_TRUE(res1[r].ok());
+    ASSERT_TRUE(res4[r].ok());
+    ASSERT_EQ(res1[r].analysis.blocks.size(), res4[r].analysis.blocks.size()) << "request " << r;
+    for (size_t i = 0; i < res1[r].analysis.blocks.size(); ++i)
+      EXPECT_EQ(res1[r].analysis.blocks[i].bit_size, res4[r].analysis.blocks[i].bit_size)
           << "request " << r << " block " << i;
-    EXPECT_EQ(res1[r].ratios.raw_ratio(), res4[r].ratios.raw_ratio()) << "request " << r;
-    EXPECT_EQ(res1[r].ratios.effective_ratio(), res4[r].ratios.effective_ratio());
-    EXPECT_EQ(res1[r].lossy_blocks, res4[r].lossy_blocks);
-    EXPECT_EQ(res1[r].truncated_symbols, res4[r].truncated_symbols);
+    EXPECT_EQ(res1[r].analysis.ratios.raw_ratio(), res4[r].analysis.ratios.raw_ratio())
+        << "request " << r;
+    EXPECT_EQ(res1[r].analysis.ratios.effective_ratio(), res4[r].analysis.ratios.effective_ratio());
+    EXPECT_EQ(res1[r].analysis.lossy_blocks, res4[r].analysis.lossy_blocks);
+    EXPECT_EQ(res1[r].analysis.truncated_symbols, res4[r].analysis.truncated_symbols);
   }
   EXPECT_EQ(bulk1, bulk4);  // CommitStats all-field equality
   EXPECT_EQ(lat1, lat4);
@@ -363,8 +394,11 @@ TEST(CodecServer, SubmitAfterEngineShutdownFailsTicketsInsteadOfHanging) {
   const StreamId s = server.open_stream(e2mc_stream("late", training));
 
   engine->shutdown();
-  auto ticket = server.submit(s, quantized_walk(90, 8));  // >= batch: dispatches now
-  EXPECT_THROW(ticket.wait(), std::runtime_error);
+  const auto data = quantized_walk(90, 8);
+  auto ticket = server.submit(s, Request{.bytes = data});  // >= batch: dispatches now
+  const Response res = ticket.wait();
+  EXPECT_EQ(res.status, ResponseStatus::kError);
+  EXPECT_THROW(res.throw_if_failed(), std::runtime_error);
   server.drain();  // must return, not deadlock
   const StreamStats st = server.stream_stats(s);
   EXPECT_EQ(st.requests, 1u);
@@ -377,8 +411,10 @@ TEST(CodecServer, AggregateStatsSumStreams) {
   CodecServer server;
   const StreamId a = server.open_stream(e2mc_stream("a", training));
   const StreamId b = server.open_stream(e2mc_stream("b", training));
-  server.submit(a, quantized_walk(48, 3));
-  server.submit(b, quantized_walk(49, 5));
+  const auto data_a = quantized_walk(48, 3);
+  const auto data_b = quantized_walk(49, 5);
+  server.submit(a, Request{.bytes = data_a});
+  server.submit(b, Request{.bytes = data_b});
   server.drain();
 
   const StreamStats agg = server.aggregate_stats();
@@ -403,22 +439,352 @@ TEST(CodecServer, MixedCodecStreamsStayIsolated) {
   const StreamId sb = server.open_stream(bdi);
   const StreamId se = server.open_stream(e2mc_stream("e2mc", training));
 
-  auto tb = server.submit(sb, data);
-  auto te = server.submit(se, data);
-  const auto got_b = tb.wait();
-  const auto got_e = te.wait();
+  auto tb = server.submit(sb, Request{.bytes = data});
+  auto te = server.submit(se, Request{.bytes = data});
+  const Response got_b = tb.wait();
+  const Response got_e = te.wait();
 
   CodecEngine reference(1);
   const auto want_b =
       reference.analyze_bytes(*CodecRegistry::instance().create("BDI", test_options({})), data, 32);
   const auto want_e = reference.analyze_bytes(
       *CodecRegistry::instance().create("E2MC", test_options(training)), data, 32);
-  ASSERT_EQ(got_b.blocks.size(), want_b.blocks.size());
-  ASSERT_EQ(got_e.blocks.size(), want_e.blocks.size());
-  for (size_t i = 0; i < got_b.blocks.size(); ++i)
-    EXPECT_EQ(got_b.blocks[i].bit_size, want_b.blocks[i].bit_size);
-  for (size_t i = 0; i < got_e.blocks.size(); ++i)
-    EXPECT_EQ(got_e.blocks[i].bit_size, want_e.blocks[i].bit_size);
+  ASSERT_EQ(got_b.analysis.blocks.size(), want_b.blocks.size());
+  ASSERT_EQ(got_e.analysis.blocks.size(), want_e.blocks.size());
+  for (size_t i = 0; i < got_b.analysis.blocks.size(); ++i)
+    EXPECT_EQ(got_b.analysis.blocks[i].bit_size, want_b.blocks[i].bit_size);
+  for (size_t i = 0; i < got_e.analysis.blocks.size(); ++i)
+    EXPECT_EQ(got_e.analysis.blocks[i].bit_size, want_e.blocks[i].bit_size);
+}
+
+// --- typed-API tests: kinds, deadlines, admission, cache modes --------------
+
+// The tentpole lull property: a partial batch must flush within its deadline
+// budget with no subsequent submit, flush or wait — only the timer thread
+// can dispatch it (idle flush is disabled here so the deadline alone arms
+// the timer).
+TEST(CodecServer, DeadlineFlushesPartialBatchDuringLull) {
+  CodecServer::Config cfg;
+  cfg.batch_blocks = 256;  // far above the request: would coalesce forever
+  cfg.max_coalesce_delay = std::chrono::microseconds(0);
+  CodecServer server(cfg);
+  const auto training = quantized_walk(31, 256);
+  const StreamId s = server.open_stream(e2mc_stream("lull", training));
+
+  const auto data = quantized_walk(51, 4);
+  auto ticket =
+      server.submit(s, Request{.bytes = data, .deadline = std::chrono::milliseconds(20)});
+  // Poll ready() only — it never dispatches. Generous wall-clock bound: the
+  // assertion is "flushes without help", not "flushes in exactly 10 ms".
+  const auto start = std::chrono::steady_clock::now();
+  while (!ticket.ready() &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(30)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(ticket.ready()) << "flush timer never dispatched the parked batch";
+  const Response res = ticket.wait();
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.analysis.blocks.size(), 4u);
+  EXPECT_EQ(server.stream_stats(s).batches, 1u);
+}
+
+// Deadline-free requests are covered by the idle linger (max_coalesce_delay)
+// instead: a lull still cannot strand them.
+TEST(CodecServer, IdleLingerFlushesPartialBatchWithoutDeadline) {
+  CodecServer::Config cfg;
+  cfg.batch_blocks = 256;
+  cfg.max_coalesce_delay = std::chrono::milliseconds(1);
+  CodecServer server(cfg);
+  const auto training = quantized_walk(31, 256);
+  const StreamId s = server.open_stream(e2mc_stream("linger", training));
+
+  const auto data = quantized_walk(52, 3);
+  auto ticket = server.submit(s, Request{.bytes = data});
+  const auto start = std::chrono::steady_clock::now();
+  while (!ticket.ready() &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(30)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(ticket.ready()) << "idle linger never flushed the parked batch";
+  EXPECT_EQ(ticket.wait().analysis.blocks.size(), 3u);
+}
+
+// Admission control at saturation: a kReject stream sheds immediately where
+// a kBlock stream waits its turn and is eventually served.
+TEST(CodecServer, RejectPolicyShedsWhereBlockPolicyWaits) {
+  CodecServer::Config cfg;
+  cfg.engine = std::make_shared<CodecEngine>(2);
+  cfg.batch_blocks = 16;
+  cfg.max_inflight_blocks = 32;
+  cfg.max_coalesce_delay = std::chrono::microseconds(0);
+  CodecServer server(cfg);
+
+  StreamConfig shed_cfg;
+  shed_cfg.name = "shed";
+  shed_cfg.codec = "TEST-SLOW";
+  shed_cfg.admission = AdmissionPolicy::kReject;
+  const StreamId shed_s = server.open_stream(shed_cfg);
+  StreamConfig wait_cfg;
+  wait_cfg.name = "wait";
+  wait_cfg.codec = "TEST-SLOW";  // default kBlock
+  const StreamId wait_s = server.open_stream(wait_cfg);
+
+  // Fills the whole budget and dispatches at submit; TEST-SLOW keeps it in
+  // flight for >= 3.2 ms — far longer than the sub-microsecond submits below.
+  const auto data = quantized_walk(91, 32);
+  auto first = server.submit(shed_s, Request{.bytes = data});
+  auto shed = server.submit(shed_s, Request{.bytes = data});
+  EXPECT_TRUE(shed.ready()) << "rejection must be immediate, not queued";
+  const Response shed_res = shed.wait();
+  EXPECT_EQ(shed_res.status, ResponseStatus::kRejected);
+  EXPECT_FALSE(shed_res.ok());
+  EXPECT_TRUE(shed_res.analysis.blocks.empty());
+  EXPECT_TRUE(shed_res.payloads.empty());
+  EXPECT_THROW(shed_res.throw_if_failed(), std::runtime_error);
+
+  // Same saturation, kBlock policy: waits for the budget and gets served.
+  auto blocked = server.submit(wait_s, Request{.bytes = data});
+  const Response blocked_res = blocked.wait();
+  EXPECT_TRUE(blocked_res.ok());
+  EXPECT_EQ(blocked_res.analysis.blocks.size(), 32u);
+
+  EXPECT_TRUE(first.wait().ok());
+  server.drain();
+  const StreamStats shed_st = server.stream_stats(shed_s);
+  EXPECT_EQ(shed_st.requests, 2u) << "rejected submits still count as requests";
+  EXPECT_EQ(shed_st.rejected, 1u);
+  EXPECT_EQ(shed_st.commit.blocks, 32u) << "only the served request commits";
+  EXPECT_EQ(shed_st.latency.count(), 1u) << "rejected requests record no latency sample";
+  const StreamStats wait_st = server.stream_stats(wait_s);
+  EXPECT_EQ(wait_st.rejected, 0u);
+  EXPECT_EQ(wait_st.commit.blocks, 32u);
+  EXPECT_EQ(server.aggregate_stats().rejected, 1u) << "merge() carries rejected";
+}
+
+// Full payload serving: server compress responses must be byte-identical to
+// the direct codec path for every registry scheme, at 1 and N engine
+// threads, and the payloads must decompress correctly (exact bytes for
+// lossless schemes, scalar-path-identical bytes for the lossy ones).
+TEST(CodecServer, CompressPayloadsMatchDirectCodecPathAllSchemes) {
+  const auto training = quantized_walk(31, 256);
+  const std::vector<Block> blocks = to_blocks(quantized_walk(53, 8));
+
+  for (const unsigned threads : {1u, 4u}) {
+    CodecServer::Config cfg;
+    cfg.engine = std::make_shared<CodecEngine>(threads);
+    cfg.batch_blocks = 4;  // the 8 blocks split across batches
+    CodecServer server(cfg);
+
+    for (const std::string& name : CodecRegistry::instance().names()) {
+      if (name.rfind("TEST-", 0) == 0) continue;  // fixtures registered above
+      const CodecInfo& info = CodecRegistry::instance().at(name);
+      if (!info.make) continue;  // RAW has no Compressor form
+      StreamConfig sc;
+      sc.name = name;
+      sc.codec = name;
+      sc.options = test_options(training);
+      const StreamId s = server.open_stream(sc);
+
+      // Two requests that coalesce into shared batches.
+      auto t1 = server.submit(s, Request{.kind = RequestKind::kCompress,
+                                         .blocks = std::span<const Block>(blocks).subspan(0, 5)});
+      auto t2 = server.submit(s, Request{.kind = RequestKind::kCompress,
+                                         .blocks = std::span<const Block>(blocks).subspan(5)});
+      Response r1 = t1.wait();
+      Response r2 = t2.wait();
+      ASSERT_TRUE(r1.ok()) << name;
+      ASSERT_TRUE(r2.ok()) << name;
+      ASSERT_EQ(r1.payloads.size(), 5u) << name;
+      ASSERT_EQ(r2.payloads.size(), 3u) << name;
+      EXPECT_TRUE(r1.analysis.blocks.empty()) << "compress responses carry payloads, not analyses";
+
+      std::vector<CompressedBlock> got = std::move(r1.payloads);
+      got.insert(got.end(), std::make_move_iterator(r2.payloads.begin()),
+                 std::make_move_iterator(r2.payloads.end()));
+
+      const auto comp = CodecRegistry::instance().create(name, test_options(training));
+      const std::vector<CompressedBlock> want = comp->compress_batch(blocks);
+      ASSERT_EQ(got.size(), want.size()) << name;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].payload, want[i].payload)
+            << name << " block " << i << " threads " << threads;
+        EXPECT_EQ(got[i].bit_size, want[i].bit_size) << name << " block " << i;
+        EXPECT_EQ(got[i].is_compressed, want[i].is_compressed) << name << " block " << i;
+        const Block decoded = comp->decompress(got[i], kBlockBytes);
+        EXPECT_EQ(decoded, comp->decompress(want[i], kBlockBytes)) << name << " block " << i;
+        if (!info.lossy) {
+          EXPECT_EQ(decoded, blocks[i]) << name << " block " << i;
+        }
+      }
+    }
+  }
+}
+
+// Batches are kind-homogeneous: a kind switch dispatches the pending batch
+// instead of mixing analyses and payloads in one engine job.
+TEST(CodecServer, KindSwitchFlushesPendingBatch) {
+  const auto training = quantized_walk(31, 256);
+  CodecServer::Config cfg;
+  cfg.batch_blocks = 256;
+  cfg.max_coalesce_delay = std::chrono::microseconds(0);
+  CodecServer server(cfg);
+  const StreamId s = server.open_stream(e2mc_stream("kinds", training));
+
+  const auto data = quantized_walk(54, 2);
+  auto ta = server.submit(s, Request{.bytes = data});
+  auto tc = server.submit(s, Request{.kind = RequestKind::kCompress, .bytes = data});
+  const Response ra = ta.wait();
+  const Response rc = tc.wait();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rc.ok());
+  EXPECT_EQ(ra.analysis.blocks.size(), 2u);
+  EXPECT_EQ(rc.payloads.size(), 2u);
+  server.drain();
+  EXPECT_EQ(server.stream_stats(s).batches, 2u) << "one batch per kind";
+}
+
+// kDecide is the cheap tier: the same deterministic aggregates as kAnalyze
+// with no per-block vector materialized.
+TEST(CodecServer, DecideKindReturnsAggregatesOnly) {
+  const auto training = quantized_walk(31, 256);
+  CodecServer server;
+  const StreamId s = server.open_stream(e2mc_stream("decide", training));
+
+  const auto data = quantized_walk(55, 6);
+  const Response analyzed = server.submit(s, Request{.bytes = data}).wait();
+  const Response decided =
+      server.submit(s, Request{.kind = RequestKind::kDecide, .bytes = data}).wait();
+  ASSERT_TRUE(analyzed.ok());
+  ASSERT_TRUE(decided.ok());
+  EXPECT_EQ(analyzed.analysis.blocks.size(), 6u);
+  EXPECT_TRUE(decided.analysis.blocks.empty());
+  EXPECT_EQ(decided.analysis.ratios.raw_ratio(), analyzed.analysis.ratios.raw_ratio());
+  EXPECT_EQ(decided.analysis.ratios.effective_ratio(),
+            analyzed.analysis.ratios.effective_ratio());
+  EXPECT_EQ(decided.analysis.lossy_blocks, analyzed.analysis.lossy_blocks);
+  EXPECT_EQ(decided.analysis.truncated_symbols, analyzed.analysis.truncated_symbols);
+}
+
+// A served-late response says so: deadline_missed on the response, the
+// stream's deadline_misses counter, and the tag round-trip.
+TEST(CodecServer, DeadlineMissSurfacedInResponseAndStats) {
+  const auto training = quantized_walk(31, 256);
+  CodecServer::Config cfg;
+  cfg.batch_blocks = 4;
+  CodecServer server(cfg);
+  const StreamId s = server.open_stream(e2mc_stream("miss", training));
+
+  const auto data = quantized_walk(56, 4);
+  // 1 ns deadline: dispatches inline (batch full) and always completes late.
+  auto ticket = server.submit(
+      s, Request{.bytes = data, .deadline = std::chrono::nanoseconds(1), .tag = 0xfeed});
+  const Response res = ticket.wait();
+  EXPECT_TRUE(res.ok()) << "deadlines are advisory: a late response is still served";
+  EXPECT_TRUE(res.deadline_missed);
+  EXPECT_EQ(res.tag, 0xfeedu);
+  server.drain();
+  EXPECT_EQ(server.stream_stats(s).deadline_misses, 1u);
+  EXPECT_EQ(server.aggregate_stats().deadline_misses, 1u) << "merge() carries misses";
+}
+
+TEST(CodecServer, StreamStatsMergeAddsNewCounters) {
+  StreamStats a;
+  a.requests = 5;
+  a.rejected = 2;
+  a.deadline_misses = 1;
+  StreamStats b;
+  b.requests = 7;
+  b.rejected = 3;
+  b.deadline_misses = 4;
+  a.merge(b);
+  EXPECT_EQ(a.requests, 12u);
+  EXPECT_EQ(a.rejected, 5u);
+  EXPECT_EQ(a.deadline_misses, 5u);
+}
+
+// CacheMode precedence: an explicitly pre-set options.fingerprint_cache
+// always wins over the mode; kOff streams generate no cache traffic.
+TEST(CodecServer, CacheModeExplicitCacheWinsAndOffStaysCold) {
+  if (!FingerprintCache::runtime_enabled()) GTEST_SKIP() << "cache force-disabled";
+  const auto training = quantized_walk(31, 256);
+  auto explicit_cache = std::make_shared<FingerprintCache>();
+
+  CodecServer::Config cfg;
+  cfg.engine = std::make_shared<CodecEngine>(2);
+  CodecServer server(cfg);
+  StreamConfig sc;
+  sc.name = "explicit";
+  sc.codec = "TSLC-OPT";
+  sc.options = test_options(training);
+  sc.options.fingerprint_cache = explicit_cache;
+  sc.cache_mode = CacheMode::kShared;  // must lose to the explicit cache
+  const StreamId s = server.open_stream(sc);
+
+  StreamConfig off;
+  off.name = "off";
+  off.codec = "TSLC-OPT";
+  off.options = test_options(training);
+  const StreamId so = server.open_stream(off);
+
+  const auto data = quantized_walk(57, 8);
+  const Response cached_res = server.submit(s, Request{.bytes = data}).wait();
+  const Response cold_res = server.submit(so, Request{.bytes = data}).wait();
+  ASSERT_TRUE(cached_res.ok());
+  ASSERT_TRUE(cold_res.ok());
+  EXPECT_GT(explicit_cache->size(), 0u) << "traffic must land in the explicit cache";
+  EXPECT_GT(cached_res.analysis.cache.probes(), 0u);
+  EXPECT_EQ(cold_res.analysis.cache.probes(), 0u) << "CacheMode::kOff generates no probes";
+  EXPECT_EQ(server.engine().fingerprint_cache()->size(), 0u)
+      << "the shared engine cache must not have been wired in";
+}
+
+// CacheMode::kPrivate isolation: two private streams do not share entries,
+// while two kShared streams hit each other's.
+TEST(CodecServer, CacheModePrivateIsolatesSharedDedups) {
+  if (!FingerprintCache::runtime_enabled()) GTEST_SKIP() << "cache force-disabled";
+  const auto training = quantized_walk(31, 256);
+  const auto data = quantized_walk(58, 8);
+  // One trained model for both streams: the cache keys on codec identity
+  // (trained-model id, MAG, threshold), so per-stream training would make
+  // the entries invisible across streams and hide the sharing under test.
+  CodecOptions opts = test_options(training);
+  opts.trained_e2mc = E2mcCompressor::train(training, opts.e2mc);
+
+  auto run = [&](CacheMode mode) {
+    CodecServer::Config cfg;
+    cfg.engine = std::make_shared<CodecEngine>(2);
+    CodecServer server(cfg);
+    StreamConfig a;
+    a.name = "a";
+    a.codec = "TSLC-OPT";
+    a.options = opts;
+    a.cache_mode = mode;
+    StreamConfig b = a;
+    b.name = "b";
+    const StreamId sa = server.open_stream(a);
+    const StreamId sb = server.open_stream(b);
+    server.submit(sa, Request{.bytes = data}).wait();
+    const Response second = server.submit(sb, Request{.bytes = data}).wait();
+    return second.analysis.cache.hits;
+  };
+
+  EXPECT_GT(run(CacheMode::kShared), 0u) << "shared mode dedups across streams";
+  EXPECT_EQ(run(CacheMode::kPrivate), 0u) << "private caches must not leak across streams";
+}
+
+// The deprecated submit(span) wrappers still serve through the typed path.
+TEST(CodecServer, LegacySubmitWrappersStillServe) {
+  const auto training = quantized_walk(31, 256);
+  CodecServer server;
+  const StreamId s = server.open_stream(e2mc_stream("legacy", training));
+  const auto data = quantized_walk(59, 3);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto ticket = server.submit(s, std::span<const uint8_t>(data));
+#pragma GCC diagnostic pop
+  const Response res = ticket.wait();
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.analysis.blocks.size(), 3u);
 }
 
 }  // namespace

@@ -137,12 +137,14 @@ TEST(ConcurrencyStress, EngineShutdownFailsEnqueuedServerBatch) {
   CodecServer server(cfg);
   const StreamId s = server.open_stream(e2mc_stream("stuck"));
   const auto data = quantized_walk(32, 2);
-  auto ticket = server.submit(s, std::span<const uint8_t>(data));
+  auto ticket = server.submit(s, Request{.bytes = data});
 
   std::thread stopper([&engine] { engine->shutdown(); });
   std::this_thread::sleep_for(std::chrono::milliseconds(2));
   release = true;  // worker finishes the blocker, sees stop_, never claims the batch
-  EXPECT_THROW(ticket.wait(), std::runtime_error);
+  const Response res = ticket.wait();
+  EXPECT_EQ(res.status, ResponseStatus::kError);
+  EXPECT_THROW(res.throw_if_failed(), std::runtime_error);
   stopper.join();
   server.drain();  // regression: returned only because the hook retired the batch
   EXPECT_EQ(server.inflight_blocks(), 0u);
@@ -169,12 +171,11 @@ TEST(ConcurrencyStress, ServerSubmitsRaceEngineShutdown) {
     submitters.emplace_back([&server, &ok, &failed, s, t] {
       const auto data = quantized_walk(100 + t, 2);
       for (size_t i = 0; i < kIters; ++i) {
-        try {
-          server.submit(s, std::span<const uint8_t>(data)).wait();
+        const Response res = server.submit(s, Request{.bytes = data}).wait();
+        if (res.ok())
           ok.fetch_add(1);
-        } catch (const std::runtime_error&) {
-          failed.fetch_add(1);  // rejected at enqueue or abandoned by shutdown
-        }
+        else
+          failed.fetch_add(1);  // abandoned by the engine shutdown
       }
     });
   std::this_thread::sleep_for(std::chrono::milliseconds(3));

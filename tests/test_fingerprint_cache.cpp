@@ -684,12 +684,12 @@ TEST(EngineCache, SharedCacheConcurrentCommitsStayDeterministic) {
 
 // --- server-level knobs -----------------------------------------------------
 
-StreamConfig tslc_stream(const char* name, std::shared_ptr<FingerprintCache> cache = nullptr) {
+StreamConfig tslc_stream(const char* name, CacheMode mode = CacheMode::kShared) {
   StreamConfig cfg;
   cfg.name = name;
   cfg.codec = "TSLC-OPT";
-  cfg.options = cached_options(std::move(cache));
-  cfg.use_fingerprint_cache = true;
+  cfg.options = cached_options(nullptr);
+  cfg.cache_mode = mode;
   return cfg;
 }
 
@@ -699,18 +699,16 @@ TEST(ServerCache, CachedStreamMatchesUncachedStream) {
   CodecServer::Config scfg;
   scfg.engine = std::make_shared<CodecEngine>(2);
   CodecServer server(scfg);
-  StreamConfig uncached = tslc_stream("uncached");
-  uncached.use_fingerprint_cache = false;
-  const StreamId u = server.open_stream(std::move(uncached));
+  const StreamId u = server.open_stream(tslc_stream("uncached", CacheMode::kOff));
   const StreamId c = server.open_stream(tslc_stream("cached"));
-  auto tu = server.submit(u, std::span<const uint8_t>(bytes));
-  auto tc = server.submit(c, std::span<const uint8_t>(bytes));
-  const auto ru = tu.wait();
-  const auto rc = tc.wait();
-  ASSERT_EQ(ru.blocks.size(), rc.blocks.size());
-  for (size_t i = 0; i < ru.blocks.size(); ++i) {
-    EXPECT_EQ(rc.blocks[i].bit_size, ru.blocks[i].bit_size) << i;
-    EXPECT_EQ(rc.blocks[i].lossy, ru.blocks[i].lossy) << i;
+  auto tu = server.submit(u, Request{.bytes = bytes});
+  auto tc = server.submit(c, Request{.bytes = bytes});
+  const Response ru = tu.wait();
+  const Response rc = tc.wait();
+  ASSERT_EQ(ru.analysis.blocks.size(), rc.analysis.blocks.size());
+  for (size_t i = 0; i < ru.analysis.blocks.size(); ++i) {
+    EXPECT_EQ(rc.analysis.blocks[i].bit_size, ru.analysis.blocks[i].bit_size) << i;
+    EXPECT_EQ(rc.analysis.blocks[i].lossy, ru.analysis.blocks[i].lossy) << i;
   }
   server.drain();
   EXPECT_TRUE(server.stream_stats(c).commit.same_decisions(server.stream_stats(u).commit));
@@ -722,12 +720,12 @@ TEST(ServerCache, SharedCacheDedupsAcrossStreams) {
       test::corpus_bytes(test::dedup_corpus({.blocks = 256, .seed = 82}));
   CodecServer::Config scfg;
   scfg.engine = std::make_shared<CodecEngine>(2);
-  ASSERT_TRUE(scfg.share_fingerprint_cache);  // the default: cross-stream dedup
   CodecServer server(scfg);
+  // CacheMode::kShared wires both streams to the engine's cache.
   const StreamId a = server.open_stream(tslc_stream("tenant-a"));
   const StreamId b = server.open_stream(tslc_stream("tenant-b"));
-  server.submit(a, std::span<const uint8_t>(bytes)).wait();
-  server.submit(b, std::span<const uint8_t>(bytes)).wait();
+  server.submit(a, Request{.bytes = bytes}).wait();
+  server.submit(b, Request{.bytes = bytes}).wait();
   server.drain();
   const CommitStats sa = server.stream_stats(a).commit;
   const CommitStats sb = server.stream_stats(b).commit;
@@ -745,20 +743,19 @@ TEST(ServerCache, PrivateCachesIsolateStreams) {
       test::corpus_bytes(test::dedup_corpus({.blocks = 256, .seed = 83}));  // all-fresh stream
   CodecServer::Config scfg;
   scfg.engine = std::make_shared<CodecEngine>(2);
-  scfg.share_fingerprint_cache = false;
-  scfg.verify_cache_hits = true;  // private caches run in paranoia mode
   CodecServer server(scfg);
-  const StreamId a = server.open_stream(tslc_stream("iso-a"));
-  const StreamId b = server.open_stream(tslc_stream("iso-b"));
-  auto ta = server.submit(a, std::span<const uint8_t>(bytes));
-  const auto ra = ta.wait();
+  // Private caches run in paranoia mode: per-stream, verify-on-hit.
+  const StreamId a = server.open_stream(tslc_stream("iso-a", CacheMode::kPrivateVerify));
+  const StreamId b = server.open_stream(tslc_stream("iso-b", CacheMode::kPrivateVerify));
+  auto ta = server.submit(a, Request{.bytes = bytes});
+  const Response ra = ta.wait();
   // wait() between the two b submits so the warm pass provably runs after
   // the cold pass finished inserting (concurrent batches would race the
   // hit/miss tallies this test pins down).
-  auto tb1 = server.submit(b, std::span<const uint8_t>(bytes));  // same traffic, cold cache
-  const auto rb1 = tb1.wait();
-  auto tb2 = server.submit(b, std::span<const uint8_t>(bytes));  // warm now
-  const auto rb2 = tb2.wait();
+  auto tb1 = server.submit(b, Request{.bytes = bytes});  // same traffic, cold cache
+  const Response rb1 = tb1.wait();
+  auto tb2 = server.submit(b, Request{.bytes = bytes});  // warm now
+  const Response rb2 = tb2.wait();
   server.drain();
   const CommitStats sa = server.stream_stats(a).commit;
   const CommitStats sb = server.stream_stats(b).commit;
@@ -767,10 +764,10 @@ TEST(ServerCache, PrivateCachesIsolateStreams) {
   // pass hit everything, all under verify-on-hit.
   EXPECT_EQ(sb.cache.misses, sb.blocks / 2);
   EXPECT_EQ(sb.cache.hits, sb.blocks / 2);
-  ASSERT_EQ(rb1.blocks.size(), rb2.blocks.size());
-  for (size_t i = 0; i < rb1.blocks.size(); ++i) {
-    EXPECT_EQ(rb2.blocks[i].bit_size, rb1.blocks[i].bit_size) << i;
-    EXPECT_EQ(rb2.blocks[i].bit_size, ra.blocks[i].bit_size) << i;
+  ASSERT_EQ(rb1.analysis.blocks.size(), rb2.analysis.blocks.size());
+  for (size_t i = 0; i < rb1.analysis.blocks.size(); ++i) {
+    EXPECT_EQ(rb2.analysis.blocks[i].bit_size, rb1.analysis.blocks[i].bit_size) << i;
+    EXPECT_EQ(rb2.analysis.blocks[i].bit_size, ra.analysis.blocks[i].bit_size) << i;
   }
 }
 
