@@ -137,11 +137,13 @@ void CodecEngine::set_fingerprint_cache(std::shared_ptr<FingerprintCache> cache)
 }
 
 std::shared_ptr<detail::EngineJob> CodecEngine::enqueue(
-    size_t count, std::function<void(size_t, size_t, unsigned)> body, int priority) {
+    size_t count, std::function<void(size_t, size_t, unsigned)> body, int priority,
+    std::chrono::steady_clock::time_point deadline) {
   auto job = std::make_shared<detail::EngineJob>();
   job->count = count;
   job->body = std::move(body);
   job->priority = priority;
+  job->deadline = deadline;
   if (count == 0) {
     job->finish_shard(0, nullptr);
     return job;
@@ -178,12 +180,18 @@ void CodecEngine::worker_loop(unsigned id) {
   for (;;) {
     while (!stop_ && queue_.empty()) work_cv_.wait(mutex_);
     if (stop_) return;
-    // Claim from the highest-priority job with unclaimed shards; ties drain
-    // FIFO. Priority only reorders claims across jobs — a job's own result
-    // is shard-order-independent by the determinism contract.
+    // Claim from the highest-priority job with unclaimed shards; within a
+    // band the earliest deadline wins (EDF — two deadline-boosted batches
+    // drain in deadline order, not submission order) and equal (priority,
+    // deadline) drains FIFO. Scheduling only reorders claims across jobs —
+    // a job's own result is shard-order-independent by the determinism
+    // contract.
     auto best = queue_.begin();
-    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it)
-      if ((*it)->priority > (*best)->priority) best = it;
+    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+      if ((*it)->priority > (*best)->priority ||
+          ((*it)->priority == (*best)->priority && (*it)->deadline < (*best)->deadline))
+        best = it;
+    }
     const std::shared_ptr<detail::EngineJob> job = *best;
     const size_t begin = job->next;
     const size_t end = std::min(job->count, begin + job->shard);
@@ -207,8 +215,9 @@ void CodecEngine::worker_loop(unsigned id) {
 
 CodecFuture<void> CodecEngine::submit(size_t count,
                                       std::function<void(size_t, size_t, unsigned)> body,
-                                      int priority) {
-  return submit_job<void>(count, std::move(body), {}, priority);
+                                      int priority,
+                                      std::chrono::steady_clock::time_point deadline) {
+  return submit_job<void>(count, std::move(body), {}, priority, deadline);
 }
 
 void CodecEngine::parallel_for(size_t count,

@@ -6,8 +6,10 @@
 // slot), and workers drain whichever jobs are pending — so multiple
 // analyze/compress/commit jobs can be in flight at once and the pool never
 // idles between them. Each shard claim goes to the highest-priority job with
-// unclaimed shards (FIFO among equal priorities), so a latency-sensitive job
-// preempts queued bulk work at shard granularity without cancelling it.
+// unclaimed shards — earliest deadline first within a priority band, FIFO
+// among equal (priority, deadline) — so a latency-sensitive job preempts
+// queued bulk work at shard granularity without cancelling it, and two
+// deadline-boosted jobs drain in deadline order instead of submission order.
 //
 // Determinism contract (per job): shard->worker assignment is
 // nondeterministic, but bodies write only to index-aligned slots and keep
@@ -29,6 +31,7 @@
 // CodecServer's batch dispatch (src/server/).
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -63,7 +66,13 @@ struct EngineJob {
   size_t count = 0;
   size_t shard = 1;
   size_t next = 0;  ///< next shard start (claimed under the engine mutex)
-  int priority = 0; ///< higher claims first; ties drain FIFO
+  int priority = 0; ///< higher claims first
+  /// EDF tiebreak inside a priority band: among equal-priority jobs the
+  /// earliest deadline claims first; equal (priority, deadline) drains FIFO.
+  /// max() = no deadline (sorts after every dated job in its band).
+  /// Immutable after enqueue, like priority — read under the engine mutex
+  /// but never written concurrently.
+  std::chrono::steady_clock::time_point deadline = std::chrono::steady_clock::time_point::max();
 
   /// Marks `items` of this job done (body returned or shard cancelled); the
   /// first exception wins. The last shard releases the body's captures.
@@ -151,8 +160,14 @@ class CodecEngine {
   /// explicit request deadlines at this landmark, so a deadline's shards
   /// claim ahead of everything scheduled between the two ends — the
   /// deadline-aware claim that makes a timer-flushed partial batch finish
-  /// inside its budget even behind queued bulk work.
+  /// inside its budget even behind queued bulk work. Within the band the
+  /// absolute deadline passed to submit*() orders the claims (EDF).
   static constexpr int kPriorityDeadline = 150;
+
+  /// "No deadline" for the EDF tiebreak: sorts after every dated job of the
+  /// same priority, and all-kNoDeadline queues drain plain FIFO.
+  static constexpr std::chrono::steady_clock::time_point kNoDeadline =
+      std::chrono::steady_clock::time_point::max();
 
   /// `num_threads` = 0 picks std::thread::hardware_concurrency() (min 1).
   explicit CodecEngine(unsigned num_threads = 0);
@@ -203,10 +218,13 @@ class CodecEngine {
   // rethrows, and other jobs and the pool are unaffected.
 
   /// Enqueues body(begin, end, worker_id) over disjoint shards covering
-  /// [0, count) and returns immediately.
+  /// [0, count) and returns immediately. `deadline` orders claims within the
+  /// job's priority band (earliest first) — purely a scheduling hint; a
+  /// job past its deadline still runs.
   CodecFuture<void> submit(size_t count,
                            std::function<void(size_t begin, size_t end, unsigned worker_id)> body,
-                           int priority = 0);
+                           int priority = 0,
+                           std::chrono::steady_clock::time_point deadline = kNoDeadline);
 
   /// Generalized submit: `finalize` runs once on the thread that waits, after
   /// every shard completed — the place to merge per-worker accumulators into
@@ -214,7 +232,8 @@ class CodecEngine {
   template <typename T>
   CodecFuture<T> submit_job(size_t count,
                             std::function<void(size_t begin, size_t end, unsigned worker_id)> body,
-                            std::function<T()> finalize, int priority = 0);
+                            std::function<T()> finalize, int priority = 0,
+                            std::chrono::steady_clock::time_point deadline = kNoDeadline);
 
   /// Size-only sweep of a block stream: per-block analyses plus the merged
   /// raw/effective ratio bookkeeping at `mag_bytes`.
@@ -262,7 +281,8 @@ class CodecEngine {
 
   /// Creates a job, sizes its shards and (count > 0) puts it on the queue.
   std::shared_ptr<detail::EngineJob> enqueue(
-      size_t count, std::function<void(size_t, size_t, unsigned)> body, int priority);
+      size_t count, std::function<void(size_t, size_t, unsigned)> body, int priority,
+      std::chrono::steady_clock::time_point deadline = kNoDeadline);
 
   /// Shared core of the analyze entry points: `produce` fills the analyses
   /// for one shard into the index-aligned slots, `original_bits` sizes block
@@ -292,9 +312,10 @@ class CodecEngine {
 template <typename T>
 CodecFuture<T> CodecEngine::submit_job(size_t count,
                                        std::function<void(size_t, size_t, unsigned)> body,
-                                       std::function<T()> finalize, int priority) {
+                                       std::function<T()> finalize, int priority,
+                                       std::chrono::steady_clock::time_point deadline) {
   auto state = std::make_shared<typename CodecFuture<T>::State>();
-  state->job = enqueue(count, std::move(body), priority);
+  state->job = enqueue(count, std::move(body), priority, deadline);
   state->finalize = std::move(finalize);
   return CodecFuture<T>(std::move(state));
 }

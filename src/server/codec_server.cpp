@@ -273,12 +273,16 @@ ServerTicket CodecServer::submit_request(StreamId s, const Request& r,
     st.pending_kind = r.kind;
     st.flush_by = kNoFlush;
     st.pending_has_deadline = false;
+    st.pending_deadline = CodecEngine::kNoDeadline;
   }
   st.pending_blocks.insert(st.pending_blocks.end(), std::make_move_iterator(blocks.begin()),
                            std::make_move_iterator(blocks.end()));
   st.pending.push_back(req);
   pending_blocks_total_ += n;
-  if (r.deadline.count() > 0) st.pending_has_deadline = true;
+  if (r.deadline.count() > 0) {
+    st.pending_has_deadline = true;
+    st.pending_deadline = std::min(st.pending_deadline, req->submitted + r.deadline);
+  }
   // Over budget is only reachable through the empty-server escape (an
   // oversized request): dispatch at once so the bound is restored as soon
   // as the batch retires.
@@ -345,12 +349,15 @@ void CodecServer::dispatch_locked(StreamId s) {
     batch->analyses.resize(batch->blocks.size());
   }
   // A batch carrying any explicit deadline claims shards ahead of everything
-  // priority-scheduled between the bulk/latency ends.
+  // priority-scheduled between the bulk/latency ends; its earliest absolute
+  // deadline rides along so the engine orders same-band batches EDF.
   const int priority = st.pending_has_deadline
                            ? std::max(st.engine_priority, CodecEngine::kPriorityDeadline)
                            : st.engine_priority;
+  const auto deadline = st.pending_deadline;
   st.flush_by = kNoFlush;
   st.pending_has_deadline = false;
+  st.pending_deadline = CodecEngine::kNoDeadline;
 
   pending_blocks_total_ -= batch->blocks.size();
   inflight_blocks_ += batch->blocks.size();
@@ -368,7 +375,7 @@ void CodecServer::dispatch_locked(StreamId s) {
         const size_t finished = batch->done.fetch_add(end - begin) + (end - begin);
         if (finished == batch->blocks.size()) batch->server->complete_batch(batch);
       },
-      priority);
+      priority, deadline);
   // If the engine is shut down with this batch still queued (accepted at
   // enqueue, shards never claimed), the job is abandoned and no shard will
   // ever complete it — without this hook every ticket wait() and the server's

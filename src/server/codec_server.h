@@ -15,9 +15,11 @@
 //   * flushes partial batches on a timer: a request is dispatched no later
 //     than its deadline budget (or `Config::max_coalesce_delay` without
 //     one), so a submit lull can no longer strand a coalescing batch;
-//   * maps stream priority onto the engine's priority-aware shard claim, and
+//   * maps stream priority onto the engine's priority-aware shard claim,
 //     boosts batches that carry explicit deadlines to
-//     CodecEngine::kPriorityDeadline;
+//     CodecEngine::kPriorityDeadline, and forwards the batch's earliest
+//     absolute deadline so the engine drains same-band batches
+//     earliest-deadline-first;
 //   * enforces a bounded in-flight budget (`Config::max_inflight_blocks`):
 //     AdmissionPolicy::kBlock streams wait (backpressure) while
 //     AdmissionPolicy::kReject streams get an immediate kRejected response
@@ -340,6 +342,9 @@ class CodecServer {
     /// Any pending request carries a deadline -> dispatch at
     /// CodecEngine::kPriorityDeadline.
     bool pending_has_deadline = false;
+    /// Earliest absolute deadline over `pending` (kNoDeadline when none) —
+    /// forwarded to the engine so same-band batches claim EDF.
+    std::chrono::steady_clock::time_point pending_deadline = CodecEngine::kNoDeadline;
     StreamStats stats;
   };
 

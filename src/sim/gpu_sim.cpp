@@ -5,16 +5,30 @@
 
 namespace slc {
 
-GpuSim::McState::McState(const GpuSimConfig& cfg, SimStats& stats)
+GpuSim::McState::McState(const GpuSimConfig& cfg)
     : l2(cfg.l2_bytes / cfg.num_mcs, cfg.l2_ways, cfg.line_bytes),
       mdc(cfg.mdc_lines * 64, 4, 64),
       dram(cfg, stats) {}
+
+uint64_t GpuSim::McState::alloc_tag(const InFlight& f) {
+  for (size_t t = 0; t < tag_free.size(); ++t) {
+    if (tag_free[t]) {
+      tag_free[t] = false;
+      inflight_reads[t] = f;
+      return t;
+    }
+  }
+  tag_free.push_back(false);
+  inflight_reads.push_back(f);
+  return inflight_reads.size() - 1;
+}
 
 GpuSim::GpuSim(GpuSimConfig cfg) : cfg_(cfg) {
   sms_.resize(cfg_.num_sms);
   for (unsigned i = 0; i < cfg_.num_sms; ++i)
     l1_.emplace_back(cfg_.l1_bytes, cfg_.l1_ways, cfg_.line_bytes);
-  for (unsigned i = 0; i < cfg_.num_mcs; ++i) mcs_.emplace_back(cfg_, stats_);
+  mcs_.reserve(cfg_.num_mcs);
+  for (unsigned i = 0; i < cfg_.num_mcs; ++i) mcs_.push_back(std::make_unique<McState>(cfg_));
 }
 
 size_t GpuSim::mc_index(uint64_t addr) const {
@@ -24,19 +38,6 @@ size_t GpuSim::mc_index(uint64_t addr) const {
 
 uint64_t GpuSim::channel_local(uint64_t addr) const {
   return ((addr >> 8) / cfg_.num_mcs) * 256 + (addr & 255);
-}
-
-uint64_t GpuSim::alloc_tag(const InFlight& f) {
-  for (size_t t = 0; t < tag_free_.size(); ++t) {
-    if (tag_free_[t]) {
-      tag_free_[t] = false;
-      inflight_reads_[t] = f;
-      return t;
-    }
-  }
-  tag_free_.push_back(false);
-  inflight_reads_.push_back(f);
-  return inflight_reads_.size() - 1;
 }
 
 void GpuSim::sm_issue(uint16_t sm_id, double compute_scale) {
@@ -56,7 +57,7 @@ void GpuSim::sm_issue(uint16_t sm_id, double compute_scale) {
     // approximated by a write_hit update when present.
     l1_[sm_id].write_hit(a.addr, a.bursts);
     InFlight f{a, sm_id, cycle_ + cfg_.icnt_latency};
-    mcs_[mc_index(a.addr)].arrivals.push(f);
+    mcs_[mc_index(a.addr)]->arrivals.push(f);
     return;
   }
 
@@ -68,11 +69,16 @@ void GpuSim::sm_issue(uint16_t sm_id, double compute_scale) {
   ++stats_.l1_misses;
   ++sm.outstanding;
   InFlight f{a, sm_id, cycle_ + cfg_.icnt_latency};
-  mcs_[mc_index(a.addr)].arrivals.push(f);
+  mcs_[mc_index(a.addr)]->arrivals.push(f);
 }
 
+// Runs on whichever shard owns mc_id during the parallel phase: touches only
+// this McState (its caches, channel, queues, tag pool and private stats) plus
+// driver-written-between-barriers cycle_/cfg_, so shards never race and the
+// channel's evolution is a pure function of its own request sequence —
+// identical for any worker count.
 void GpuSim::mc_process(size_t mc_id) {
-  McState& mc = mcs_[mc_id];
+  McState& mc = *mcs_[mc_id];
 
   // Requests arriving from the interconnect.
   while (!mc.arrivals.empty() && mc.arrivals.top().ready <= cycle_) {
@@ -84,8 +90,8 @@ void GpuSim::mc_process(size_t mc_id) {
       if (!mc.l2.write_hit(a.addr, a.bursts)) {
         auto ev = mc.l2.fill(a.addr, /*dirty=*/true, a.bursts);
         if (ev) {
-          ++stats_.l2_writebacks;
-          ++stats_.compressions;
+          ++mc.stats.l2_writebacks;
+          ++mc.stats.compressions;
           TraceAccess wb;
           wb.addr = ev->addr;
           wb.bursts = ev->bursts;
@@ -97,20 +103,20 @@ void GpuSim::mc_process(size_t mc_id) {
     }
     // Read path.
     if (mc.l2.lookup(a.addr)) {
-      ++stats_.l2_hits;
+      ++mc.stats.l2_hits;
       InFlight resp = f;
       resp.ready = cycle_ + cfg_.l2_latency + cfg_.icnt_latency;
-      responses_.push(resp);
+      mc.responses.push(resp);
       continue;
     }
-    ++stats_.l2_misses;
+    ++mc.stats.l2_misses;
     // Metadata cache: the 2-bit burst count must be known before the fetch.
     const uint64_t meta_line = a.addr / (cfg_.line_bytes * cfg_.mdc_line_coverage_blocks);
     uint64_t extra_delay = 0;
     if (mc.mdc.lookup(meta_line * 64)) {
-      ++stats_.mdc_hits;
+      ++mc.stats.mdc_hits;
     } else {
-      ++stats_.mdc_misses;
+      ++mc.stats.mdc_misses;
       mc.mdc.fill(meta_line * 64, /*dirty=*/false, 1);
       // Charge a one-burst metadata fetch (bandwidth) and serialize the data
       // fetch behind its approximate service time.
@@ -127,7 +133,7 @@ void GpuSim::mc_process(size_t mc_id) {
     req.addr = channel_local(a.addr);
     req.bursts = std::max<uint32_t>(a.bursts, 1);
     req.enqueue_cycle = cycle_ + extra_delay;
-    req.tag = alloc_tag(f);
+    req.tag = mc.alloc_tag(f);
     mc.dram.push_read(req);
   }
 
@@ -152,12 +158,12 @@ void GpuSim::mc_process(size_t mc_id) {
     const DramCompletion c = comps.front();
     comps.pop_front();
     if (c.write || c.metadata || c.tag == UINT64_MAX) continue;
-    InFlight f = inflight_reads_[c.tag];
-    tag_free_[c.tag] = true;
+    InFlight f = mc.inflight_reads[c.tag];
+    mc.tag_free[c.tag] = true;
     auto ev = mc.l2.fill(f.access.addr, /*dirty=*/false, f.access.bursts);
     if (ev) {
-      ++stats_.l2_writebacks;
-      ++stats_.compressions;
+      ++mc.stats.l2_writebacks;
+      ++mc.stats.compressions;
       TraceAccess wb;
       wb.addr = ev->addr;
       wb.bursts = ev->bursts;
@@ -166,31 +172,69 @@ void GpuSim::mc_process(size_t mc_id) {
     }
     uint64_t lat = cfg_.icnt_latency;
     if (f.access.bursts < cfg_.max_bursts()) {
-      ++stats_.decompressions;
+      ++mc.stats.decompressions;
       lat += cfg_.decompress_latency;
     }
     f.ready = cycle_ + lat;
-    responses_.push(f);
+    mc.responses.push(f);
   }
 }
 
+// Body of one extra shard thread. The epoch/done handshake is the only
+// cross-thread communication: an acquire-load of epoch_ sees every
+// driver-side write made before the matching release-increment (SM pushes
+// into arrivals, the cycle_ advance), and the driver's acquire-spin on done_
+// sees every MC mutation made before the worker's release-increment.
+void GpuSim::worker_loop(unsigned shard, unsigned num_shards) {
+  uint64_t seen = 0;
+  for (;;) {
+    while (epoch_.load(std::memory_order_acquire) == seen) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      std::this_thread::yield();
+    }
+    ++seen;
+    for (size_t m = shard; m < mcs_.size(); m += num_shards) mc_process(m);
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void GpuSim::mc_phase() {
+  if (workers_.empty()) {
+    for (size_t m = 0; m < mcs_.size(); ++m) mc_process(m);
+    return;
+  }
+  const unsigned num_shards = active_workers_ + 1;  // driver is shard 0
+  const uint64_t step = epoch_.fetch_add(1, std::memory_order_release) + 1;
+  for (size_t m = 0; m < mcs_.size(); m += num_shards) mc_process(m);
+  const uint64_t target = step * active_workers_;
+  while (done_.load(std::memory_order_acquire) < target) std::this_thread::yield();
+}
+
 void GpuSim::deliver_responses() {
-  while (!responses_.empty() && responses_.top().ready <= cycle_) {
-    const InFlight f = responses_.top();
-    responses_.pop();
-    SmState& sm = sms_[f.sm];
-    assert(sm.outstanding > 0);
-    --sm.outstanding;
-    l1_[f.sm].fill(f.access.addr, /*dirty=*/false, f.access.bursts);
+  // Fixed channel order: which MC's response fills L1 first on a shared
+  // cycle is part of the deterministic schedule, not a thread-timing
+  // artifact.
+  for (auto& mcp : mcs_) {
+    InFlightQueue& responses = mcp->responses;
+    while (!responses.empty() && responses.top().ready <= cycle_) {
+      const InFlight f = responses.top();
+      responses.pop();
+      SmState& sm = sms_[f.sm];
+      assert(sm.outstanding > 0);
+      --sm.outstanding;
+      l1_[f.sm].fill(f.access.addr, /*dirty=*/false, f.access.bursts);
+    }
   }
 }
 
 bool GpuSim::drained() const {
   for (const SmState& sm : sms_)
     if (sm.next < sm.queue.size() || sm.outstanding > 0) return false;
-  if (!responses_.empty()) return false;
-  for (const McState& mc : mcs_)
-    if (!mc.arrivals.empty() || !mc.staged.empty() || mc.dram.busy()) return false;
+  for (const auto& mcp : mcs_) {
+    const McState& mc = *mcp;
+    if (!mc.arrivals.empty() || !mc.staged.empty() || !mc.responses.empty() || mc.dram.busy())
+      return false;
+  }
   return true;
 }
 
@@ -204,13 +248,14 @@ uint64_t GpuSim::next_event_cycle() const {
         // Either issueable now/soon (credit drains 1/cycle)...
         consider(cycle_ + std::max<uint64_t>(1, static_cast<uint64_t>(sm.credit)));
       }
-      // ...or blocked on a response (covered by responses_ below).
+      // ...or blocked on a response (covered by the MC responses below).
     }
   }
-  if (!responses_.empty()) consider(responses_.top().ready);
-  for (const McState& mc : mcs_) {
+  for (const auto& mcp : mcs_) {
+    const McState& mc = *mcp;
     if (!mc.arrivals.empty()) consider(mc.arrivals.top().ready);
     if (!mc.staged.empty()) consider(mc.staged.top().ready);
+    if (!mc.responses.empty()) consider(mc.responses.top().ready);
     if (!mc.dram.completions().empty()) consider(mc.dram.completions().front().finish_cycle);
     consider(mc.dram.next_event_cycle(cycle_));
   }
@@ -218,6 +263,7 @@ uint64_t GpuSim::next_event_cycle() const {
 }
 
 void GpuSim::run_kernel(const KernelTrace& kernel) {
+  ++stats_.kernels;
   // Distribute CTAs round-robin over SMs.
   for (SmState& sm : sms_) {
     sm.queue.clear();
@@ -235,7 +281,7 @@ void GpuSim::run_kernel(const KernelTrace& kernel) {
   const double compute_scale = kernel.compute_per_access * cfg_.sm_cycle_scale();
   while (!drained()) {
     for (uint16_t s = 0; s < cfg_.num_sms; ++s) sm_issue(s, compute_scale);
-    for (size_t m = 0; m < mcs_.size(); ++m) mc_process(m);
+    mc_phase();
     deliver_responses();
 
     const uint64_t nxt = next_event_cycle();
@@ -245,14 +291,71 @@ void GpuSim::run_kernel(const KernelTrace& kernel) {
   }
 }
 
-SimStats GpuSim::run(const std::vector<KernelTrace>& trace) {
+void GpuSim::start_workers() {
+  unsigned shards = cfg_.sim_workers != 0 ? cfg_.sim_workers : std::thread::hardware_concurrency();
+  shards = std::clamp<unsigned>(shards, 1, cfg_.num_mcs);
+  active_workers_ = shards - 1;
+  if (active_workers_ == 0) return;
+  stop_.store(false, std::memory_order_relaxed);
+  epoch_.store(0, std::memory_order_relaxed);
+  done_.store(0, std::memory_order_relaxed);
+  workers_.reserve(active_workers_);
+  for (unsigned i = 0; i < active_workers_; ++i)
+    workers_.emplace_back([this, i, shards] { worker_loop(i + 1, shards); });
+}
+
+void GpuSim::stop_workers() {
+  if (workers_.empty()) return;
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  active_workers_ = 0;
+}
+
+void GpuSim::begin_run() {
   stats_ = SimStats{};
   cycle_ = 0;
-  inflight_reads_.clear();
-  tag_free_.clear();
-  for (const KernelTrace& k : trace) run_kernel(k);
+  for (auto& mcp : mcs_) {
+    mcp->stats = SimStats{};
+    mcp->inflight_reads.clear();
+    mcp->tag_free.clear();
+  }
+  start_workers();
+}
+
+SimStats GpuSim::end_run() {
+  stop_workers();
   stats_.cycles = cycle_;
+  // Drain-barrier reconciliation: per-channel accumulators fold into the
+  // driver's stats in fixed channel order. merge() is associative with
+  // identity, so the totals cannot depend on the worker count.
+  for (const auto& mcp : mcs_) stats_.merge(mcp->stats);
   return stats_;
+}
+
+SimStats GpuSim::run(TraceStream& stream) {
+  struct WorkerGuard {  // exception safety: never leak spinning shard threads
+    GpuSim& sim;
+    ~WorkerGuard() { sim.stop_workers(); }
+  };
+  begin_run();
+  WorkerGuard guard{*this};
+  while (std::shared_ptr<const KernelTrace> chunk = stream.pop()) run_kernel(*chunk);
+  SimStats out = end_run();
+  out.stream_chunk_hwm = stream.chunk_high_water();
+  out.stream_access_hwm = stream.access_high_water();
+  return out;
+}
+
+SimStats GpuSim::run(const std::vector<KernelTrace>& trace) {
+  // Thin adapter per the streaming contract: wrap the materialized vector
+  // in an already-closed, unbounded stream of borrowed chunks (aliasing
+  // shared_ptrs — no copy; the vector outlives the run).
+  TraceStream stream(0);
+  for (const KernelTrace& k : trace)
+    stream.push(std::shared_ptr<const KernelTrace>(std::shared_ptr<const void>(), &k));
+  stream.close();
+  return run(stream);
 }
 
 SimStats GpuSim::run(ApproxMemory& mem) {

@@ -9,6 +9,7 @@
 // ratio.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 
@@ -62,6 +63,18 @@ struct GpuSimConfig {
   /// candidates each cycle (real controllers use a bounded CAM).
   size_t scheduler_window = 64;
 
+  // Streaming replay (sim/trace_stream.h).
+  /// Threads sharding the memory-controller phase of each simulation step
+  /// (each owns a fixed disjoint set of DRAM channels; results are
+  /// bit-identical for any value). 1 = serial; 0 = hardware concurrency.
+  /// Clamped to num_mcs — more shards than channels would idle.
+  unsigned sim_workers = 1;
+  /// Bound on queued kernel chunks between trace capture and replay
+  /// (TraceStream budget); 0 = unbounded. The convention every harness that
+  /// builds a stream from this config follows — the simulator itself never
+  /// allocates the stream.
+  size_t stream_chunk_budget = 8;
+
   double bandwidth_gbps() const {
     return static_cast<double>(num_mcs) * 32.0 * mem_clock_ghz;
   }
@@ -72,6 +85,7 @@ struct GpuSimConfig {
 /// Counters accumulated over one simulation.
 struct SimStats {
   uint64_t cycles = 0;           ///< memory-clock cycles to drain all kernels
+  uint64_t kernels = 0;          ///< kernel launches replayed
   uint64_t accesses = 0;
   uint64_t reads = 0;
   uint64_t writes = 0;
@@ -89,6 +103,56 @@ struct SimStats {
   uint64_t row_misses = 0;       ///< activates (incl. conflicts)
   uint64_t decompressions = 0;
   uint64_t compressions = 0;
+  /// Peak queued trace chunks/accesses observed on the TraceStream a run
+  /// consumed (the materialized adapter reports the whole trace — its honest
+  /// footprint). Watermarks, not event counts: merge() takes the max and
+  /// same_counters() ignores them, since a streaming and a materialized
+  /// replay of the same trace legitimately differ here and nowhere else.
+  uint64_t stream_chunk_hwm = 0;
+  uint64_t stream_access_hwm = 0;
+
+  /// All-field equality (the thread-count-invariance checks compare whole
+  /// stat blocks so a new counter can never silently escape them).
+  bool operator==(const SimStats&) const = default;
+
+  /// Every timing/traffic counter equal, stream watermarks ignored — the
+  /// equality a streaming replay is guaranteed to share with a materialized
+  /// (or differently-sharded) replay of the same trace.
+  bool same_counters(const SimStats& o) const {
+    SimStats a = *this, b = o;
+    a.stream_chunk_hwm = b.stream_chunk_hwm = 0;
+    a.stream_access_hwm = b.stream_access_hwm = 0;
+    return a == b;
+  }
+
+  /// Folds another accumulator into this one. Event counters add and
+  /// watermarks (cycles, stream hwm) take the max, so merging is associative
+  /// and commutative and a default-constructed SimStats is the identity —
+  /// the contract that makes per-shard stats reconcile to the same totals
+  /// in any merge order (1 worker == N workers).
+  void merge(const SimStats& o) {
+    cycles = std::max(cycles, o.cycles);
+    kernels += o.kernels;
+    accesses += o.accesses;
+    reads += o.reads;
+    writes += o.writes;
+    l1_hits += o.l1_hits;
+    l1_misses += o.l1_misses;
+    l2_hits += o.l2_hits;
+    l2_misses += o.l2_misses;
+    l2_writebacks += o.l2_writebacks;
+    dram_read_bursts += o.dram_read_bursts;
+    dram_write_bursts += o.dram_write_bursts;
+    metadata_bursts += o.metadata_bursts;
+    mdc_hits += o.mdc_hits;
+    mdc_misses += o.mdc_misses;
+    row_hits += o.row_hits;
+    row_misses += o.row_misses;
+    decompressions += o.decompressions;
+    compressions += o.compressions;
+    stream_chunk_hwm = std::max(stream_chunk_hwm, o.stream_chunk_hwm);
+    stream_access_hwm = std::max(stream_access_hwm, o.stream_access_hwm);
+  }
 
   uint64_t dram_bursts_total() const {
     return dram_read_bursts + dram_write_bursts + metadata_bursts;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/trace_stream.h"
+
 namespace slc {
 
 namespace {
@@ -48,6 +50,10 @@ void process_blocks(const BlockCodec& codec, uint8_t* data, uint32_t* bursts, bo
 }  // namespace
 
 ApproxMemory::~ApproxMemory() {
+  // A forgotten sink is closed but NOT published: push() may block on
+  // backpressure, and a destructor must not hang on a consumer that
+  // stopped popping. The consumer sees a clean (if short) end of stream.
+  if (trace_sink_) trace_sink_->close();
   for (RegionId r = 0; r < regions_.size(); ++r) {
     try {
       settle(r);
@@ -161,8 +167,38 @@ void ApproxMemory::commit_all() {
   for (RegionId r = 0; r < regions_.size(); ++r) commit_async(r);
 }
 
+void ApproxMemory::set_trace_sink(std::shared_ptr<TraceStream> sink) {
+  if (trace_sink_) end_trace();
+  trace_sink_ = std::move(sink);
+}
+
+void ApproxMemory::publish_completed_kernels() {
+  while (!trace_.empty() && trace_sink_) {
+    auto chunk = std::make_shared<const KernelTrace>(std::move(trace_.front()));
+    trace_.erase(trace_.begin());
+    if (!trace_sink_->push(std::move(chunk))) {
+      // Consumer cancelled mid-stream: detach and stop publishing. Later
+      // kernels materialize into trace_ as if no sink were installed.
+      trace_sink_.reset();
+    }
+  }
+}
+
+void ApproxMemory::end_trace() {
+  if (!trace_sink_) return;
+  publish_completed_kernels();
+  if (trace_sink_) {
+    trace_sink_->close();
+    trace_sink_.reset();
+  }
+}
+
 void ApproxMemory::begin_kernel(std::string name, double compute_per_access,
                                 uint32_t accesses_per_cta) {
+  // Streaming: everything captured so far is complete — publish it before
+  // opening the next kernel (blocking here is the backpressure that bounds
+  // the trace footprint to the stream's chunk budget).
+  if (trace_sink_) publish_completed_kernels();
   KernelTrace k;
   k.name = std::move(name);
   k.compute_per_access = compute_per_access;

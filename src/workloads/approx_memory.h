@@ -57,6 +57,8 @@
 
 namespace slc {
 
+class TraceStream;
+
 using RegionId = uint32_t;
 
 /// One block-level memory access in the timing trace.
@@ -232,8 +234,32 @@ class ApproxMemory {
   /// commit, async or not).
   void trace_block(RegionId r, size_t block, bool write);
 
+  /// Kernels captured and not yet published to a trace sink. Without a sink
+  /// this is the whole trace (the materialized path); with one it holds only
+  /// the kernel currently being captured.
   const std::vector<KernelTrace>& trace() const { return trace_; }
   std::vector<KernelTrace> take_trace() { return std::move(trace_); }
+
+  // --- streaming trace publication ----------------------------------------
+  // With a sink installed, begin_kernel() publishes every previously
+  // completed kernel as one TraceStream chunk before opening the next — a
+  // chunk is immutable once published because trace_block() settles the
+  // region at capture time, so the burst counts it recorded are final (the
+  // settle-on-access ordering that makes commits publishable while later
+  // kernels are still being captured). A full stream blocks begin_kernel()
+  // — that backpressure is what bounds the trace footprint. end_trace()
+  // publishes the last kernel and closes the stream; a cancelled sink
+  // (consumer gone) detaches silently and later kernels stay in trace_.
+
+  /// Installs the stream that receives completed kernel chunks. Replacing a
+  /// live sink end_trace()s it first. The consumer (GpuSim::run) typically
+  /// runs on another thread.
+  void set_trace_sink(std::shared_ptr<TraceStream> sink);
+  /// Publishes any still-buffered kernels and closes the sink (pop on the
+  /// consumer side then drains and returns null). No-op without a sink.
+  /// The destructor closes a forgotten sink WITHOUT publishing (it must not
+  /// block), so a run that wants its last kernel replayed calls this.
+  void end_trace();
 
   /// Whole-run stats. Settles every pending commit first so the counters
   /// always cover all commits issued so far.
@@ -265,6 +291,11 @@ class ApproxMemory {
   /// the region and run totals. No-op when nothing is pending.
   void settle(RegionId r);
 
+  /// Pushes every kernel in trace_ to the sink (all are complete at the
+  /// call sites: before begin_kernel opens the next, or at end_trace).
+  /// Detaches from a cancelled sink.
+  void publish_completed_kernels();
+
   uint32_t current_bursts(const Region& reg, size_t block) const;
 
   std::vector<Region> regions_;
@@ -272,6 +303,7 @@ class ApproxMemory {
   std::shared_ptr<CodecEngine> engine_ = CodecEngine::shared_default();
   uint64_t next_addr_ = 0x1000'0000;  ///< device heap base
   std::vector<KernelTrace> trace_;
+  std::shared_ptr<TraceStream> trace_sink_;  ///< null = materialize into trace_
   CommitStats stats_;
 };
 

@@ -3,6 +3,7 @@
 // and merged stats/ratios.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -356,6 +357,91 @@ TEST(CodecEngine, PriorityClaimsBeforeFifo) {
   EXPECT_EQ(order[0], 2) << "the latency job must be claimed first";
   EXPECT_EQ(order[1], 0) << "equal priorities drain FIFO";
   EXPECT_EQ(order[2], 1);
+}
+
+// EDF within a priority band: two deadline-priority batches submitted
+// later-deadline-first must still dispatch in deadline order once the gate
+// opens, and a dated job beats an undated one of the same priority.
+TEST(CodecEngine, EarliestDeadlineClaimsFirstWithinBand) {
+  CodecEngine engine(1);
+  std::atomic<bool> started{false}, release{false};
+  auto gate = engine.submit(1, [&](size_t, size_t, unsigned) {
+    started = true;
+    while (!release) std::this_thread::yield();
+  });
+  while (!started) std::this_thread::yield();
+
+  std::mutex order_m;
+  std::vector<int> order;
+  auto record = [&](int tag) {
+    std::lock_guard<std::mutex> lk(order_m);
+    order.push_back(tag);
+  };
+  const auto now = std::chrono::steady_clock::now();
+  // Submission order: undated, late, early — claim order must invert to
+  // early, late, undated.
+  auto undated = engine.submit(1, [&](size_t, size_t, unsigned) { record(0); },
+                               CodecEngine::kPriorityDeadline);
+  auto late = engine.submit(1, [&](size_t, size_t, unsigned) { record(1); },
+                            CodecEngine::kPriorityDeadline, now + std::chrono::seconds(60));
+  auto early = engine.submit(1, [&](size_t, size_t, unsigned) { record(2); },
+                             CodecEngine::kPriorityDeadline, now + std::chrono::seconds(1));
+  // Band still outranks deadline: a bulk job with the earliest date loses to
+  // every deadline-band job above.
+  auto bulk = engine.submit(1, [&](size_t, size_t, unsigned) { record(3); },
+                            CodecEngine::kPriorityBulk, now - std::chrono::seconds(1));
+
+  release = true;
+  gate.wait();
+  undated.wait();
+  late.wait();
+  early.wait();
+  bulk.wait();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 2) << "earliest deadline in the band claims first";
+  EXPECT_EQ(order[1], 1) << "later deadline second";
+  EXPECT_EQ(order[2], 0) << "undated (kNoDeadline) drains last in its band";
+  EXPECT_EQ(order[3], 3) << "priority still dominates the deadline tiebreak";
+}
+
+// A multi-shard deadline batch drains completely before a same-band batch
+// with a later deadline starts: shard claims follow the job-level EDF order.
+TEST(CodecEngine, DeadlineBatchesDispatchInDeadlineOrder) {
+  CodecEngine engine(1);
+  std::atomic<bool> started{false}, release{false};
+  auto gate = engine.submit(1, [&](size_t, size_t, unsigned) {
+    started = true;
+    while (!release) std::this_thread::yield();
+  });
+  while (!started) std::this_thread::yield();
+
+  std::mutex order_m;
+  std::vector<int> order;
+  const auto now = std::chrono::steady_clock::now();
+  auto batch = [&](int tag, std::chrono::seconds deadline) {
+    return engine.submit(
+        64,
+        [&order, &order_m, tag](size_t, size_t, unsigned) {
+          std::lock_guard<std::mutex> lk(order_m);
+          order.push_back(tag);
+        },
+        CodecEngine::kPriorityDeadline, now + deadline);
+  };
+  auto late = batch(1, std::chrono::seconds(60));
+  auto early = batch(0, std::chrono::seconds(1));
+
+  release = true;
+  gate.wait();
+  late.wait();
+  early.wait();
+  ASSERT_FALSE(order.empty());
+  const auto first_late = std::find(order.begin(), order.end(), 1);
+  const auto last_early = std::find(order.rbegin(), order.rend(), 0);
+  ASSERT_NE(first_late, order.end());
+  ASSERT_NE(last_early, order.rend());
+  // Every early-deadline shard ran before the first late-deadline shard.
+  EXPECT_LT(last_early.base() - order.begin(), first_late - order.begin() + 1)
+      << "the earlier-deadline batch must drain before the later one starts";
 }
 
 }  // namespace

@@ -10,19 +10,28 @@
 //     drain()/~CodecServer return instead of waiting on a counter that can
 //     no longer move;
 //   * shared fingerprint-cache traffic — concurrent analyze jobs through one
-//     engine-owned cache stay byte-identical to the uncached oracle.
+//     engine-owned cache stay byte-identical to the uncached oracle;
+//   * TraceStream producer/consumer traffic — a slow producer against fast
+//     consumers, backpressure under a tiny budget, and mid-stream
+//     destruction (cancel) must neither hang, drop, nor double-deliver a
+//     chunk.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "compress/codec_registry.h"
 #include "engine/codec_engine.h"
 #include "server/codec_server.h"
+#include "sim/trace_stream.h"
 #include "test_util.h"
 
 namespace slc {
@@ -228,6 +237,101 @@ TEST(ConcurrencyStress, SharedCacheConcurrentAnalyzeJobs) {
     });
   for (auto& c : clients) c.join();
   EXPECT_EQ(mismatches.load(), 0u);
+}
+
+// ---- TraceStream producer/consumer stress ---------------------------------
+
+KernelTrace tagged_kernel(uint64_t tag) {
+  KernelTrace k;
+  k.name = "k" + std::to_string(tag);
+  k.compute_per_access = 1.0;
+  TraceAccess a;
+  a.addr = tag * kBlockBytes;  // tag smuggled through the address
+  a.bursts = 1;
+  k.accesses.push_back(a);
+  return k;
+}
+
+// Slow producer, fast consumers, a one-chunk budget: every kernel is
+// delivered to exactly one consumer and nobody hangs. (Strict FIFO order is
+// a single-consumer property and is pinned in test_trace_stream.cpp.)
+TEST(ConcurrencyStress, TraceStreamSlowProducerFastConsumers) {
+  constexpr uint64_t kKernels = 200;
+  TraceStream stream(1);  // tightest budget: every push waits for a pop
+  std::mutex seen_m;
+  std::vector<uint64_t> seen;
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c)
+    consumers.emplace_back([&] {
+      while (auto chunk = stream.pop()) {
+        const uint64_t tag = chunk->accesses.front().addr / kBlockBytes;
+        {
+          std::lock_guard<std::mutex> lk(seen_m);
+          seen.push_back(tag);
+        }
+        std::this_thread::yield();
+      }
+    });
+
+  for (uint64_t i = 1; i <= kKernels; ++i) {
+    ASSERT_TRUE(stream.push(tagged_kernel(i)));
+    if (i % 16 == 0) std::this_thread::yield();  // slow producer
+  }
+  stream.close();
+  for (auto& c : consumers) c.join();
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), kKernels) << "every chunk exactly once";
+  for (uint64_t i = 1; i <= kKernels; ++i) EXPECT_EQ(seen[i - 1], i);
+  EXPECT_LE(stream.chunk_high_water(), 1u) << "budget must bound the queue";
+}
+
+// Mid-stream destruction: consumers cancel while the producer is blocked on
+// backpressure. The producer must observe the rejection (push -> false) and
+// both sides must unwind without a hang.
+TEST(ConcurrencyStress, TraceStreamCancelWhileProducerBlocked) {
+  for (int round = 0; round < 20; ++round) {
+    auto stream = std::make_shared<TraceStream>(2);
+    std::atomic<bool> rejected{false};
+    std::thread producer([&] {
+      for (uint64_t i = 1;; ++i) {
+        if (!stream->push(tagged_kernel(i))) {
+          rejected = true;
+          return;
+        }
+      }
+    });
+    // Drain a few chunks so the producer is mid-flight, then tear down the
+    // consumer side the way ~GpuSim-owner code would.
+    for (int i = 0; i < 3; ++i) stream->pop();
+    stream->cancel();
+    producer.join();
+    EXPECT_TRUE(rejected.load());
+    EXPECT_EQ(stream->pop(), nullptr) << "cancelled stream delivers nothing";
+    EXPECT_TRUE(stream->push(tagged_kernel(99)) == false)
+        << "pushes after cancel are rejected, not queued";
+  }
+}
+
+// Producer closes while consumers are mid-drain: all queued chunks arrive,
+// then every consumer sees the null terminator.
+TEST(ConcurrencyStress, TraceStreamCloseDrainsBeforeTerminating) {
+  for (const unsigned consumers_n : {1u, 4u}) {
+    TraceStream stream(0);  // unbounded: queue everything up front
+    constexpr uint64_t kKernels = 500;
+    for (uint64_t i = 1; i <= kKernels; ++i) ASSERT_TRUE(stream.push(tagged_kernel(i)));
+    stream.close();
+
+    std::atomic<uint64_t> delivered{0};
+    std::vector<std::thread> consumers;
+    for (unsigned c = 0; c < consumers_n; ++c)
+      consumers.emplace_back([&] {
+        while (stream.pop()) delivered.fetch_add(1);
+      });
+    for (auto& c : consumers) c.join();
+    EXPECT_EQ(delivered.load(), kKernels) << consumers_n << " consumers";
+    EXPECT_EQ(stream.chunk_high_water(), kKernels);
+  }
 }
 
 }  // namespace

@@ -2,8 +2,12 @@
 // bandwidth behaviours the paper's speedups rest on.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <thread>
+
 #include "compress/block_codec.h"
 #include "sim/gpu_sim.h"
+#include "sim/trace_stream.h"
 
 namespace slc {
 namespace {
@@ -186,6 +190,111 @@ TEST_P(GpuSimMagTest, BurstAccountingMatchesTrace) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Mags, GpuSimMagTest, ::testing::Values<size_t>(16, 32, 64));
+
+// ---- SimStats::merge() algebra -------------------------------------------
+
+TEST(SimStats, MergeWithDefaultConstructedIsIdentity) {
+  GpuSim sim(GpuSimConfig{});
+  const SimStats s = sim.run({streaming_kernel(500, 4, 1.0, 0x1000'0000, true)});
+
+  SimStats left = s;
+  left.merge(SimStats{});  // right identity
+  EXPECT_EQ(left, s);
+
+  SimStats right;  // left identity
+  right.merge(s);
+  EXPECT_EQ(right, s);
+}
+
+TEST(SimStats, MergeIsAssociativeAndCommutesOnCounters) {
+  GpuSim sa(GpuSimConfig{}), sb(GpuSimConfig{}), sc(GpuSimConfig{});
+  const SimStats a = sa.run({streaming_kernel(300, 2)});
+  const SimStats b = sb.run({streaming_kernel(700, 4, 1.0, 0x2000'0000, true)});
+  const SimStats c = sc.run({streaming_kernel(100, 1, 8.0, 0x3000'0000)});
+
+  SimStats ab = a;
+  ab.merge(b);
+  SimStats ab_c = ab;
+  ab_c.merge(c);
+
+  SimStats bc = b;
+  bc.merge(c);
+  SimStats a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c, a_bc);
+
+  SimStats ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+}
+
+// ---- Streaming entry point ------------------------------------------------
+
+TEST(GpuSim, EmptyStreamReturnsCleanly) {
+  TraceStream stream(4);
+  stream.close();  // producer finishes without ever publishing a kernel
+  GpuSim sim(GpuSimConfig{});
+  const SimStats s = sim.run(stream);
+  EXPECT_EQ(s.accesses, 0u);
+  EXPECT_EQ(s.kernels, 0u);
+  EXPECT_EQ(s.stream_chunk_hwm, 0u);
+}
+
+TEST(GpuSim, StreamingMatchesMaterializedRun) {
+  std::vector<KernelTrace> trace;
+  trace.push_back(streaming_kernel(2000, 4, 1.0, 0x1000'0000, true));
+  trace.push_back(streaming_kernel(500, 2, 4.0, 0x2000'0000));
+  trace.push_back(streaming_kernel(1200, 8, 0.5, 0x3000'0000, true));
+
+  GpuSim ref(GpuSimConfig{});
+  const SimStats want = ref.run(trace);
+
+  for (const unsigned workers : {1u, 4u}) {
+    GpuSimConfig cfg;
+    cfg.sim_workers = workers;
+    GpuSim sim(cfg);
+    TraceStream stream(2);
+    SimStats got;
+    std::thread consumer([&] { got = sim.run(stream); });
+    for (const auto& k : trace) ASSERT_TRUE(stream.push(k));
+    stream.close();
+    consumer.join();
+    EXPECT_TRUE(want.same_counters(got)) << "workers=" << workers;
+    EXPECT_EQ(got.kernels, 3u);
+  }
+}
+
+TEST(GpuSim, ShardedRunMatchesSingleWorkerBitExactly) {
+  std::vector<KernelTrace> trace;
+  trace.push_back(streaming_kernel(3000, 4, 0.5, 0x1000'0000, true));
+  trace.push_back(streaming_kernel(900, 2, 2.0, 0x5000'0000));
+
+  GpuSimConfig one;
+  one.sim_workers = 1;
+  GpuSimConfig many;
+  many.sim_workers = 0;  // 0 = hardware concurrency, clamped to num_mcs
+  GpuSim a(one), b(many);
+  const SimStats sa = a.run(trace);
+  const SimStats sb = b.run(trace);
+  EXPECT_EQ(sa, sb);  // full equality, high-water marks included
+}
+
+TEST(GpuSim, StreamHighWaterMarkBoundedByBudget) {
+  GpuSimConfig cfg;
+  GpuSim sim(cfg);
+  TraceStream stream(cfg.stream_chunk_budget);
+  SimStats got;
+  std::thread consumer([&] { got = sim.run(stream); });
+  // Push far more kernels than the budget: backpressure must cap the queue.
+  for (int i = 0; i < 64; ++i)
+    ASSERT_TRUE(stream.push(streaming_kernel(64, 2, 1.0, 0x1000'0000 + i * 0x10000)));
+  stream.close();
+  consumer.join();
+  EXPECT_EQ(got.kernels, 64u);
+  EXPECT_GT(got.stream_chunk_hwm, 0u);
+  EXPECT_LE(got.stream_chunk_hwm, cfg.stream_chunk_budget);
+  EXPECT_GT(got.stream_access_hwm, 0u);
+}
 
 }  // namespace
 }  // namespace slc
